@@ -1,0 +1,45 @@
+# dcmodel build targets.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz examples artifacts clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerates every table/figure and runs the ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz=FuzzReadJSON -fuzztime=30s ./internal/trace/
+
+examples:
+	@for ex in quickstart storagestudy webtier selfsimilar serverconfig incast tracing memorymodel; do \
+		echo "== examples/$$ex =="; \
+		$(GO) run ./examples/$$ex || exit 1; \
+	done
+
+# The artifacts EXPERIMENTS.md records.
+artifacts:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,62 @@
+// Command crossexam runs the paper's Table 1 cross-examination: train the
+// in-breadth, in-depth and KOOZA models on the same trace, synthesize from
+// each, and print the qualitative matrix plus the measured scorecard.
+//
+// Usage:
+//
+//	crossexam -requests 3000 -rate 20
+//	crossexam -in trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dcmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crossexam: ")
+	var (
+		in       = flag.String("in", "", "input trace CSV (empty = simulate)")
+		requests = flag.Int("requests", 3000, "requests to simulate when -in is empty")
+		rate     = flag.Float64("rate", 20, "arrival rate for simulation")
+		n        = flag.Int("n", 0, "synthetic requests per approach (0 = trace size)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var (
+		tr  *dcmodel.Trace
+		err error
+	)
+	if *in == "" {
+		tr, err = dcmodel.SimulateGFS(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
+			Mix:      dcmodel.Table2Mix(),
+			Rate:     *rate,
+			Requests: *requests,
+		}, *seed)
+	} else {
+		var f *os.File
+		f, err = os.Open(*in)
+		if err == nil {
+			defer f.Close()
+			tr, err = dcmodel.ReadTraceCSV(f)
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	count := *n
+	if count == 0 {
+		count = tr.Len()
+	}
+	scores, err := dcmodel.CrossExamine(tr, count, dcmodel.DefaultPlatform(), *seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(dcmodel.RenderScores(scores))
+}

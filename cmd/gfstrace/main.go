@@ -1,0 +1,102 @@
+// Command gfstrace runs the GFS cluster simulator and emits the resulting
+// workload trace (the substitute for the paper's proprietary GFS traces).
+//
+// Usage:
+//
+//	gfstrace -requests 4000 -rate 20 -mix table2 -format csv > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"dcmodel/internal/workload"
+
+	"dcmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gfstrace: ")
+	var (
+		requests    = flag.Int("requests", 4000, "number of requests to simulate")
+		rate        = flag.Float64("rate", 20, "mean arrival rate (requests/second)")
+		servers     = flag.Int("servers", 1, "number of chunkservers")
+		files       = flag.Int("files", 64, "number of files in the namespace")
+		replication = flag.Int("replication", 1, "replicas per chunk")
+		seed        = flag.Int64("seed", 1, "random seed")
+		mixName     = flag.String("mix", "table2", "request mix: table2, web or oltp")
+		arrivals    = flag.String("arrivals", "poisson", "arrival process: poisson, mmpp or selfsimilar")
+		format      = flag.String("format", "csv", "output format: csv or json")
+		out         = flag.String("o", "-", "output path ('-' for stdout)")
+	)
+	flag.Parse()
+
+	var mix *dcmodel.Mix
+	switch *mixName {
+	case "table2":
+		mix = dcmodel.Table2Mix()
+	case "web":
+		mix = dcmodel.WebMix()
+	case "oltp":
+		mix = workload.OLTPMix()
+	default:
+		log.Fatalf("unknown mix %q (want table2, web or oltp)", *mixName)
+	}
+	var arr dcmodel.Arrivals
+	switch *arrivals {
+	case "poisson":
+		arr = workload.Poisson{Rate: *rate}
+	case "mmpp":
+		arr = workload.MMPP2{
+			Rate: [2]float64{*rate * 2, *rate / 4},
+			Hold: [2]float64{1, 2},
+		}
+	case "selfsimilar":
+		arr = workload.SelfSimilar{
+			Sources: 16, OnRate: *rate / 4, MeanOn: 1, MeanOff: 3, Alpha: 1.4,
+		}
+	default:
+		log.Fatalf("unknown arrival process %q", *arrivals)
+	}
+
+	cfg := dcmodel.DefaultGFSConfig()
+	cfg.Chunkservers = *servers
+	cfg.Files = *files
+	cfg.Replication = *replication
+	tr, err := dcmodel.SimulateGFS(cfg, dcmodel.GFSRun{
+		Mix:      mix,
+		Arrivals: arr,
+		Requests: *requests,
+	}, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		err = dcmodel.WriteTraceCSV(w, tr)
+	case "json":
+		err = dcmodel.WriteTraceJSON(w, tr)
+	default:
+		log.Fatalf("unknown format %q (want csv or json)", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := tr.Summarize()
+	fmt.Fprintf(os.Stderr, "gfstrace: %d requests, %d classes, %.2fs duration, mean latency %.3fms\n",
+		s.Requests, len(s.Classes), s.Duration, 1000*s.MeanLatency)
+}

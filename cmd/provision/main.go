@@ -1,0 +1,91 @@
+// Command provision runs the SQS-style two-phase datacenter sizing
+// pipeline: characterize a workload trace online (bounded-memory empirical
+// models), then simulate server-farm configurations and report the
+// smallest farm meeting a p95 latency target.
+//
+// Usage:
+//
+//	gfstrace -requests 8000 -rate 200 | provision -target 0.05
+//	provision -in trace.csv -target 0.1 -max 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"dcmodel/internal/sqs"
+
+	"dcmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("provision: ")
+	var (
+		in      = flag.String("in", "-", "input trace (CSV; '-' for stdin)")
+		target  = flag.Float64("target", 0.05, "p95 response-time target (seconds)")
+		maxSrv  = flag.Int("max", 64, "largest farm size to consider")
+		tasks   = flag.Int("tasks", 20000, "tasks simulated per candidate")
+		samples = flag.Int("samples", 10000, "characterization sample budget")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var (
+		tr  *dcmodel.Trace
+		err error
+	)
+	if *in == "-" {
+		tr, err = dcmodel.ReadTraceCSV(os.Stdin)
+	} else {
+		var f *os.File
+		f, err = os.Open(*in)
+		if err == nil {
+			defer f.Close()
+			tr, err = dcmodel.ReadTraceCSV(f)
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(*seed))
+	c, err := sqs.NewCharacterizer(*samples, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.ObserveTrace(tr); err != nil {
+		log.Fatal(err)
+	}
+	m, err := c.Model()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("characterized %d tasks: rate %.2f/s, mean service %.3f ms (budget %d samples)\n",
+		c.Observed(), m.Rate, 1000*m.MeanService, *samples)
+
+	fmt.Printf("\n%-8s | %-10s | %-10s | %-10s | %-10s\n", "servers", "util", "mean ms", "p95 ms", "p99 ms")
+	minServers := int(m.Rate*m.MeanService) + 1
+	chosen := -1
+	for k := minServers; k <= *maxSrv; k++ {
+		res, err := m.Evaluate(k, *tasks, r)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("%-8d | %9.1f%% | %10.2f | %10.2f | %10.2f\n",
+			k, 100*res.Utilization, 1000*res.MeanResponse, 1000*res.P95, 1000*res.P99)
+		if chosen < 0 && res.P95 <= *target {
+			chosen = k
+		}
+		if chosen > 0 && res.Utilization < 0.3 {
+			break // comfortably provisioned; further rows add nothing
+		}
+	}
+	if chosen < 0 {
+		log.Fatalf("no configuration up to %d servers meets p95 <= %.3fs", *maxSrv, *target)
+	}
+	fmt.Printf("\nprovisioning decision: %d servers (smallest meeting p95 <= %.0f ms)\n",
+		chosen, 1000**target)
+}

@@ -1,0 +1,129 @@
+// Command synth trains a workload model on a trace (or loads a saved
+// KOOZA model) and emits a synthetic workload generated from it.
+//
+// Usage:
+//
+//	synth -in trace.csv -model kooza -n 10000 > synthetic.csv
+//	synth -model-file model.json -n 10000 > synthetic.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+
+	"dcmodel/internal/kooza"
+
+	"dcmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synth: ")
+	var (
+		in        = flag.String("in", "-", "input trace (CSV; '-' for stdin)")
+		modelFile = flag.String("model-file", "", "load a saved KOOZA model instead of training (skips -in)")
+		modelName = flag.String("model", "kooza", "model: kooza, inbreadth or indepth")
+		n         = flag.Int("n", 4000, "number of synthetic requests")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("o", "-", "output path ('-' for stdout)")
+		replayIt  = flag.Bool("replay", false, "replay the synthetic workload on the default platform before writing (fills timing)")
+	)
+	flag.Parse()
+
+	r := rand.New(rand.NewSource(*seed))
+	if *modelFile != "" {
+		f, err := os.Open(*modelFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := kooza.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		synth, err := m.Synthesize(*n, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeOut(synth, *out, "kooza (loaded)", *replayIt)
+		return
+	}
+
+	tr, err := readTrace(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var synth *dcmodel.Trace
+	switch *modelName {
+	case "kooza":
+		m, err := dcmodel.TrainKooza(tr, dcmodel.KoozaOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		synth, err = m.Synthesize(*n, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "inbreadth":
+		m, err := dcmodel.TrainInBreadth(tr, dcmodel.InBreadthOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		synth, err = m.Synthesize(*n, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "indepth":
+		m, err := dcmodel.TrainInDepth(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		synth, err = m.Synthesize(*n, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown model %q (want kooza, inbreadth or indepth)", *modelName)
+	}
+	writeOut(synth, *out, *modelName, *replayIt)
+}
+
+// writeOut optionally replays the workload for timing, then writes it.
+func writeOut(synth *dcmodel.Trace, out, label string, replayIt bool) {
+	var err error
+	if replayIt {
+		synth, err = dcmodel.Replay(synth, dcmodel.DefaultPlatform())
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dcmodel.WriteTraceCSV(w, synth); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "synth: wrote %d synthetic requests (%s model)\n", synth.Len(), label)
+}
+
+func readTrace(path string) (*dcmodel.Trace, error) {
+	if path == "-" {
+		return dcmodel.ReadTraceCSV(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dcmodel.ReadTraceCSV(f)
+}

@@ -1,0 +1,111 @@
+// Command train fits a workload model to a trace and prints its trained
+// structure. For KOOZA the output is the regeneration of the paper's
+// Figure 2: the four per-subsystem models wired by the time-dependency
+// queue.
+//
+// Usage:
+//
+//	train -in trace.csv -model kooza
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dcmodel/internal/kooza"
+
+	"dcmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("train: ")
+	var (
+		in        = flag.String("in", "-", "input trace (CSV; '-' for stdin)")
+		modelName = flag.String("model", "kooza", "model: kooza, inbreadth or indepth")
+		regions   = flag.Int("regions", 32, "storage LBN-region states (kooza/inbreadth)")
+		cpuStates = flag.Int("cpustates", 8, "CPU utilization-level states (kooza/inbreadth)")
+		hier      = flag.Bool("hier", false, "hierarchical storage model (kooza)")
+		pca       = flag.Bool("pca", false, "also print the PCA feature-space analysis")
+		out       = flag.String("o", "", "save the trained KOOZA model as JSON to this path")
+	)
+	flag.Parse()
+
+	tr, err := readTrace(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *pca {
+		rep, err := kooza.FeatureAnalysis(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep.Render())
+		fmt.Println()
+	}
+	switch *modelName {
+	case "kooza":
+		m, err := dcmodel.TrainKooza(tr, dcmodel.KoozaOptions{
+			StorageRegions: *regions,
+			CPUStates:      *cpuStates,
+			Hierarchical:   *hier,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(m.Describe())
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			if err := kooza.Save(f, m); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "train: saved model to %s\n", *out)
+		}
+	case "inbreadth":
+		m, err := dcmodel.TrainInBreadth(tr, dcmodel.InBreadthOptions{
+			StorageRegions: *regions,
+			CPUStates:      *cpuStates,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("in-breadth model: %d parameters, trained on %d requests\n", m.NumParams(), m.TrainedOn)
+		fmt.Printf("  storage: %d regions, seq=%.2f, read=%.2f\n", m.Storage.Regions, m.Storage.SeqProb, m.Storage.ReadProb)
+		fmt.Printf("  cpu: %d levels over [%.4f, %.4f]\n", m.CPU.Chain.N, m.CPU.Lo, m.CPU.Hi)
+		fmt.Printf("  memory: %d banks, read=%.2f\n", m.Memory.Banks, m.Memory.ReadProb)
+		fmt.Printf("  spans/request: %v\n", m.SpansPerRequest)
+	case "indepth":
+		m, err := dcmodel.TrainInDepth(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("in-depth model: %d parameters, trained on %d requests\n", m.NumParams(), m.TrainedOn)
+		for _, c := range m.Classes {
+			fmt.Printf("  class %q (weight %.3f): %d phases\n", c.Name, c.Weight, len(c.Phases))
+			pred, err := m.PredictMeanLatency(c.Name)
+			if err == nil {
+				fmt.Printf("    predicted no-contention latency: %.3f ms\n", 1000*pred)
+			}
+		}
+	default:
+		log.Fatalf("unknown model %q (want kooza, inbreadth or indepth)", *modelName)
+	}
+}
+
+func readTrace(path string) (*dcmodel.Trace, error) {
+	if path == "-" {
+		return dcmodel.ReadTraceCSV(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dcmodel.ReadTraceCSV(f)
+}

@@ -1,0 +1,245 @@
+// Package dcmodel is a datacenter workload modeling toolkit: a from-scratch
+// Go implementation of the modeling ecosystem cross-examined in
+// "Cross-Examination of Datacenter Workload Modeling Techniques"
+// (Delimitrou & Kozyrakis, ICDCS 2011 workshops).
+//
+// The toolkit provides:
+//
+//   - A GFS-like application simulator (SimulateGFS) that generates
+//     ground-truth workload traces with the paper's Figure 1 request
+//     structure: network -> CPU -> memory -> storage -> CPU -> network.
+//   - Three trainable workload models: the in-breadth approach (four
+//     independent per-subsystem models), the in-depth approach (a
+//     request-flow queueing model), and KOOZA, the paper's combined
+//     approach (per-subsystem Markov models + a network queueing model +
+//     a time-dependency queue).
+//   - A replay engine that executes original or synthetic workloads on a
+//     simulated server platform and measures latency.
+//   - A cross-examination harness regenerating the paper's Table 1, and a
+//     validation pipeline regenerating Table 2.
+//
+// Quick start:
+//
+//	tr, _ := dcmodel.SimulateGFS(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
+//		Mix: dcmodel.Table2Mix(), Rate: 20, Requests: 4000,
+//	}, 1)
+//	model, _ := dcmodel.TrainKooza(tr, dcmodel.KoozaOptions{})
+//	synth, _ := model.Synthesize(4000, rand.New(rand.NewSource(2)))
+//	timed, _ := dcmodel.Replay(synth, dcmodel.DefaultPlatform())
+package dcmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dcmodel/internal/crossexam"
+	"dcmodel/internal/gfs"
+	"dcmodel/internal/hw"
+	"dcmodel/internal/inbreadth"
+	"dcmodel/internal/indepth"
+	"dcmodel/internal/kooza"
+	"dcmodel/internal/replay"
+	"dcmodel/internal/trace"
+	"dcmodel/internal/workload"
+)
+
+// Trace schema re-exports.
+type (
+	// Trace is an ordered collection of traced requests.
+	Trace = trace.Trace
+	// Request is one traced user request.
+	Request = trace.Request
+	// Span is one per-subsystem phase of a request.
+	Span = trace.Span
+	// Subsystem identifies a system part (network, cpu, memory, storage).
+	Subsystem = trace.Subsystem
+	// Op is a read/write operation type.
+	Op = trace.Op
+)
+
+// Subsystem and operation constants.
+const (
+	Network = trace.Network
+	CPU     = trace.CPU
+	Memory  = trace.Memory
+	Storage = trace.Storage
+
+	OpNone  = trace.OpNone
+	OpRead  = trace.OpRead
+	OpWrite = trace.OpWrite
+)
+
+// Model re-exports.
+type (
+	// KoozaModel is the paper's combined model.
+	KoozaModel = kooza.Model
+	// KoozaOptions configures KOOZA training.
+	KoozaOptions = kooza.Options
+	// InBreadthModel is the per-subsystem baseline.
+	InBreadthModel = inbreadth.Model
+	// InBreadthOptions configures in-breadth training.
+	InBreadthOptions = inbreadth.Options
+	// InDepthModel is the request-flow baseline.
+	InDepthModel = indepth.Model
+)
+
+// Workload re-exports.
+type (
+	// Mix is a weighted set of request classes.
+	Mix = workload.Mix
+	// ClassSpec describes one request class.
+	ClassSpec = workload.ClassSpec
+	// Arrivals generates request arrival instants.
+	Arrivals = workload.Arrivals
+)
+
+// Hardware and platform re-exports.
+type (
+	// Server bundles one machine's subsystem hardware models.
+	Server = hw.Server
+	// Platform describes the replay hardware.
+	Platform = replay.Platform
+)
+
+// GFS simulator re-exports.
+type (
+	// GFSConfig describes the simulated GFS cluster.
+	GFSConfig = gfs.Config
+	// GFSCluster is a constructed cluster (advanced use).
+	GFSCluster = gfs.Cluster
+)
+
+// Cross-examination re-exports.
+type (
+	// Approach wraps one modeling approach for cross-examination.
+	Approach = crossexam.Approach
+	// Scores is the measured Table 1 scorecard of one approach.
+	Scores = crossexam.Scores
+)
+
+// Table2Mix returns the paper's two validation request classes (64 KB
+// read, 4 MB write).
+func Table2Mix() *Mix { return workload.Table2Mix() }
+
+// WebMix returns a heavy-tailed read/write object mix.
+func WebMix() *Mix { return workload.WebMix() }
+
+// DefaultGFSConfig returns the single-chunkserver cluster configuration of
+// the paper's preliminary experiments.
+func DefaultGFSConfig() GFSConfig { return gfs.DefaultConfig() }
+
+// DefaultPlatform returns the replay platform matching the default GFS
+// chunkserver hardware.
+func DefaultPlatform() Platform {
+	return Platform{NewServer: gfs.DefaultServerHW}
+}
+
+// GFSRun drives a GFS simulation.
+type GFSRun struct {
+	// Mix is the request-class mix (required).
+	Mix *Mix
+	// Rate is the Poisson arrival rate in requests/second; ignored when
+	// Arrivals is set.
+	Rate float64
+	// Arrivals optionally overrides the arrival process.
+	Arrivals Arrivals
+	// Requests is the number of requests to simulate (required).
+	Requests int
+}
+
+// SimulateGFS builds a cluster from cfg, runs the workload and returns the
+// resulting trace. The seed makes the run reproducible.
+func SimulateGFS(cfg GFSConfig, run GFSRun, seed int64) (*Trace, error) {
+	cluster, err := gfs.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	arrivals := run.Arrivals
+	if arrivals == nil {
+		if run.Rate <= 0 {
+			return nil, fmt.Errorf("dcmodel: run needs a positive Rate or an Arrivals process")
+		}
+		arrivals = workload.Poisson{Rate: run.Rate}
+	}
+	return cluster.Run(gfs.RunConfig{
+		Mix:      run.Mix,
+		Arrivals: arrivals,
+		Requests: run.Requests,
+	}, rand.New(rand.NewSource(seed)))
+}
+
+// GFSClosedRun drives a closed-loop (interactive) GFS simulation.
+type GFSClosedRun struct {
+	// Mix is the request-class mix (required).
+	Mix *Mix
+	// Users is the closed population size.
+	Users int
+	// MeanThink is the mean exponential think time (seconds).
+	MeanThink float64
+	// Requests is the number of requests to complete.
+	Requests int
+}
+
+// SimulateGFSClosed builds a cluster from cfg and runs a closed-loop
+// workload: Users concurrent users issuing, thinking and reissuing — the
+// interactive-population shape of closed queueing analyses.
+func SimulateGFSClosed(cfg GFSConfig, run GFSClosedRun, seed int64) (*Trace, error) {
+	cluster, err := gfs.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.RunClosed(gfs.ClosedRunConfig{
+		Mix:       run.Mix,
+		Users:     run.Users,
+		MeanThink: run.MeanThink,
+		Requests:  run.Requests,
+	}, rand.New(rand.NewSource(seed)))
+}
+
+// TrainKooza fits the paper's combined model to a trace.
+func TrainKooza(tr *Trace, opts KoozaOptions) (*KoozaModel, error) {
+	return kooza.Train(tr, opts)
+}
+
+// TrainInBreadth fits the per-subsystem baseline to a trace.
+func TrainInBreadth(tr *Trace, opts InBreadthOptions) (*InBreadthModel, error) {
+	return inbreadth.Train(tr, opts)
+}
+
+// TrainInDepth fits the request-flow baseline to a trace.
+func TrainInDepth(tr *Trace) (*InDepthModel, error) {
+	return indepth.Train(tr)
+}
+
+// Replay executes a workload on the platform and returns the re-timed
+// trace.
+func Replay(tr *Trace, p Platform) (*Trace, error) {
+	return replay.Run(tr, p)
+}
+
+// CrossExamine scores the three standard approaches (trained on tr) on the
+// Table 1 criteria using n synthetic requests each.
+func CrossExamine(tr *Trace, n int, p Platform, seed int64) ([]Scores, error) {
+	ib, err := inbreadth.Train(tr, inbreadth.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("dcmodel: in-breadth: %w", err)
+	}
+	id, err := indepth.Train(tr)
+	if err != nil {
+		return nil, fmt.Errorf("dcmodel: in-depth: %w", err)
+	}
+	kz, err := kooza.Train(tr, kooza.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("dcmodel: kooza: %w", err)
+	}
+	approaches := []Approach{
+		{Name: "in-breadth", Synthesize: ib.Synthesize, NumParams: ib.NumParams(), Knobs: 3},
+		{Name: "in-depth", Synthesize: id.Synthesize, NumParams: id.NumParams(), Knobs: 1, SelfTimed: true},
+		{Name: "KOOZA", Synthesize: kz.Synthesize, NumParams: kz.NumParams(), Knobs: 5},
+	}
+	return crossexam.Evaluate(tr, approaches, n, p, rand.New(rand.NewSource(seed)))
+}
+
+// RenderScores renders the Table 1 regeneration (qualitative matrix plus
+// the measured scorecard).
+func RenderScores(scores []Scores) string { return crossexam.Render(scores) }

@@ -1,0 +1,140 @@
+// Memorymodel: Moro et al.'s approach to memory characterization — treat
+// the sequence of memory references (virtual page numbers) as a series of
+// floating-point numbers and train an Ergodic Continuous Hidden Markov
+// Model (ECHMM) on it, then use the model to categorize memory activity
+// and generate synthetic traces.
+//
+// The experiment builds a phased reference stream (a working-set regime
+// switcher: hot pages, a streaming scan, and a cold random region),
+// fits (a) a Gaussian-emission HMM and (b) a quantized first-order Markov
+// chain, and compares how well each reproduces the stream — Moro et al.'s
+// claim is that the continuous HMM is "significantly more accurate in
+// determining the memory behavior of a workload".
+//
+// Run with: go run ./examples/memorymodel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dcmodel/internal/markov"
+	"dcmodel/internal/stats"
+)
+
+// referenceStream emulates three memory regimes: a hot working set around
+// page 1000, sequential scans through 50000-70000, and cold random access
+// across 0-200000.
+func referenceStream(n int, r *rand.Rand) []float64 {
+	out := make([]float64, n)
+	regime := 0
+	scan := 50000.0
+	for i := range out {
+		if r.Float64() < 0.01 {
+			regime = r.Intn(3)
+		}
+		switch regime {
+		case 0: // hot working set
+			out[i] = 1000 + 50*r.NormFloat64()
+		case 1: // streaming scan
+			scan += 10
+			if scan > 70000 {
+				scan = 50000
+			}
+			out[i] = scan + 5*r.NormFloat64()
+		default: // cold random
+			out[i] = 200000 * r.Float64()
+		}
+	}
+	return out
+}
+
+// quantizedChainLogLik fits a k-state quantized chain and scores a held-out
+// stream (per reference).
+func quantizedChainLogLik(train, held []float64, k int) (float64, int, error) {
+	lo, hi := stats.Min(train), stats.Max(train)
+	quant := func(xs []float64) []int {
+		out := make([]int, len(xs))
+		for i, x := range xs {
+			s := int(float64(k) * (x - lo) / (hi - lo + 1))
+			if s < 0 {
+				s = 0
+			}
+			if s >= k {
+				s = k - 1
+			}
+			out[i] = s
+		}
+		return out
+	}
+	chain, err := markov.Train([][]int{quant(train)}, k, 0.01)
+	if err != nil {
+		return 0, 0, err
+	}
+	ll := chain.LogLikelihood(quant(held)) / float64(len(held))
+	return ll, chain.NumParams(), nil
+}
+
+func main() {
+	log.SetFlags(0)
+	r := rand.New(rand.NewSource(1))
+	train := referenceStream(8000, r)
+	held := referenceStream(4000, r)
+
+	fmt.Println("Memory-reference modeling (Moro et al.): ECHMM vs quantized Markov chain")
+	fmt.Printf("stream: %d training references, mean page %.0f, std %.0f\n\n",
+		len(train), stats.Mean(train), stats.StdDev(train))
+
+	// (a) ECHMM: Gaussian-emission HMM with one state per regime.
+	hmm, err := markov.NewGaussianHMM(3, train, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hmm.Fit(train, 100); err != nil {
+		log.Fatal(err)
+	}
+	hmmLL, err := hmm.LogLikelihood(held)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ECHMM (3 Gaussian states):")
+	for s := 0; s < 3; s++ {
+		fmt.Printf("  state %d: mean page %8.0f, std %8.0f\n", s, hmm.Mu[s], hmm.Sigma[s])
+	}
+	fmt.Printf("  held-out log-likelihood: %.3f per reference, %d parameters\n\n",
+		hmmLL, hmm.NumParams())
+
+	// (b) Quantized chains at several resolutions.
+	fmt.Println("quantized Markov chains:")
+	fmt.Printf("  %-8s | %-22s | %-8s\n", "states", "held-out loglik/ref*", "params")
+	for _, k := range []int{3, 8, 32} {
+		ll, params, err := quantizedChainLogLik(train, held, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8d | %22.3f | %-8d\n", k, ll, params)
+	}
+	fmt.Println("  * discrete log-mass; comparable across chain sizes, not with the")
+	fmt.Println("    continuous ECHMM density directly")
+
+	// Synthetic regeneration: regime occupancy of the HMM's synthetic
+	// stream vs the original (the categorize-then-generate use).
+	synth, states := hmm.Sample(8000, r)
+	fmt.Printf("\nsynthetic stream: mean page %.0f (original %.0f), std %.0f (original %.0f)\n",
+		stats.Mean(synth), stats.Mean(train), stats.StdDev(synth), stats.StdDev(train))
+	occ := make([]int, 3)
+	for _, s := range states {
+		occ[s]++
+	}
+	fmt.Printf("regime occupancy of the synthetic stream: %v\n", occ)
+	path := hmm.Viterbi(train)
+	occTrain := make([]int, 3)
+	for _, s := range path {
+		occTrain[s]++
+	}
+	fmt.Printf("regime occupancy decoded from the original: %v\n", occTrain)
+	fmt.Println("\nthe ECHMM both categorizes the activity (Viterbi regimes) and")
+	fmt.Println("regenerates a stream with matching page statistics — the two uses")
+	fmt.Println("Moro et al. propose.")
+}

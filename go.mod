@@ -1,0 +1,3 @@
+module dcmodel
+
+go 1.22

@@ -1,0 +1,29 @@
+// Package core re-exports the paper's primary contribution — the KOOZA
+// combined workload model — under the canonical layout's core package.
+// See dcmodel/internal/kooza for the implementation.
+package core
+
+import (
+	"dcmodel/internal/kooza"
+)
+
+// Re-exported KOOZA types.
+type (
+	// Model is a trained KOOZA workload model.
+	Model = kooza.Model
+	// Options configures KOOZA training.
+	Options = kooza.Options
+	// ClassModel is the per-class model bundle.
+	ClassModel = kooza.ClassModel
+	// StorageModel is the storage Markov model.
+	StorageModel = kooza.StorageModel
+	// CPUModel is the processor Markov model.
+	CPUModel = kooza.CPUModel
+	// MemoryModel is the memory Markov model.
+	MemoryModel = kooza.MemoryModel
+	// NetworkModel is the arrival-process queueing model.
+	NetworkModel = kooza.NetworkModel
+)
+
+// Train fits a KOOZA model to a trace.
+var Train = kooza.Train

@@ -1,0 +1,149 @@
+package dapper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dcmodel/internal/stats"
+)
+
+// Path-based anomaly detection in the style of Pinpoint (which the paper
+// groups with Dapper and Magpie): group sampled trace trees by their path
+// signature, then flag trees on rare paths (possible failures or
+// mis-routing) and latency outliers within their path group — the "error
+// detection" study the paper says only in-depth data enables.
+
+// AnomalyKind classifies a flagged tree.
+type AnomalyKind int
+
+// Anomaly kinds.
+const (
+	// RarePath marks trees whose path signature is seen in fewer than
+	// RarePathShare of the sampled population.
+	RarePath AnomalyKind = iota
+	// LatencyOutlier marks trees far above their path group's typical
+	// latency.
+	LatencyOutlier
+)
+
+// String implements fmt.Stringer.
+func (k AnomalyKind) String() string {
+	switch k {
+	case RarePath:
+		return "rare-path"
+	case LatencyOutlier:
+		return "latency-outlier"
+	default:
+		return fmt.Sprintf("anomaly(%d)", int(k))
+	}
+}
+
+// Anomaly is one flagged trace tree.
+type Anomaly struct {
+	Kind AnomalyKind
+	// Tree is the flagged trace.
+	Tree *Tree
+	// Path is the tree's path signature.
+	Path string
+	// Detail explains the flag.
+	Detail string
+}
+
+// DetectorOptions configures detection.
+type DetectorOptions struct {
+	// RarePathShare: paths below this share are flagged. Default 0.01.
+	RarePathShare float64
+	// OutlierIQRs: latency above p75 + OutlierIQRs*(p75-p25) within the
+	// path group is flagged. Default 3.
+	OutlierIQRs float64
+}
+
+func (o DetectorOptions) withDefaults() DetectorOptions {
+	if o.RarePathShare <= 0 {
+		o.RarePathShare = 0.01
+	}
+	if o.OutlierIQRs <= 0 {
+		o.OutlierIQRs = 3
+	}
+	return o
+}
+
+// PathSignature renders a tree's structure as a canonical string (span
+// names in depth-first order).
+func PathSignature(t *Tree) string {
+	var parts []string
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		if n == nil {
+			return
+		}
+		parts = append(parts, fmt.Sprintf("%d:%s", depth, n.Span.Name))
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return strings.Join(parts, ">")
+}
+
+// Detect flags anomalous trees. It needs a reasonable population (>= 20
+// trees) to establish path and latency baselines.
+func Detect(trees []*Tree, opts DetectorOptions) ([]Anomaly, error) {
+	if len(trees) < 20 {
+		return nil, fmt.Errorf("dapper: need >= 20 trees to detect anomalies, got %d", len(trees))
+	}
+	opts = opts.withDefaults()
+	groups := make(map[string][]*Tree)
+	for _, t := range trees {
+		sig := PathSignature(t)
+		groups[sig] = append(groups[sig], t)
+	}
+	var out []Anomaly
+	sigs := make([]string, 0, len(groups))
+	for sig := range groups {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		group := groups[sig]
+		share := float64(len(group)) / float64(len(trees))
+		if share < opts.RarePathShare {
+			for _, t := range group {
+				out = append(out, Anomaly{
+					Kind: RarePath, Tree: t, Path: sig,
+					Detail: fmt.Sprintf("path share %.3f%% (%d of %d)", 100*share, len(group), len(trees)),
+				})
+			}
+			continue
+		}
+		// Latency outliers within the (common-path) group.
+		lats := make([]float64, len(group))
+		for i, t := range group {
+			lats[i] = t.Latency()
+		}
+		p25 := stats.Quantile(lats, 0.25)
+		p75 := stats.Quantile(lats, 0.75)
+		iqr := p75 - p25
+		threshold := p75 + opts.OutlierIQRs*iqr
+		if iqr <= 0 {
+			continue
+		}
+		for _, t := range group {
+			if l := t.Latency(); l > threshold {
+				out = append(out, Anomaly{
+					Kind: LatencyOutlier, Tree: t, Path: sig,
+					Detail: fmt.Sprintf("latency %.3fms above p75+%.0f*IQR = %.3fms",
+						1000*l, opts.OutlierIQRs, 1000*threshold),
+				})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Tree.Root.Span.Start < out[j].Tree.Root.Span.Start
+	})
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package dapper
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dcmodel/internal/trace"
+)
+
+// makeTrees builds n normal trees with a common path and controlled
+// latencies.
+func makeTrees(n int, r *rand.Rand) []*Tree {
+	trees := make([]*Tree, 0, n)
+	for i := 0; i < n; i++ {
+		req := trace.Request{
+			ID: int64(i), Class: "read", Arrival: float64(i),
+			Spans: []trace.Span{
+				{Subsystem: trace.Network, Start: float64(i), Duration: 0.001},
+				{Subsystem: trace.Storage, Start: float64(i) + 0.001, Duration: 0.008 + 0.002*r.Float64()},
+				{Subsystem: trace.Network, Start: float64(i) + 0.010, Duration: 0.001},
+			},
+		}
+		trees = append(trees, FromRequest(req))
+	}
+	return trees
+}
+
+func TestDetectRarePath(t *testing.T) {
+	r := rand.New(rand.NewSource(170))
+	trees := makeTrees(500, r)
+	// One request takes a deviant path (an extra retry phase).
+	odd := trace.Request{
+		ID: 9999, Class: "read", Arrival: 600,
+		Spans: []trace.Span{
+			{Subsystem: trace.Network, Start: 600, Duration: 0.001},
+			{Subsystem: trace.Storage, Start: 600.001, Duration: 0.008},
+			{Subsystem: trace.Storage, Start: 600.009, Duration: 0.008},
+			{Subsystem: trace.Network, Start: 600.017, Duration: 0.001},
+		},
+	}
+	trees = append(trees, FromRequest(odd))
+	anomalies, err := Detect(trees, DetectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rare []Anomaly
+	for _, a := range anomalies {
+		if a.Kind == RarePath {
+			rare = append(rare, a)
+		}
+	}
+	if len(rare) != 1 {
+		t.Fatalf("rare-path anomalies = %d, want 1", len(rare))
+	}
+	if rare[0].Tree.Root.Span.Trace != TraceID(odd.ID+1) {
+		t.Error("wrong tree flagged")
+	}
+	if !strings.Contains(rare[0].Detail, "path share") {
+		t.Errorf("detail = %q", rare[0].Detail)
+	}
+	if rare[0].Kind.String() != "rare-path" {
+		t.Errorf("kind string = %q", rare[0].Kind)
+	}
+}
+
+func TestDetectLatencyOutlier(t *testing.T) {
+	r := rand.New(rand.NewSource(171))
+	trees := makeTrees(500, r)
+	// Same path, pathological latency (a stuck disk).
+	slow := trace.Request{
+		ID: 8888, Class: "read", Arrival: 700,
+		Spans: []trace.Span{
+			{Subsystem: trace.Network, Start: 700, Duration: 0.001},
+			{Subsystem: trace.Storage, Start: 700.001, Duration: 0.5},
+			{Subsystem: trace.Network, Start: 700.501, Duration: 0.001},
+		},
+	}
+	trees = append(trees, FromRequest(slow))
+	anomalies, err := Detect(trees, DetectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outliers []Anomaly
+	for _, a := range anomalies {
+		if a.Kind == LatencyOutlier {
+			outliers = append(outliers, a)
+		}
+	}
+	if len(outliers) != 1 {
+		t.Fatalf("latency outliers = %d, want 1", len(outliers))
+	}
+	if outliers[0].Tree.Root.Span.Trace != TraceID(slow.ID+1) {
+		t.Error("wrong tree flagged")
+	}
+}
+
+func TestDetectCleanPopulation(t *testing.T) {
+	r := rand.New(rand.NewSource(172))
+	trees := makeTrees(300, r)
+	anomalies, err := Detect(trees, DetectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anomalies) != 0 {
+		t.Errorf("clean population flagged %d anomalies: %+v", len(anomalies), anomalies[0])
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(173))
+	if _, err := Detect(makeTrees(5, r), DetectorOptions{}); err == nil {
+		t.Error("tiny population should fail")
+	}
+}
+
+func TestPathSignature(t *testing.T) {
+	r := rand.New(rand.NewSource(174))
+	trees := makeTrees(2, r)
+	if PathSignature(trees[0]) != PathSignature(trees[1]) {
+		t.Error("identical structures should share a signature")
+	}
+	if !strings.Contains(PathSignature(trees[0]), "phase:storage") {
+		t.Errorf("signature = %q", PathSignature(trees[0]))
+	}
+}

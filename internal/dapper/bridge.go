@@ -1,0 +1,113 @@
+package dapper
+
+import (
+	"fmt"
+	"strings"
+
+	"dcmodel/internal/trace"
+)
+
+// Bridge between Dapper trace trees and the flat per-subsystem schema of
+// internal/trace. Converting a request into a tree models what an
+// instrumented application would report; converting back shows the paper's
+// criticism of tracing infrastructures in action: the tree preserves
+// control flow and timing but "lack[s] the ability to model and recreate
+// the characteristics of a workload apart from its network traffic" — the
+// subsystem features (sizes, LBNs, banks) survive only as annotations.
+
+const phasePrefix = "phase:"
+
+// FromRequest builds the trace tree an instrumented server would emit for
+// one request: a root span covering the whole request with one child span
+// per subsystem phase, annotated with the phase's features.
+func FromRequest(r trace.Request) *Tree {
+	root := &Node{Span: &Span{
+		Trace: TraceID(r.ID + 1), ID: 1,
+		Name: "request:" + r.Class, Server: r.Server,
+		Start: r.Arrival, End: r.Arrival + r.Latency(),
+	}}
+	tree := &Tree{Root: root, Count: 1}
+	for i, s := range r.Spans {
+		child := &Node{Span: &Span{
+			Trace: root.Span.Trace, ID: SpanID(i + 2), Parent: root.Span.ID,
+			Name: phasePrefix + s.Subsystem.String(), Server: r.Server,
+			Start: s.Start, End: s.End(),
+		}}
+		child.Span.Annotations = featureAnnotations(s)
+		root.Children = append(root.Children, child)
+		tree.Count++
+	}
+	return tree
+}
+
+func featureAnnotations(s trace.Span) []Annotation {
+	var out []Annotation
+	switch s.Subsystem {
+	case trace.Network:
+		out = append(out, Annotation{Time: s.Start, Message: fmt.Sprintf("bytes=%d", s.Bytes)})
+	case trace.CPU:
+		out = append(out, Annotation{Time: s.Start, Message: fmt.Sprintf("util=%.4f bytes=%d", s.Util, s.Bytes)})
+	case trace.Memory:
+		out = append(out, Annotation{Time: s.Start, Message: fmt.Sprintf("bank=%d bytes=%d op=%s", s.Bank, s.Bytes, s.Op)})
+	case trace.Storage:
+		out = append(out, Annotation{Time: s.Start, Message: fmt.Sprintf("lbn=%d bytes=%d op=%s", s.LBN, s.Bytes, s.Op)})
+	}
+	return out
+}
+
+// ToRequest reconstructs a flat request from a phase tree. Only control
+// flow and timing survive: subsystem features are zero, exactly the
+// information an in-depth tracing tool retains for modeling.
+func ToRequest(t *Tree) (trace.Request, error) {
+	if t.Root == nil || t.Root.Span == nil {
+		return trace.Request{}, fmt.Errorf("dapper: empty tree")
+	}
+	root := t.Root.Span
+	class := strings.TrimPrefix(root.Name, "request:")
+	req := trace.Request{
+		ID:      int64(root.Trace) - 1,
+		Class:   class,
+		Server:  root.Server,
+		Arrival: root.Start,
+	}
+	for _, c := range t.Root.Children {
+		name := c.Span.Name
+		if !strings.HasPrefix(name, phasePrefix) {
+			return trace.Request{}, fmt.Errorf("dapper: unexpected child span %q", name)
+		}
+		sub, err := trace.ParseSubsystem(strings.TrimPrefix(name, phasePrefix))
+		if err != nil {
+			return trace.Request{}, err
+		}
+		req.Spans = append(req.Spans, trace.Span{
+			Subsystem: sub,
+			Start:     c.Span.Start,
+			Duration:  c.Span.Duration(),
+		})
+	}
+	return req, nil
+}
+
+// TraceWorkload replays a whole workload trace through a sampling tracer,
+// the way a deployed Dapper samples production traffic, and returns the
+// tracer. sampleEvery keeps 1 of every N requests.
+func TraceWorkload(tr *trace.Trace, sampleEvery int) (*Tracer, error) {
+	t, err := NewTracer(sampleEvery)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range tr.Requests {
+		root, sampled := t.StartTrace("request:"+r.Class, r.Arrival, r.Server)
+		if sampled {
+			for _, s := range r.Spans {
+				child := root.Child(phasePrefix+s.Subsystem.String(), s.Start, r.Server)
+				for _, a := range featureAnnotations(s) {
+					child.Annotate(a.Time, a.Message)
+				}
+				child.Finish(s.End())
+			}
+		}
+		root.Finish(r.Arrival + r.Latency())
+	}
+	return t, nil
+}

@@ -1,0 +1,259 @@
+package dapper
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dcmodel/internal/gfs"
+	"dcmodel/internal/trace"
+	"dcmodel/internal/workload"
+)
+
+func TestTracerBasics(t *testing.T) {
+	tr, err := NewTracer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, sampled := tr.StartTrace("request:read", 0, 0)
+	if !sampled || !root.Sampled() {
+		t.Fatal("sampleEvery=1 should sample everything")
+	}
+	rpc := root.Child("rpc:chunkserver.Read", 0.001, 1)
+	rpc.Annotate(0.002, "bytes=65536")
+	disk := rpc.Child("phase:storage", 0.002, 1)
+	disk.Finish(0.009)
+	rpc.Finish(0.010)
+	root.Finish(0.011)
+
+	trees, err := tr.Trees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 1 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+	tree := trees[0]
+	if tree.Count != 3 || tree.Depth() != 3 {
+		t.Errorf("count=%d depth=%d, want 3/3", tree.Count, tree.Depth())
+	}
+	if tree.Latency() != 0.011 {
+		t.Errorf("latency = %g", tree.Latency())
+	}
+	rendered := tree.Render()
+	for _, want := range []string{"request:read", "rpc:chunkserver.Read", "phase:storage", "bytes=65536"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("render missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr, err := NewTracer(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept int
+	for i := 0; i < 100; i++ {
+		root, sampled := tr.StartTrace("r", float64(i), 0)
+		if sampled {
+			kept++
+			child := root.Child("c", float64(i), 0)
+			child.Finish(float64(i) + 0.5)
+		} else {
+			// Unsampled spans must be harmless no-ops.
+			c := root.Child("c", float64(i), 0)
+			c.Annotate(float64(i), "dropped")
+			c.Finish(float64(i))
+		}
+		root.Finish(float64(i) + 1)
+	}
+	if kept != 10 {
+		t.Errorf("kept %d of 100, want 10", kept)
+	}
+	started, sampled := tr.SamplingStats()
+	if started != 100 || sampled != 10 {
+		t.Errorf("stats = %d/%d", started, sampled)
+	}
+	trees, err := tr.Trees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 10 {
+		t.Errorf("trees = %d", len(trees))
+	}
+	// Trees are ordered by start time.
+	for i := 1; i < len(trees); i++ {
+		if trees[i].Root.Span.Start < trees[i-1].Root.Span.Start {
+			t.Fatal("trees not ordered by start")
+		}
+	}
+}
+
+func TestTracerErrors(t *testing.T) {
+	if _, err := NewTracer(0); err == nil {
+		t.Error("sampleEvery=0 should fail")
+	}
+	tr, err := NewTracer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := tr.StartTrace("r", 0, 0)
+	child := root.Child("c", 1, 0)
+	_ = child // left open
+	if _, err := tr.Trees(); err == nil {
+		t.Error("open span should fail assembly")
+	}
+	child.Finish(2)
+	root.Finish(3)
+	if _, err := tr.Trees(); err != nil {
+		t.Errorf("closed spans should assemble: %v", err)
+	}
+	// Finish before start clamps.
+	r2, _ := tr.StartTrace("r2", 10, 0)
+	r2.Finish(5)
+	trees, err := tr.Trees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tree := range trees {
+		if tree.Root.Span.Name == "r2" && tree.Root.Span.Duration() != 0 {
+			t.Error("finish-before-start should clamp to zero duration")
+		}
+	}
+}
+
+func sampleRequest() trace.Request {
+	return trace.Request{
+		ID: 7, Class: "read64K", Server: 2, Arrival: 1.0,
+		Spans: []trace.Span{
+			{Subsystem: trace.Network, Start: 1.0, Duration: 0.001, Bytes: 256},
+			{Subsystem: trace.CPU, Start: 1.001, Duration: 0.0001, Util: 0.02, Bytes: 256},
+			{Subsystem: trace.Memory, Start: 1.0011, Duration: 0.0001, Op: trace.OpRead, Bytes: 16384, Bank: 3},
+			{Subsystem: trace.Storage, Start: 1.0012, Duration: 0.006, Op: trace.OpRead, Bytes: 65536, LBN: 42},
+			{Subsystem: trace.CPU, Start: 1.0072, Duration: 0.0001, Util: 0.02, Bytes: 65536},
+			{Subsystem: trace.Network, Start: 1.0073, Duration: 0.0005, Bytes: 65536},
+		},
+	}
+}
+
+func TestFromRequestToRequestRoundTrip(t *testing.T) {
+	req := sampleRequest()
+	tree := FromRequest(req)
+	if tree.Count != 7 || tree.Depth() != 2 {
+		t.Errorf("tree count=%d depth=%d", tree.Count, tree.Depth())
+	}
+	back, err := ToRequest(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != req.ID || back.Class != req.Class || back.Server != req.Server {
+		t.Errorf("identity lost: %+v", back)
+	}
+	if len(back.Spans) != len(req.Spans) {
+		t.Fatalf("spans = %d", len(back.Spans))
+	}
+	for i, s := range back.Spans {
+		if s.Subsystem != req.Spans[i].Subsystem {
+			t.Errorf("span %d subsystem %v", i, s.Subsystem)
+		}
+		if math.Abs(s.Start-req.Spans[i].Start) > 1e-12 ||
+			math.Abs(s.Duration-req.Spans[i].Duration) > 1e-12 {
+			t.Errorf("span %d timing lost", i)
+		}
+		// The paper's criticism: features do not survive the tree.
+		if s.Bytes != 0 || s.LBN != 0 || s.Util != 0 {
+			t.Errorf("span %d unexpectedly carries features", i)
+		}
+	}
+	// Features survive only as annotations.
+	rendered := tree.Render()
+	if !strings.Contains(rendered, "lbn=42") || !strings.Contains(rendered, "bank=3") {
+		t.Errorf("annotations missing:\n%s", rendered)
+	}
+}
+
+func TestToRequestErrors(t *testing.T) {
+	if _, err := ToRequest(&Tree{}); err == nil {
+		t.Error("empty tree should fail")
+	}
+	bad := FromRequest(sampleRequest())
+	bad.Root.Children[0].Span.Name = "rpc:oops"
+	if _, err := ToRequest(bad); err == nil {
+		t.Error("non-phase child should fail")
+	}
+	bad2 := FromRequest(sampleRequest())
+	bad2.Root.Children[0].Span.Name = "phase:bogus"
+	if _, err := ToRequest(bad2); err == nil {
+		t.Error("unknown subsystem should fail")
+	}
+}
+
+func TestTraceWorkloadOnGFS(t *testing.T) {
+	c, err := gfs.NewCluster(gfs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Run(gfs.RunConfig{
+		Mix:      workload.Table2Mix(),
+		Arrivals: workload.Poisson{Rate: 20},
+		Requests: 1000,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer, err := TraceWorkload(tr, 100) // Dapper-style sparse sampling
+	if err != nil {
+		t.Fatal(err)
+	}
+	started, sampled := tracer.SamplingStats()
+	if started != 1000 || sampled != 10 {
+		t.Fatalf("sampling stats %d/%d", started, sampled)
+	}
+	trees, err := tracer.Trees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 10 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+	for _, tree := range trees {
+		if tree.Count != 7 {
+			t.Errorf("GFS tree has %d spans, want 7 (root + 6 phases)", tree.Count)
+		}
+		back, err := ToRequest(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back.Spans) != 6 {
+			t.Errorf("reconstructed %d spans", len(back.Spans))
+		}
+	}
+}
+
+func TestMultipleRootsRejected(t *testing.T) {
+	tr, err := NewTracer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := tr.StartTrace("a", 0, 0)
+	a.Finish(1)
+	// Forge a second root in the same trace.
+	tr.spans[a.span.Trace] = append(tr.spans[a.span.Trace], &Span{
+		Trace: a.span.Trace, ID: 999, Parent: 0, Name: "b",
+	})
+	if _, err := tr.Trees(); err == nil {
+		t.Error("multiple roots should fail")
+	}
+	// Unknown parent.
+	tr2, _ := NewTracer(1)
+	b, _ := tr2.StartTrace("a", 0, 0)
+	b.Finish(1)
+	tr2.spans[b.span.Trace] = append(tr2.spans[b.span.Trace], &Span{
+		Trace: b.span.Trace, ID: 1000, Parent: 555, Name: "orphan",
+	})
+	if _, err := tr2.Trees(); err == nil {
+		t.Error("orphan span should fail")
+	}
+}

@@ -1,0 +1,127 @@
+package gfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcmodel/internal/queueing"
+	"dcmodel/internal/stats"
+	"dcmodel/internal/trace"
+	"dcmodel/internal/workload"
+)
+
+func TestRunClosedBasics(t *testing.T) {
+	c := testCluster(t, DefaultConfig())
+	tr, err := c.RunClosed(ClosedRunConfig{
+		Mix: workload.Table2Mix(), Users: 4, MeanThink: 0.05, Requests: 1000,
+	}, rand.New(rand.NewSource(420)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("requests = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Closed loop: at most Users requests in flight at any instant
+	// (checked by sampling instants against the full request set).
+	for i := 0; i < 200; i++ {
+		r := tr.Requests[i*5]
+		inFlight := 0
+		at := r.Arrival + r.Latency()/2
+		for _, q := range tr.Requests {
+			if q.Arrival <= at && at < q.Arrival+q.Latency() {
+				inFlight++
+			}
+		}
+		if inFlight > 4 {
+			t.Fatalf("%d requests in flight at %g, population is 4", inFlight, at)
+		}
+	}
+}
+
+func TestRunClosedErrors(t *testing.T) {
+	c := testCluster(t, DefaultConfig())
+	r := rand.New(rand.NewSource(421))
+	cases := []ClosedRunConfig{
+		{Users: 1, Requests: 10},
+		{Mix: workload.Table2Mix(), Users: 0, Requests: 10},
+		{Mix: workload.Table2Mix(), Users: 1, MeanThink: -1, Requests: 10},
+		{Mix: workload.Table2Mix(), Users: 1, Requests: 0},
+	}
+	for i, rc := range cases {
+		if _, err := c.RunClosed(rc, r); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestRunClosedThroughputScalesWithUsers(t *testing.T) {
+	run := func(users int) float64 {
+		c := testCluster(t, DefaultConfig())
+		tr, err := c.RunClosed(ClosedRunConfig{
+			Mix: workload.Table2Mix(), Users: users, MeanThink: 0.05, Requests: 2000,
+		}, rand.New(rand.NewSource(422)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := tr.Requests[tr.Len()-1]
+		return float64(tr.Len()) / (last.Arrival + last.Latency())
+	}
+	x1, x4 := run(1), run(4)
+	if x4 <= 1.5*x1 {
+		t.Errorf("throughput with 4 users (%g) not clearly above 1 user (%g)", x4, x1)
+	}
+}
+
+func TestRunClosedMatchesMVA(t *testing.T) {
+	// Cross-validate the two substrates: the closed-loop GFS simulation
+	// against exact MVA, with per-subsystem demands measured from a
+	// single-user run.
+	const think = 0.05
+	measure := func() []queueing.MVAStation {
+		c := testCluster(t, DefaultConfig())
+		tr, err := c.RunClosed(ClosedRunConfig{
+			Mix: workload.Table2Mix(), Users: 1, MeanThink: think, Requests: 2000,
+		}, rand.New(rand.NewSource(423)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-request demand per subsystem.
+		demand := make(map[trace.Subsystem]float64)
+		for _, r := range tr.Requests {
+			for _, s := range r.Spans {
+				demand[s.Subsystem] += s.Duration
+			}
+		}
+		stations := []queueing.MVAStation{{Name: "think", Demand: think, Delay: true}}
+		for _, sub := range trace.Subsystems() {
+			stations = append(stations, queueing.MVAStation{
+				Name:   sub.String(),
+				Demand: demand[sub] / float64(tr.Len()),
+			})
+		}
+		return stations
+	}
+	stations := measure()
+	res, err := queueing.MVA(stations, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, users := range []int{2, 8} {
+		c := testCluster(t, DefaultConfig())
+		tr, err := c.RunClosed(ClosedRunConfig{
+			Mix: workload.Table2Mix(), Users: users, MeanThink: think, Requests: 4000,
+		}, rand.New(rand.NewSource(424)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := tr.Requests[tr.Len()-1]
+		measured := float64(tr.Len()) / (last.Arrival + last.Latency())
+		predicted := res[users-1].Throughput
+		if d := stats.RelError(predicted, measured); d > 0.2 {
+			t.Errorf("users=%d: measured X=%g vs MVA %g (dev %g)", users, measured, predicted, d)
+		}
+	}
+}

@@ -1,0 +1,573 @@
+// Package gfs simulates a GFS-like distributed file system: a master
+// holding the chunk namespace and placement, and chunkservers built on the
+// parametric hardware models of internal/hw. It stands in for the
+// proprietary traces the paper trains on: every executed request follows
+// exactly the structure of the paper's Figure 1 —
+//
+//	network in -> CPU (verify) -> memory (metadata/buffer) ->
+//	storage I/O -> CPU (aggregate) -> network out
+//
+// — and is emitted as a trace.Request whose spans carry the features the
+// four per-subsystem models train on.
+package gfs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dcmodel/internal/hw"
+	"dcmodel/internal/trace"
+	"dcmodel/internal/workload"
+)
+
+// DefaultChunkSize is the GFS chunk size (64 MiB).
+const DefaultChunkSize = 64 << 20
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Chunkservers is the number of chunkservers (>= 1).
+	Chunkservers int
+	// ChunkSize is the chunk size in bytes (default 64 MiB).
+	ChunkSize int64
+	// Files is the number of files in the namespace.
+	Files int
+	// FileSize is the per-file size in bytes.
+	FileSize int64
+	// Replication is the number of replicas per chunk (writes touch all
+	// replicas; reads go to the primary). Default 1; capped at the number
+	// of chunkservers.
+	Replication int
+	// PopularitySkew is the Zipf skew of file popularity (0 = uniform).
+	PopularitySkew float64
+	// SegmentBytes, when positive, quantizes request offsets to a grid of
+	// segments of this size, drawn by a Zipf popularity of skew
+	// SegmentSkew — hot/cold data within files (block-level reuse). Zero
+	// keeps offsets uniformly random.
+	SegmentBytes int64
+	// SegmentSkew is the Zipf skew of segment popularity (used when
+	// SegmentBytes > 0; 0.8 if unset).
+	SegmentSkew float64
+	// CacheHitProb is the probability a read is served from the
+	// chunkserver's page cache: the request skips the storage phase and
+	// the memory phase carries the full payload — branching control flow
+	// (two time-dependency queues per read class).
+	CacheHitProb float64
+	// NewServer builds the hardware model of one chunkserver. Defaults to
+	// DefaultServerHW.
+	NewServer func() *hw.Server
+}
+
+// DefaultServerHW returns the chunkserver hardware the validation
+// experiments use: 10 GbE network, a 200 MB/s disk, a 2.4 GHz core with
+// GFS-like per-byte processing cost, and DDR3-class memory. The constants
+// are chosen so that the paper's two validation requests (64 KB read, 4 MB
+// write) land in the paper's latency and CPU-utilization ballpark
+// (~11 ms / ~2 % and ~17 ms / ~5 %).
+func DefaultServerHW() *hw.Server {
+	s := hw.DefaultServer()
+	s.Net.Bandwidth = 1.25e9 // 10 GbE
+	s.Net.Latency = 100e-6
+	s.Disk.TransferRate = 400e6
+	s.CPU.Frequency = 2.4e9
+	s.CPU.BaseCycles = 200e3
+	s.CPU.CyclesPerByte = 0.4
+	return s
+}
+
+// DefaultConfig returns a small single-server cluster matching the paper's
+// preliminary single-chunkserver experiments.
+func DefaultConfig() Config {
+	return Config{
+		Chunkservers:   1,
+		ChunkSize:      DefaultChunkSize,
+		Files:          64,
+		FileSize:       256 << 20,
+		Replication:    1,
+		PopularitySkew: 0.8,
+	}
+}
+
+// chunk is one placed chunk: its primary/replica servers and the LBN
+// extent it occupies on each.
+type chunk struct {
+	servers []int   // replica servers; servers[0] is the primary
+	lbn     []int64 // starting LBN of the chunk's extent per replica
+}
+
+// Master is the GFS master: the file -> chunk -> (server, extent) mapping.
+type Master struct {
+	chunkSize int64
+	files     [][]int // file -> chunk ids
+	chunks    []chunk
+}
+
+// Lookup resolves (file, offset) to the chunk's primary server and the LBN
+// of the offset on that server.
+func (m *Master) Lookup(file int, offset int64) (server int, lbn int64, err error) {
+	if file < 0 || file >= len(m.files) {
+		return 0, 0, fmt.Errorf("gfs: file %d out of range", file)
+	}
+	ci := offset / m.chunkSize
+	if ci < 0 || int(ci) >= len(m.files[file]) {
+		return 0, 0, fmt.Errorf("gfs: offset %d beyond file %d", offset, file)
+	}
+	ch := m.chunks[m.files[file][ci]]
+	blockOff := (offset % m.chunkSize) / 4096
+	return ch.servers[0], ch.lbn[0] + blockOff, nil
+}
+
+// Replicas returns the replica servers of the chunk containing (file,
+// offset), including the primary first.
+func (m *Master) Replicas(file int, offset int64) ([]int, []int64, error) {
+	if file < 0 || file >= len(m.files) {
+		return nil, nil, fmt.Errorf("gfs: file %d out of range", file)
+	}
+	ci := offset / m.chunkSize
+	if ci < 0 || int(ci) >= len(m.files[file]) {
+		return nil, nil, fmt.Errorf("gfs: offset %d beyond file %d", offset, file)
+	}
+	ch := m.chunks[m.files[file][ci]]
+	blockOff := (offset % m.chunkSize) / 4096
+	lbns := make([]int64, len(ch.lbn))
+	for i, l := range ch.lbn {
+		lbns[i] = l + blockOff
+	}
+	return ch.servers, lbns, nil
+}
+
+// Chunks returns the number of placed chunks.
+func (m *Master) Chunks() int { return len(m.chunks) }
+
+// Cluster is a simulated GFS deployment.
+type Cluster struct {
+	cfg     Config
+	master  *Master
+	servers []*chunkserver
+	pop     popularity
+	segPop  popularity // nil when SegmentBytes == 0
+}
+
+type popularity interface {
+	Rand(r *rand.Rand) float64
+}
+
+type uniformPop struct{ n int }
+
+func (u uniformPop) Rand(r *rand.Rand) float64 { return float64(1 + r.Intn(u.n)) }
+
+// chunkserver holds one server's hardware and per-subsystem availability
+// times (flow-shop contention model: each subsystem serves requests FIFO).
+type chunkserver struct {
+	hw     *hw.Server
+	freeAt [4]float64 // indexed by trace.Subsystem
+	// nextAlloc is the next free LBN for chunk placement.
+	nextAlloc int64
+}
+
+// NewCluster validates cfg, places all chunks and returns the cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Chunkservers < 1 {
+		return nil, fmt.Errorf("gfs: need >= 1 chunkserver, got %d", cfg.Chunkservers)
+	}
+	if cfg.ChunkSize <= 0 {
+		return nil, fmt.Errorf("gfs: chunk size must be positive, got %d", cfg.ChunkSize)
+	}
+	if cfg.Files < 1 {
+		return nil, fmt.Errorf("gfs: need >= 1 file, got %d", cfg.Files)
+	}
+	if cfg.FileSize < cfg.ChunkSize {
+		return nil, fmt.Errorf("gfs: file size %d below chunk size %d", cfg.FileSize, cfg.ChunkSize)
+	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
+	if cfg.Replication > cfg.Chunkservers {
+		cfg.Replication = cfg.Chunkservers
+	}
+	if cfg.PopularitySkew < 0 {
+		return nil, fmt.Errorf("gfs: popularity skew must be non-negative, got %g", cfg.PopularitySkew)
+	}
+	newServer := cfg.NewServer
+	if newServer == nil {
+		newServer = DefaultServerHW
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.Chunkservers; i++ {
+		srv := newServer()
+		if err := srv.Validate(); err != nil {
+			return nil, fmt.Errorf("gfs: server %d: %w", i, err)
+		}
+		c.servers = append(c.servers, &chunkserver{hw: srv})
+	}
+	// Place chunks round-robin with contiguous per-server extents.
+	m := &Master{chunkSize: cfg.ChunkSize}
+	chunksPerFile := int((cfg.FileSize + cfg.ChunkSize - 1) / cfg.ChunkSize)
+	blocksPerChunk := cfg.ChunkSize / 4096
+	next := 0
+	for f := 0; f < cfg.Files; f++ {
+		var ids []int
+		for k := 0; k < chunksPerFile; k++ {
+			ch := chunk{}
+			for rep := 0; rep < cfg.Replication; rep++ {
+				s := (next + rep) % cfg.Chunkservers
+				srv := c.servers[s]
+				if srv.nextAlloc+blocksPerChunk > srv.hw.Disk.NumBlocks {
+					return nil, fmt.Errorf("gfs: server %d disk full after %d chunks", s, len(m.chunks))
+				}
+				ch.servers = append(ch.servers, s)
+				ch.lbn = append(ch.lbn, srv.nextAlloc)
+				srv.nextAlloc += blocksPerChunk
+			}
+			next++
+			ids = append(ids, len(m.chunks))
+			m.chunks = append(m.chunks, ch)
+		}
+		m.files = append(m.files, ids)
+	}
+	c.master = m
+	if cfg.PopularitySkew > 0 && cfg.Files > 1 {
+		c.pop = newZipfPop(cfg.PopularitySkew, cfg.Files)
+	} else {
+		c.pop = uniformPop{n: cfg.Files}
+	}
+	if cfg.SegmentBytes < 0 {
+		return nil, fmt.Errorf("gfs: segment size must be non-negative, got %d", cfg.SegmentBytes)
+	}
+	if cfg.CacheHitProb < 0 || cfg.CacheHitProb > 1 {
+		return nil, fmt.Errorf("gfs: cache hit probability %g outside [0,1]", cfg.CacheHitProb)
+	}
+	if cfg.SegmentBytes > 0 {
+		nsegs := int(cfg.FileSize / cfg.SegmentBytes)
+		if nsegs < 1 {
+			nsegs = 1
+		}
+		skew := cfg.SegmentSkew
+		if skew <= 0 {
+			skew = 0.8
+		}
+		c.segPop = newZipfPop(skew, nsegs)
+	}
+	return c, nil
+}
+
+// Master exposes the cluster's master (read-only use).
+func (c *Cluster) Master() *Master { return c.master }
+
+// Servers returns the number of chunkservers.
+func (c *Cluster) Servers() int { return len(c.servers) }
+
+// RunConfig drives a simulation run.
+type RunConfig struct {
+	// Mix is the request-class mix.
+	Mix *workload.Mix
+	// Arrivals generates request arrival times.
+	Arrivals workload.Arrivals
+	// Requests is the number of requests to execute.
+	Requests int
+}
+
+// classState tracks per-(class, server) sequential-I/O state.
+type classState struct {
+	lastLBN int64
+	lastEnd int64
+	valid   bool
+}
+
+// Run executes the workload and returns the resulting trace, sorted by
+// arrival. The cluster's hardware state persists across calls; use Reset
+// to rewind it.
+func (c *Cluster) Run(rc RunConfig, r *rand.Rand) (*trace.Trace, error) {
+	if rc.Mix == nil {
+		return nil, fmt.Errorf("gfs: run needs a request mix")
+	}
+	if rc.Arrivals == nil {
+		return nil, fmt.Errorf("gfs: run needs an arrival process")
+	}
+	if rc.Requests < 1 {
+		return nil, fmt.Errorf("gfs: run needs >= 1 request, got %d", rc.Requests)
+	}
+	arrivals := rc.Arrivals.Times(rc.Requests, r)
+	tr := &trace.Trace{Requests: make([]trace.Request, 0, rc.Requests)}
+	states := make(map[[2]int]*classState)
+	for i := 0; i < rc.Requests; i++ {
+		classIdx := rc.Mix.Pick(r)
+		class := rc.Mix.Classes[classIdx]
+		req, err := c.execute(int64(i), arrivals[i], classIdx, class, states, r)
+		if err != nil {
+			return nil, err
+		}
+		tr.Requests = append(tr.Requests, req)
+	}
+	return tr, nil
+}
+
+// execute runs one request through its primary chunkserver following the
+// Figure 1 phase structure.
+func (c *Cluster) execute(id int64, arrival float64, classIdx int, class workload.ClassSpec, states map[[2]int]*classState, r *rand.Rand) (trace.Request, error) {
+	size := int64(class.Size.Rand(r))
+	if size < 1 {
+		size = 1
+	}
+	// Choose the target file and offset.
+	file := int(c.pop.Rand(r)) - 1
+	if file < 0 {
+		file = 0
+	}
+	if file >= c.cfg.Files {
+		file = c.cfg.Files - 1
+	}
+	maxOff := c.cfg.FileSize - size
+	if maxOff < 0 {
+		maxOff = 0
+	}
+	var offset int64
+	if c.segPop != nil {
+		// Hot/cold segments: draw a popular segment, then align to it.
+		seg := int64(c.segPop.Rand(r)) - 1
+		offset = seg * c.cfg.SegmentBytes
+		if offset > maxOff {
+			offset = maxOff
+		}
+	} else {
+		offset = int64(r.Float64() * float64(maxOff))
+	}
+	servers, lbns, err := c.master.Replicas(file, offset)
+	if err != nil {
+		return trace.Request{}, err
+	}
+	primary := servers[0]
+	srv := c.servers[primary]
+	key := [2]int{classIdx, primary}
+	st := states[key]
+	if st == nil {
+		st = &classState{}
+		states[key] = st
+	}
+	// Spatial locality: continue sequentially from this class's previous
+	// I/O on this server with probability SequentialProb.
+	lbn := lbns[0]
+	if st.valid && r.Float64() < class.SequentialProb {
+		lbn = st.lastEnd
+		if lbn >= srv.hw.Disk.NumBlocks {
+			lbn = lbns[0]
+		}
+	}
+	blocks := (size + 4095) / 4096
+	st.lastLBN = lbn
+	st.lastEnd = lbn + blocks
+	st.valid = true
+
+	req := trace.Request{ID: id, Class: class.Name, Server: primary, Arrival: arrival}
+	now := arrival
+	var cpuBusy float64
+
+	// Page-cache hit: reads served from memory skip the storage phase.
+	hit := false
+	if class.Op == trace.OpRead && c.cfg.CacheHitProb > 0 {
+		hit = r.Float64() < c.cfg.CacheHitProb
+	}
+
+	// Phase 1: network in. Writes carry the payload in; reads carry a
+	// small header.
+	inBytes := int64(256)
+	if class.Op == trace.OpWrite {
+		inBytes = size
+	}
+	now = c.span(srv, &req, trace.Network, now, srv.hw.Net.TransferTime(inBytes), func(s *trace.Span) {
+		s.Bytes = inBytes
+	})
+
+	// Phase 2: CPU verify (header-scale processing). CPU spans record the
+	// bytes processed so a replay engine can recompute their durations.
+	d := srv.hw.CPU.Time(256)
+	cpuBusy += d
+	now = c.span(srv, &req, trace.CPU, now, d, func(s *trace.Span) {
+		s.Bytes = 256
+	})
+
+	// Phase 3: memory metadata/buffer access. Access size scales with the
+	// request (buffer descriptors, checksum pages), capped at 256 KiB;
+	// a cache hit serves the whole payload from memory.
+	memBytes := size / 4
+	if memBytes < 4096 {
+		memBytes = 4096
+	}
+	if memBytes > 256<<10 {
+		memBytes = 256 << 10
+	}
+	bank := int(lbn) % srv.hw.Mem.Banks
+	row := (lbn * 4096) / srv.hw.Mem.RowBytes
+	if hit {
+		memBytes = size
+		// Cached data has no accompanying storage span; use the same row
+		// convention the replay engine applies to storage-less requests.
+		row = 0
+	}
+	d = srv.hw.Mem.Access(bank, row, memBytes)
+	memOp := class.Op
+	now = c.span(srv, &req, trace.Memory, now, d, func(s *trace.Span) {
+		s.Op = memOp
+		s.Bytes = memBytes
+		s.Bank = bank
+	})
+
+	// Phase 4: storage I/O on the primary (skipped on a cache hit).
+	if !hit {
+		d = srv.hw.Disk.Access(lbn, size)
+		now = c.span(srv, &req, trace.Storage, now, d, func(s *trace.Span) {
+			s.Op = class.Op
+			s.Bytes = size
+			s.LBN = lbn
+		})
+	}
+	// Writes propagate to replicas: their disks and networks are kept
+	// busy, delaying later requests there, but the client is acknowledged
+	// after the slowest replica write (series pipeline).
+	if class.Op == trace.OpWrite {
+		for rep := 1; rep < len(servers); rep++ {
+			rsrv := c.servers[servers[rep]]
+			net := rsrv.hw.Net.TransferTime(size)
+			disk := rsrv.hw.Disk.Access(lbns[rep], size)
+			start := maxf(now, rsrv.freeAt[trace.Network])
+			rsrv.freeAt[trace.Network] = start + net
+			dstart := maxf(start+net, rsrv.freeAt[trace.Storage])
+			rsrv.freeAt[trace.Storage] = dstart + disk
+			if end := dstart + disk; end > now {
+				now = end
+			}
+		}
+	}
+
+	// Phase 5: CPU aggregate (checksum + copy of the payload).
+	d = srv.hw.CPU.Time(size)
+	cpuBusy += d
+	now = c.span(srv, &req, trace.CPU, now, d, func(s *trace.Span) {
+		s.Bytes = size
+	})
+
+	// Phase 6: network out. Reads return the payload; writes return an
+	// ack.
+	outBytes := int64(256)
+	if class.Op == trace.OpRead {
+		outBytes = size
+	}
+	now = c.span(srv, &req, trace.Network, now, srv.hw.Net.TransferTime(outBytes), func(s *trace.Span) {
+		s.Bytes = outBytes
+	})
+
+	// Per-request CPU utilization: busy CPU time over the request's
+	// residence time, the quantity the paper's processor model captures.
+	latency := now - arrival
+	util := 0.0
+	if latency > 0 {
+		util = cpuBusy / latency
+	}
+	if util > 1 {
+		util = 1
+	}
+	for i := range req.Spans {
+		if req.Spans[i].Subsystem == trace.CPU {
+			req.Spans[i].Util = util
+		}
+	}
+	return req, nil
+}
+
+// span appends a span in the given subsystem, applying FIFO contention on
+// that subsystem (flow-shop model), and returns the span's end time.
+func (c *Cluster) span(srv *chunkserver, req *trace.Request, sub trace.Subsystem, ready, dur float64, fill func(*trace.Span)) float64 {
+	start := maxf(ready, srv.freeAt[sub])
+	s := trace.Span{Subsystem: sub, Start: start, Duration: dur}
+	if fill != nil {
+		fill(&s)
+	}
+	req.Spans = append(req.Spans, s)
+	srv.freeAt[sub] = start + dur
+	return start + dur
+}
+
+// ClosedRunConfig drives a closed-loop (interactive) simulation: a fixed
+// population of users each issue a request, wait for its completion, think
+// for an exponential time, and repeat — the workload shape of the
+// closed-queueing-network analyses (MVA) in the in-depth literature.
+type ClosedRunConfig struct {
+	// Mix is the request-class mix.
+	Mix *workload.Mix
+	// Users is the closed population size (>= 1).
+	Users int
+	// MeanThink is the mean exponential think time between a user's
+	// completion and next request (0 = no think time).
+	MeanThink float64
+	// Requests is the total number of requests to complete.
+	Requests int
+}
+
+// RunClosed executes the closed-loop workload and returns the trace. The
+// trace's Arrival fields are the instants users issued their requests.
+func (c *Cluster) RunClosed(rc ClosedRunConfig, r *rand.Rand) (*trace.Trace, error) {
+	if rc.Mix == nil {
+		return nil, fmt.Errorf("gfs: closed run needs a request mix")
+	}
+	if rc.Users < 1 {
+		return nil, fmt.Errorf("gfs: closed run needs >= 1 user, got %d", rc.Users)
+	}
+	if rc.MeanThink < 0 {
+		return nil, fmt.Errorf("gfs: negative think time %g", rc.MeanThink)
+	}
+	if rc.Requests < 1 {
+		return nil, fmt.Errorf("gfs: closed run needs >= 1 request, got %d", rc.Requests)
+	}
+	think := func() float64 {
+		if rc.MeanThink == 0 {
+			return 0
+		}
+		return r.ExpFloat64() * rc.MeanThink
+	}
+	// Users ready to issue, as a min-heap over ready time (implemented as
+	// a sorted insertion into a small slice: populations are modest).
+	ready := make([]float64, rc.Users)
+	for i := range ready {
+		ready[i] = think()
+	}
+	tr := &trace.Trace{Requests: make([]trace.Request, 0, rc.Requests)}
+	states := make(map[[2]int]*classState)
+	for i := 0; i < rc.Requests; i++ {
+		// Pop the earliest-ready user.
+		minIdx := 0
+		for u := 1; u < len(ready); u++ {
+			if ready[u] < ready[minIdx] {
+				minIdx = u
+			}
+		}
+		issue := ready[minIdx]
+		classIdx := rc.Mix.Pick(r)
+		class := rc.Mix.Classes[classIdx]
+		req, err := c.execute(int64(i), issue, classIdx, class, states, r)
+		if err != nil {
+			return nil, err
+		}
+		tr.Requests = append(tr.Requests, req)
+		ready[minIdx] = issue + req.Latency() + think()
+	}
+	return tr, nil
+}
+
+// Reset rewinds all chunkserver hardware and availability state.
+func (c *Cluster) Reset() {
+	for _, s := range c.servers {
+		s.hw.Reset()
+		s.freeAt = [4]float64{}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// newZipfPop adapts stats.Zipf as a popularity source.
+func newZipfPop(skew float64, n int) popularity {
+	return zipfPop{z: newZipf(skew, n)}
+}

@@ -1,0 +1,16 @@
+package gfs
+
+import (
+	"math/rand"
+
+	"dcmodel/internal/stats"
+)
+
+// zipfPop draws file ranks from a Zipf popularity distribution.
+type zipfPop struct {
+	z *stats.Zipf
+}
+
+func (p zipfPop) Rand(r *rand.Rand) float64 { return p.z.Rand(r) }
+
+func newZipf(skew float64, n int) *stats.Zipf { return stats.NewZipf(skew, n) }

@@ -1,0 +1,219 @@
+// Package gwp is a Google-Wide-Profiling-style continuous profiler for
+// workload traces: where Dapper follows single requests in depth, GWP
+// samples across machines to surface aggregate trends — "high-level events
+// like job arrival rate, and task sizes and low-level system information
+// like CPU utilization" — with adaptive sampling to bound collection
+// overhead while "ensuring no critical information loss".
+//
+// Collect performs whole-machine sampling (per-subsystem busy fractions at
+// periodic instants) and per-process collection (per-request-class
+// profiles), adapting the sampling period when the configured sample
+// budget would be exceeded.
+package gwp
+
+import (
+	"fmt"
+	"sort"
+
+	"dcmodel/internal/stats"
+	"dcmodel/internal/trace"
+)
+
+// Options configures collection.
+type Options struct {
+	// Period is the base sampling period in seconds. Default 0.01.
+	Period float64
+	// MaxSamples bounds the total sampling instants; when the trace
+	// duration would produce more, the period is stretched (adaptive
+	// sampling). Default 10000.
+	MaxSamples int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Period <= 0 {
+		o.Period = 0.01
+	}
+	if o.MaxSamples <= 0 {
+		o.MaxSamples = 10000
+	}
+	return o
+}
+
+// MachineProfile is the whole-machine sample aggregate of one server.
+type MachineProfile struct {
+	Server int
+	// Busy is the sampled busy fraction per subsystem.
+	Busy map[trace.Subsystem]float64
+	// Samples is the number of sampling instants.
+	Samples int
+}
+
+// ClassProfile is the per-process (per request class) aggregate.
+type ClassProfile struct {
+	Class string
+	// Requests is the class's request count.
+	Requests int
+	// MeanBytes is the mean storage I/O size.
+	MeanBytes float64
+	// MeanLatency is the mean end-to-end latency.
+	MeanLatency float64
+	// MeanUtil is the mean per-request CPU utilization.
+	MeanUtil float64
+}
+
+// Profile is the collected result.
+type Profile struct {
+	// Duration is the profiled time span.
+	Duration float64
+	// EffectivePeriod is the (possibly adapted) sampling period used.
+	EffectivePeriod float64
+	// Adapted reports whether the period was stretched to fit MaxSamples.
+	Adapted bool
+	// Samples is the number of sampling instants.
+	Samples int
+	// Machines holds one profile per server, ordered by server id.
+	Machines []MachineProfile
+	// Classes holds per-class profiles, hottest (most requests) first.
+	Classes []ClassProfile
+	// ArrivalRate is the measured request arrival rate.
+	ArrivalRate float64
+}
+
+// interval is a closed-open busy interval.
+type interval struct{ start, end float64 }
+
+// Collect profiles the trace.
+func Collect(tr *trace.Trace, opts Options) (*Profile, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, trace.ErrEmptyTrace
+	}
+	opts = opts.withDefaults()
+	// Gather per-(server, subsystem) busy intervals and the duration.
+	var duration float64
+	busy := make(map[int]map[trace.Subsystem][]interval)
+	maxServer := 0
+	for _, r := range tr.Requests {
+		if r.Server > maxServer {
+			maxServer = r.Server
+		}
+		if end := r.Arrival + r.Latency(); end > duration {
+			duration = end
+		}
+		m := busy[r.Server]
+		if m == nil {
+			m = make(map[trace.Subsystem][]interval)
+			busy[r.Server] = m
+		}
+		for _, s := range r.Spans {
+			m[s.Subsystem] = append(m[s.Subsystem], interval{s.Start, s.End()})
+		}
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("gwp: trace has zero duration")
+	}
+	period := opts.Period
+	adapted := false
+	if int(duration/period) > opts.MaxSamples {
+		period = duration / float64(opts.MaxSamples)
+		adapted = true
+	}
+	nSamples := int(duration / period)
+	if nSamples < 1 {
+		nSamples = 1
+	}
+	p := &Profile{
+		Duration:        duration,
+		EffectivePeriod: period,
+		Adapted:         adapted,
+		Samples:         nSamples,
+	}
+	// Whole-machine sampling.
+	for server := 0; server <= maxServer; server++ {
+		mp := MachineProfile{Server: server, Busy: make(map[trace.Subsystem]float64), Samples: nSamples}
+		for _, sub := range trace.Subsystems() {
+			ivs := merged(busy[server][sub])
+			var hits int
+			idx := 0
+			for k := 0; k < nSamples; k++ {
+				t := (float64(k) + 0.5) * period
+				for idx < len(ivs) && ivs[idx].end <= t {
+					idx++
+				}
+				if idx < len(ivs) && ivs[idx].start <= t {
+					hits++
+				}
+			}
+			mp.Busy[sub] = float64(hits) / float64(nSamples)
+		}
+		p.Machines = append(p.Machines, mp)
+	}
+	// Per-process collection.
+	for _, class := range tr.Classes() {
+		sub := tr.ByClass(class)
+		cp := ClassProfile{
+			Class:       class,
+			Requests:    sub.Len(),
+			MeanBytes:   stats.Mean(sub.SpanFeature(trace.Storage, func(s trace.Span) float64 { return float64(s.Bytes) })),
+			MeanLatency: stats.Mean(sub.Latencies()),
+			MeanUtil:    stats.Mean(sub.SpanFeature(trace.CPU, func(s trace.Span) float64 { return s.Util })),
+		}
+		p.Classes = append(p.Classes, cp)
+	}
+	sort.SliceStable(p.Classes, func(i, j int) bool { return p.Classes[i].Requests > p.Classes[j].Requests })
+	if gaps := tr.Interarrivals(); len(gaps) > 0 {
+		if m := stats.Mean(gaps); m > 0 {
+			p.ArrivalRate = 1 / m
+		}
+	}
+	return p, nil
+}
+
+// merged sorts and merges overlapping intervals.
+func merged(ivs []interval) []interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sorted := append([]interval(nil), ivs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].start < sorted[j].start })
+	out := sorted[:1]
+	for _, iv := range sorted[1:] {
+		last := &out[len(out)-1]
+		if iv.start <= last.end {
+			if iv.end > last.end {
+				last.end = iv.end
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// ExactBusyFraction computes the true busy fraction of one server's
+// subsystem from the trace intervals — the ground truth the sampled
+// estimate converges to.
+func ExactBusyFraction(tr *trace.Trace, server int, sub trace.Subsystem) float64 {
+	var ivs []interval
+	var duration float64
+	for _, r := range tr.Requests {
+		if end := r.Arrival + r.Latency(); end > duration {
+			duration = end
+		}
+		if r.Server != server {
+			continue
+		}
+		for _, s := range r.Spans {
+			if s.Subsystem == sub {
+				ivs = append(ivs, interval{s.Start, s.End()})
+			}
+		}
+	}
+	if duration <= 0 {
+		return 0
+	}
+	var busyTime float64
+	for _, iv := range merged(ivs) {
+		busyTime += iv.end - iv.start
+	}
+	return busyTime / duration
+}

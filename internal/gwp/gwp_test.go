@@ -1,0 +1,154 @@
+package gwp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dcmodel/internal/gfs"
+	"dcmodel/internal/trace"
+	"dcmodel/internal/workload"
+)
+
+func gfsTrace(t *testing.T, servers, n int, seed int64) *trace.Trace {
+	t.Helper()
+	cfg := gfs.DefaultConfig()
+	cfg.Chunkservers = servers
+	c, err := gfs.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Run(gfs.RunConfig{
+		Mix:      workload.Table2Mix(),
+		Arrivals: workload.Poisson{Rate: 30},
+		Requests: n,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCollectBasics(t *testing.T) {
+	tr := gfsTrace(t, 1, 2000, 1000)
+	p, err := Collect(tr, Options{Period: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Machines) != 1 {
+		t.Fatalf("machines = %d", len(p.Machines))
+	}
+	if len(p.Classes) != 2 {
+		t.Fatalf("classes = %d", len(p.Classes))
+	}
+	if p.ArrivalRate < 25 || p.ArrivalRate > 35 {
+		t.Errorf("arrival rate = %g, want ~30", p.ArrivalRate)
+	}
+	// Classes sorted by request count, hottest first.
+	if p.Classes[0].Requests < p.Classes[1].Requests {
+		t.Error("classes not sorted by heat")
+	}
+	for _, c := range p.Classes {
+		if c.MeanLatency <= 0 || c.MeanBytes <= 0 || c.MeanUtil <= 0 {
+			t.Errorf("class %s has empty aggregates: %+v", c.Class, c)
+		}
+	}
+}
+
+func TestSampledBusyMatchesExact(t *testing.T) {
+	// GWP's validity criterion: the sampled busy fraction converges to
+	// the true busy-time fraction.
+	tr := gfsTrace(t, 1, 3000, 1001)
+	p, err := Collect(tr, Options{Period: 0.0005, MaxSamples: 1000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range trace.Subsystems() {
+		exact := ExactBusyFraction(tr, 0, sub)
+		sampled := p.Machines[0].Busy[sub]
+		if math.Abs(exact-sampled) > 0.02 {
+			t.Errorf("%s: sampled %g vs exact %g", sub, sampled, exact)
+		}
+	}
+	// Storage should be the busiest subsystem on this workload.
+	busy := p.Machines[0].Busy
+	if busy[trace.Storage] < busy[trace.CPU] || busy[trace.Storage] < busy[trace.Memory] {
+		t.Errorf("storage not dominant: %v", busy)
+	}
+}
+
+func TestAdaptiveSampling(t *testing.T) {
+	tr := gfsTrace(t, 1, 2000, 1002)
+	p, err := Collect(tr, Options{Period: 1e-7, MaxSamples: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Adapted {
+		t.Error("period should have been adapted")
+	}
+	if p.Samples > 500 {
+		t.Errorf("samples = %d exceeds budget", p.Samples)
+	}
+	if p.EffectivePeriod <= 1e-7 {
+		t.Error("effective period should be stretched")
+	}
+	// Even adapted sampling should keep the busy estimate in the right
+	// ballpark ("no critical information loss").
+	exact := ExactBusyFraction(tr, 0, trace.Storage)
+	if math.Abs(p.Machines[0].Busy[trace.Storage]-exact) > 0.1 {
+		t.Errorf("adapted estimate too far off: %g vs %g", p.Machines[0].Busy[trace.Storage], exact)
+	}
+}
+
+func TestCollectMultiServer(t *testing.T) {
+	tr := gfsTrace(t, 4, 3000, 1003)
+	p, err := Collect(tr, Options{Period: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Machines) != 4 {
+		t.Fatalf("machines = %d", len(p.Machines))
+	}
+	for i, m := range p.Machines {
+		if m.Server != i {
+			t.Errorf("machine order wrong at %d", i)
+		}
+		if m.Busy[trace.Storage] <= 0 {
+			t.Errorf("server %d has no storage activity", i)
+		}
+	}
+}
+
+func TestCollectErrors(t *testing.T) {
+	if _, err := Collect(nil, Options{}); err == nil {
+		t.Error("nil trace should fail")
+	}
+	if _, err := Collect(&trace.Trace{}, Options{}); err == nil {
+		t.Error("empty trace should fail")
+	}
+	zero := &trace.Trace{Requests: []trace.Request{{ID: 1}}}
+	if _, err := Collect(zero, Options{}); err == nil {
+		t.Error("zero-duration trace should fail")
+	}
+}
+
+func TestExactBusyFractionEdges(t *testing.T) {
+	if got := ExactBusyFraction(&trace.Trace{}, 0, trace.CPU); got != 0 {
+		t.Errorf("empty exact fraction = %g", got)
+	}
+	// Overlapping spans merge: two half-overlapping 1s spans over a 2s
+	// trace = 1.5s busy / 2s.
+	tr := &trace.Trace{Requests: []trace.Request{
+		{ID: 1, Arrival: 0, Spans: []trace.Span{
+			{Subsystem: trace.CPU, Start: 0, Duration: 1},
+			{Subsystem: trace.Network, Start: 1.9, Duration: 0.1},
+		}},
+		{ID: 2, Arrival: 0.5, Spans: []trace.Span{
+			{Subsystem: trace.CPU, Start: 0.5, Duration: 1},
+		}},
+	}}
+	got := ExactBusyFraction(tr, 0, trace.CPU)
+	if math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("merged busy fraction = %g, want 0.75", got)
+	}
+}

@@ -1,0 +1,75 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: disk access times are always positive for positive transfers,
+// and a sequential re-access is never slower than a far random access of
+// the same size.
+func TestDiskAccessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := DefaultDisk()
+		for i := 0; i < 50; i++ {
+			lbn := r.Int63n(d.NumBlocks - 1024)
+			bytes := int64(1 + r.Intn(1<<20))
+			if d.Access(lbn, bytes) <= 0 {
+				return false
+			}
+			if d.Head() < 0 || d.Head() >= d.NumBlocks {
+				return false
+			}
+			// Sequential continuation vs far seek.
+			seq := d.Access(d.Head(), 4096)
+			far := d.Access((d.Head()+d.NumBlocks/2)%d.NumBlocks, 4096)
+			if seq > far {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: memory access times are positive, and a repeated access to
+// the same (bank, row) is never slower than the first.
+func TestMemoryAccessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := DefaultMemory()
+		for i := 0; i < 100; i++ {
+			bank := r.Intn(m.Banks)
+			row := r.Int63n(1 << 20)
+			bytes := int64(1 + r.Intn(1<<16))
+			first := m.Access(bank, row, bytes)
+			again := m.Access(bank, row, bytes)
+			if first <= 0 || again <= 0 || again > first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CPU and network costs are monotone in bytes.
+func TestCostMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := DefaultCPU()
+		n := DefaultNetwork()
+		a := r.Int63n(1 << 24)
+		b := a + r.Int63n(1<<24) + 1
+		return c.Time(a) <= c.Time(b) && n.TransferTime(a) <= n.TransferTime(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package inbreadth
+
+import (
+	"fmt"
+	"math"
+
+	"dcmodel/internal/hw"
+)
+
+// Gulati-style I/O load modeling: characterize a storage workload by its
+// I/O features — "seek distance (i.e. randomness), I/O sizes, read:write
+// ratio, and number of outstanding I/Os" — and predict the expected
+// latency to service I/O requests on a given device. Useful for VM
+// migration and consolidation decisions without replaying the workload.
+
+// IOFeatures is the Gulati-style characterization of an I/O stream.
+type IOFeatures struct {
+	// Count is the number of I/Os characterized.
+	Count int
+	// MeanBytes is the mean I/O size.
+	MeanBytes float64
+	// ReadRatio is the fraction of reads.
+	ReadRatio float64
+	// SeqFraction is the fraction of I/Os that continue exactly at the
+	// previous I/O's end (the randomness complement).
+	SeqFraction float64
+	// MeanSeekBlocks is the mean absolute LBN distance of non-sequential
+	// I/Os.
+	MeanSeekBlocks float64
+	// MeanSqrtSeekFrac is E[sqrt(distance/NumBlocks)] of non-sequential
+	// I/Os for a given address-space size; stored as E[sqrt(distance)] and
+	// normalized at prediction time.
+	meanSqrtSeek float64
+}
+
+// CharacterizeIO extracts IOFeatures from an I/O stream in issue order.
+func CharacterizeIO(ios []IOEvent) (IOFeatures, error) {
+	if len(ios) == 0 {
+		return IOFeatures{}, fmt.Errorf("inbreadth: empty I/O stream")
+	}
+	f := IOFeatures{Count: len(ios)}
+	var prevEnd int64 = -1
+	var seq, reads int
+	var seekSum, sqrtSum float64
+	var seeks int
+	for _, io := range ios {
+		f.MeanBytes += float64(io.Bytes)
+		if io.Op.String() == "read" {
+			reads++
+		}
+		if prevEnd >= 0 {
+			if io.LBN == prevEnd {
+				seq++
+			} else {
+				d := float64(io.LBN - prevEnd)
+				if d < 0 {
+					d = -d
+				}
+				seekSum += d
+				sqrtSum += math.Sqrt(d)
+				seeks++
+			}
+		}
+		prevEnd = io.LBN + (io.Bytes+4095)/4096
+	}
+	f.MeanBytes /= float64(len(ios))
+	f.ReadRatio = float64(reads) / float64(len(ios))
+	if len(ios) > 1 {
+		f.SeqFraction = float64(seq) / float64(len(ios)-1)
+	}
+	if seeks > 0 {
+		f.MeanSeekBlocks = seekSum / float64(seeks)
+		f.meanSqrtSeek = sqrtSum / float64(seeks)
+	}
+	return f, nil
+}
+
+// PredictMeanLatency predicts the mean per-I/O service time of the
+// characterized workload on the given disk, without replaying it:
+// sequential I/Os pay transfer only; random I/Os add the expected seek
+// (from the device's seek curve at the observed seek-distance profile)
+// plus rotational latency.
+func (f IOFeatures) PredictMeanLatency(d *hw.Disk) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	transfer := f.MeanBytes / d.TransferRate
+	// Seek curve: MinSeek + (MaxSeek-MinSeek) * sqrt(dist/NumBlocks);
+	// E[seek] uses E[sqrt(dist)] / sqrt(NumBlocks).
+	expSeek := d.MinSeek + (d.MaxSeek-d.MinSeek)*f.meanSqrtSeek/math.Sqrt(float64(d.NumBlocks))
+	random := expSeek + d.RotationalLatency + transfer
+	sequential := transfer
+	return f.SeqFraction*sequential + (1-f.SeqFraction)*random, nil
+}
+
+// MeasureMeanLatency replays the I/O stream on a fresh copy of the disk
+// model and returns the measured mean service time — the ground truth the
+// prediction is validated against.
+func MeasureMeanLatency(ios []IOEvent, d *hw.Disk) (float64, error) {
+	if len(ios) == 0 {
+		return 0, fmt.Errorf("inbreadth: empty I/O stream")
+	}
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	disk := *d // copy: head state stays local
+	disk.Reset()
+	var total float64
+	for _, io := range ios {
+		total += disk.Access(io.LBN, io.Bytes)
+	}
+	return total / float64(len(ios)), nil
+}

@@ -1,0 +1,157 @@
+package inbreadth
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcmodel/internal/hw"
+	"dcmodel/internal/stats"
+	"dcmodel/internal/trace"
+)
+
+func TestCharacterizeIO(t *testing.T) {
+	ios := []IOEvent{
+		{LBN: 0, Bytes: 4096, Op: trace.OpRead},
+		{LBN: 1, Bytes: 4096, Op: trace.OpRead},     // sequential
+		{LBN: 1000, Bytes: 8192, Op: trace.OpWrite}, // seek 998
+	}
+	f, err := CharacterizeIO(ios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Count != 3 {
+		t.Errorf("count = %d", f.Count)
+	}
+	if f.ReadRatio < 0.6 || f.ReadRatio > 0.7 {
+		t.Errorf("read ratio = %g, want 2/3", f.ReadRatio)
+	}
+	if f.SeqFraction != 0.5 {
+		t.Errorf("seq fraction = %g, want 0.5", f.SeqFraction)
+	}
+	if f.MeanSeekBlocks != 998 {
+		t.Errorf("mean seek = %g, want 998", f.MeanSeekBlocks)
+	}
+	if _, err := CharacterizeIO(nil); err == nil {
+		t.Error("empty stream should fail")
+	}
+}
+
+func randomIOs(n int, seqProb float64, r *rand.Rand, disk *hw.Disk) []IOEvent {
+	out := make([]IOEvent, n)
+	var prevEnd int64
+	for i := range out {
+		var lbn int64
+		if i > 0 && r.Float64() < seqProb {
+			lbn = prevEnd
+		} else {
+			lbn = r.Int63n(disk.NumBlocks - 1024)
+		}
+		bytes := int64(4096 * (1 + r.Intn(16)))
+		out[i] = IOEvent{LBN: lbn, Bytes: bytes, Op: trace.OpRead}
+		prevEnd = lbn + (bytes+4095)/4096
+	}
+	return out
+}
+
+func TestPredictMatchesMeasured(t *testing.T) {
+	// The Gulati-style analytic prediction must track the device
+	// simulation across the randomness spectrum.
+	disk := hw.DefaultDisk()
+	r := rand.New(rand.NewSource(1300))
+	for _, seq := range []float64{0, 0.3, 0.7, 0.95} {
+		ios := randomIOs(5000, seq, r, disk)
+		f, err := CharacterizeIO(ios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := f.PredictMeanLatency(disk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := MeasureMeanLatency(ios, disk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := stats.RelError(meas, pred); d > 0.1 {
+			t.Errorf("seq=%.2f: predicted %g vs measured %g (dev %g)", seq, pred, meas, d)
+		}
+	}
+}
+
+func TestPredictOrdersWorkloads(t *testing.T) {
+	// Random workloads must predict slower than sequential ones — the
+	// consolidation-decision ordering Gulati et al. need.
+	disk := hw.DefaultDisk()
+	r := rand.New(rand.NewSource(1301))
+	seqIOs := randomIOs(2000, 0.95, r, disk)
+	rndIOs := randomIOs(2000, 0, r, disk)
+	fs, err := CharacterizeIO(seqIOs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := CharacterizeIO(rndIOs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := fs.PredictMeanLatency(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := fr.PredictMeanLatency(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps >= pr {
+		t.Errorf("sequential prediction %g not below random %g", ps, pr)
+	}
+}
+
+func TestPredictFromGFSModelStream(t *testing.T) {
+	// End-to-end: characterize the synthetic stream of a trained storage
+	// model and predict latency on a different disk — the model-driven
+	// device-evaluation workflow.
+	tr := gfsTrace(t, 3000, 1302)
+	m, err := Train(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1303))
+	synth := m.GenerateIOStream(3000, r)
+	orig := IOStreamFromTrace(tr)
+	slowDisk := hw.DefaultDisk()
+	slowDisk.TransferRate = 60e6
+	fo, err := CharacterizeIO(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsyn, err := CharacterizeIO(synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := fo.PredictMeanLatency(slowDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psyn, err := fsyn.PredictMeanLatency(slowDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := stats.RelError(po, psyn); d > 0.1 {
+		t.Errorf("synthetic prediction deviates %g (%g vs %g)", d, psyn, po)
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	if _, err := MeasureMeanLatency(nil, hw.DefaultDisk()); err == nil {
+		t.Error("empty stream should fail")
+	}
+	bad := hw.DefaultDisk()
+	bad.TransferRate = 0
+	if _, err := MeasureMeanLatency([]IOEvent{{LBN: 1, Bytes: 4096}}, bad); err == nil {
+		t.Error("invalid disk should fail")
+	}
+	f := IOFeatures{}
+	if _, err := f.PredictMeanLatency(bad); err == nil {
+		t.Error("invalid disk should fail prediction")
+	}
+}

@@ -1,0 +1,227 @@
+// Package indepth implements the in-depth modeling approach the paper
+// surveys: a request-flow model in the style of Liu et al.'s 3-tier
+// queueing model and Meisner et al.'s SQS. It traces each request through
+// the system — fitting the arrival process and per-phase service-time
+// distributions — and can therefore reproduce control flow and latency on
+// the platform it was trained on.
+//
+// Its documented weakness is the mirror image of in-breadth's: "although
+// accurate in capturing user behavior patterns, it does not capture the
+// features of the workload in various subsystems" — synthetic requests
+// carry no sizes, LBNs or banks, which blocks per-subsystem studies and
+// any replay on a different platform.
+package indepth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dcmodel/internal/stats"
+	"dcmodel/internal/trace"
+)
+
+// ClassModel is the per-class request-flow model: the phase path and the
+// fitted per-phase service-time distributions.
+type ClassModel struct {
+	// Name is the request-class label.
+	Name string
+	// Weight is the class's share of the request stream.
+	Weight float64
+	// Phases is the per-request path through the subsystems.
+	Phases []trace.Subsystem
+	// Service holds one empirical service-time distribution per phase.
+	Service []*stats.Empirical
+}
+
+// Model is a trained in-depth model.
+type Model struct {
+	// Interarrival is the fitted arrival-process distribution.
+	Interarrival stats.Dist
+	// FitKS is the KS distance of the winning arrival fit.
+	FitKS float64
+	// Classes holds the per-class flow models.
+	Classes []*ClassModel
+	// TrainedOn is the number of training requests.
+	TrainedOn int
+}
+
+// Train fits the in-depth model: the arrival process plus, per class, the
+// modal phase path and per-phase service times.
+func Train(tr *trace.Trace) (*Model, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, trace.ErrEmptyTrace
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("indepth: invalid training trace: %w", err)
+	}
+	sorted := &trace.Trace{Requests: append([]trace.Request(nil), tr.Requests...)}
+	sorted.SortByArrival()
+	gaps := sorted.Interarrivals()
+	if len(gaps) < 2 {
+		return nil, fmt.Errorf("indepth: need >= 3 requests, got %d", tr.Len())
+	}
+	best, err := stats.FitBest(gaps)
+	if err != nil {
+		return nil, fmt.Errorf("indepth: arrival fit: %w", err)
+	}
+	m := &Model{Interarrival: best.Dist, FitKS: best.KS, TrainedOn: tr.Len()}
+	for _, name := range sorted.Classes() {
+		sub := sorted.ByClass(name)
+		cm, err := trainClass(name, sub, float64(sub.Len())/float64(sorted.Len()))
+		if err != nil {
+			return nil, fmt.Errorf("indepth: class %q: %w", name, err)
+		}
+		m.Classes = append(m.Classes, cm)
+	}
+	return m, nil
+}
+
+func trainClass(name string, tr *trace.Trace, weight float64) (*ClassModel, error) {
+	// Modal phase sequence.
+	counts := make(map[string]int)
+	seqs := make(map[string][]trace.Subsystem)
+	for _, r := range tr.Requests {
+		p := r.Phases()
+		if len(p) == 0 {
+			continue
+		}
+		key := fmt.Sprint(p)
+		counts[key]++
+		seqs[key] = p
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("no spans")
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	phases := seqs[keys[0]]
+	cm := &ClassModel{Name: name, Weight: weight, Phases: phases}
+	// Per-phase service times from the requests matching the modal path.
+	perPhase := make([][]float64, len(phases))
+	for _, r := range tr.Requests {
+		if len(r.Spans) != len(phases) {
+			continue
+		}
+		match := true
+		for i, s := range r.Spans {
+			if s.Subsystem != phases[i] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		for i, s := range r.Spans {
+			perPhase[i] = append(perPhase[i], s.Duration)
+		}
+	}
+	cm.Service = make([]*stats.Empirical, len(phases))
+	for i, vals := range perPhase {
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("phase %d has no service samples", i)
+		}
+		emp, err := stats.NewEmpirical(vals)
+		if err != nil {
+			return nil, err
+		}
+		cm.Service[i] = emp
+	}
+	return cm, nil
+}
+
+// NumParams reports the model complexity — deliberately small: the
+// simplicity that makes the in-depth technique "appealing for large-scale
+// experiments".
+func (m *Model) NumParams() int {
+	n := len(m.Interarrival.Params())
+	for _, c := range m.Classes {
+		n += 1 + len(c.Phases) + len(c.Service)
+	}
+	return n
+}
+
+// Synthesize emits n requests: arrivals from the fitted process, phase
+// paths from the class models, and span durations resampled from the
+// fitted service-time distributions, queued through the same per-subsystem
+// FIFO stations the system exhibits (this is a queueing model: request
+// arrival plus contention is exactly what it emulates). Spans carry NO
+// features — the approach does not model them.
+func (m *Model) Synthesize(n int, r *rand.Rand) (*trace.Trace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("indepth: synthesize needs n >= 1, got %d", n)
+	}
+	if len(m.Classes) == 0 {
+		return nil, fmt.Errorf("indepth: model has no classes")
+	}
+	cum := make([]float64, len(m.Classes))
+	var wsum float64
+	for i, c := range m.Classes {
+		wsum += c.Weight
+		cum[i] = wsum
+	}
+	if wsum <= 0 {
+		return nil, fmt.Errorf("indepth: class weights sum to zero")
+	}
+	tr := &trace.Trace{Requests: make([]trace.Request, 0, n)}
+	var now float64
+	var freeAt [4]float64 // per-subsystem FIFO stations
+	for i := 0; i < n; i++ {
+		gap := m.Interarrival.Rand(r)
+		if gap < 0 {
+			gap = 0
+		}
+		now += gap
+		u := r.Float64() * wsum
+		ci := sort.SearchFloat64s(cum, u)
+		if ci >= len(m.Classes) {
+			ci = len(m.Classes) - 1
+		}
+		c := m.Classes[ci]
+		req := trace.Request{ID: int64(i), Class: c.Name, Arrival: now}
+		t := now
+		for p, sub := range c.Phases {
+			dur := c.Service[p].Rand(r)
+			if dur < 0 {
+				dur = 0
+			}
+			start := t
+			if int(sub) < len(freeAt) && freeAt[sub] > start {
+				start = freeAt[sub]
+			}
+			req.Spans = append(req.Spans, trace.Span{Subsystem: sub, Start: start, Duration: dur})
+			if int(sub) < len(freeAt) {
+				freeAt[sub] = start + dur
+			}
+			t = start + dur
+		}
+		tr.Requests = append(tr.Requests, req)
+	}
+	return tr, nil
+}
+
+// PredictMeanLatency returns the model's analytic latency prediction for a
+// class: the sum of its mean per-phase service times (no-contention
+// approximation).
+func (m *Model) PredictMeanLatency(class string) (float64, error) {
+	for _, c := range m.Classes {
+		if c.Name != class {
+			continue
+		}
+		var sum float64
+		for _, s := range c.Service {
+			sum += s.Mean()
+		}
+		return sum, nil
+	}
+	return 0, fmt.Errorf("indepth: unknown class %q", class)
+}

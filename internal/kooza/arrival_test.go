@@ -1,0 +1,108 @@
+package kooza
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcmodel/internal/gfs"
+	"dcmodel/internal/stats"
+	"dcmodel/internal/trace"
+	"dcmodel/internal/workload"
+)
+
+func mmppTrace(t *testing.T, n int, seed int64) *trace.Trace {
+	t.Helper()
+	c, err := gfs.NewCluster(gfs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Run(gfs.RunConfig{
+		Mix:      workload.Table2Mix(),
+		Arrivals: workload.MMPP2{Rate: [2]float64{60, 4}, Hold: [2]float64{1, 2}},
+		Requests: n,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSemiMarkovArrivalsCaptureBurstiness(t *testing.T) {
+	tr := mmppTrace(t, 6000, 650)
+	origIDC := stats.IndexOfDispersion(tr.Arrivals(), 1)
+	if origIDC < 3 {
+		t.Fatalf("MMPP trace IDC = %g, expected bursty input", origIDC)
+	}
+	synthIDC := func(opts Options, seed int64) float64 {
+		m := trainOn(t, tr, opts)
+		synth, err := m.Synthesize(6000, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.IndexOfDispersion(synth.Arrivals(), 1)
+	}
+	renewal := synthIDC(Options{}, 651)
+	semiMarkov := synthIDC(Options{ArrivalStates: 4}, 652)
+	// The renewal model flattens the bursts; the semi-Markov refinement
+	// must recover a clearly larger share of the original dispersion.
+	if semiMarkov <= renewal*1.5 {
+		t.Errorf("semi-Markov IDC %g not clearly above renewal %g (original %g)",
+			semiMarkov, renewal, origIDC)
+	}
+	if stats.RelError(origIDC, semiMarkov) >= stats.RelError(origIDC, renewal) {
+		t.Errorf("semi-Markov IDC %g not closer to original %g than renewal %g",
+			semiMarkov, origIDC, renewal)
+	}
+}
+
+func TestSemiMarkovArrivalsPreserveRate(t *testing.T) {
+	tr := mmppTrace(t, 5000, 653)
+	m := trainOn(t, tr, Options{ArrivalStates: 4})
+	if m.Network.GapChain == nil || len(m.Network.GapStates) != 4 {
+		t.Fatal("gap chain not trained")
+	}
+	synth, err := m.Synthesize(5000, rand.New(rand.NewSource(654)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origRate := 1 / stats.Mean(tr.Interarrivals())
+	synthRate := 1 / stats.Mean(synth.Interarrivals())
+	if d := stats.RelError(origRate, synthRate); d > 0.1 {
+		t.Errorf("rate deviation %g (%g vs %g)", d, synthRate, origRate)
+	}
+	// Gap marginal distribution matches (two-sample KS).
+	ks := stats.KSTest2(tr.Interarrivals(), synth.Interarrivals())
+	if ks.Statistic > 0.05 {
+		t.Errorf("gap-distribution KS = %g", ks.Statistic)
+	}
+	// The refinement costs parameters (the paper's trade-off).
+	renewal := trainOn(t, tr, Options{})
+	if m.NumParams() <= renewal.NumParams() {
+		t.Error("semi-Markov model should cost more parameters")
+	}
+}
+
+func TestArrivalStatesValidation(t *testing.T) {
+	// Tiny traces cannot support many arrival states.
+	tiny := &trace.Trace{}
+	c, err := gfs.NewCluster(gfs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err = c.Run(gfs.RunConfig{
+		Mix:      workload.Table2Mix(),
+		Arrivals: workload.Poisson{Rate: 20},
+		Requests: 6,
+	}, rand.New(rand.NewSource(655)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(tiny, Options{ArrivalStates: 8}); err == nil {
+		t.Error("too few gaps for the requested arrival states should fail")
+	}
+	// Default (0) means renewal.
+	o := Options{}.withDefaults()
+	if o.ArrivalStates != 1 {
+		t.Errorf("default arrival states = %d, want 1", o.ArrivalStates)
+	}
+}

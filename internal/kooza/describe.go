@@ -1,0 +1,72 @@
+package kooza
+
+import (
+	"fmt"
+	"strings"
+
+	"dcmodel/internal/stats"
+)
+
+// Describe renders the trained model's structure — the regeneration of the
+// paper's Figure 2: the four per-subsystem models of each class wired by
+// its time-dependency queue.
+func (m *Model) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "KOOZA model (trained on %d requests, %d parameters)\n", m.TrainedOn, m.NumParams())
+	fmt.Fprintf(&b, "Network queueing model: interarrival ~ %s (KS=%.4f), rate=%.2f req/s\n",
+		stats.DescribeDist(m.Network.Interarrival), m.Network.FitKS, m.Network.Rate)
+	for _, c := range m.Classes {
+		fmt.Fprintf(&b, "\nclass %q (weight %.3f)\n", c.Name, c.Weight)
+		for qi, q := range c.Queues {
+			phases := make([]string, len(q.Phases))
+			for i, p := range q.Phases {
+				phases[i] = p.String()
+			}
+			label := "time-dependency queue"
+			if len(c.Queues) > 1 {
+				label = fmt.Sprintf("time-dependency queue %d (%.1f%%)", qi+1, 100*q.Weight)
+			}
+			fmt.Fprintf(&b, "  %s: %s\n", label, strings.Join(phases, " -> "))
+		}
+		switch {
+		case c.Storage.Hier != nil:
+			fmt.Fprintf(&b, "  storage Markov model: hierarchical, %d regions in %d groups, seq=%.2f, read=%.2f, mean I/O %.0f B\n",
+				c.Storage.Regions, len(c.Storage.Hier.Members), c.Storage.SeqProb, c.Storage.ReadProb, c.Storage.Sizes.Mean())
+		default:
+			fmt.Fprintf(&b, "  storage Markov model: %d LBN regions, seq=%.2f, read=%.2f, mean I/O %.0f B\n",
+				c.Storage.Regions, c.Storage.SeqProb, c.Storage.ReadProb, c.Storage.Sizes.Mean())
+			fmt.Fprintf(&b, "    active regions: %s\n", activeStates(c.Storage.Chain.Visits))
+		}
+		fmt.Fprintf(&b, "  cpu Markov model: %d utilization levels over [%.4f, %.4f]\n",
+			c.CPU.Chain.N, c.CPU.Lo, c.CPU.Hi)
+		fmt.Fprintf(&b, "    active levels: %s\n", activeStates(c.CPU.Chain.Visits))
+		fmt.Fprintf(&b, "  memory Markov model: %d banks, read=%.2f, mean access %.0f B\n",
+			c.Memory.Banks, c.Memory.ReadProb, c.Memory.Sizes.Mean())
+		fmt.Fprintf(&b, "  network sizes: in %.0f B, out %.0f B (means)\n",
+			c.NetIn.Mean(), c.NetOut.Mean())
+	}
+	return b.String()
+}
+
+// activeStates summarizes which chain states were visited during training.
+func activeStates(visits []int64) string {
+	var total int64
+	for _, v := range visits {
+		total += v
+	}
+	if total == 0 {
+		return "(none)"
+	}
+	var parts []string
+	for i, v := range visits {
+		if v == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%d:%.0f%%", i, 100*float64(v)/float64(total)))
+		if len(parts) >= 12 {
+			parts = append(parts, "...")
+			break
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,67 @@
+package kooza
+
+import (
+	"strings"
+	"testing"
+
+	"dcmodel/internal/trace"
+)
+
+func TestFeatureMatrix(t *testing.T) {
+	tr := gfsTrace(t, 500, 620)
+	m, err := FeatureMatrix(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 500 || m.Cols != len(FeatureNames) {
+		t.Fatalf("matrix %dx%d", m.Rows, m.Cols)
+	}
+	// Interarrival column is non-negative; first is the first arrival.
+	for i := 0; i < m.Rows; i++ {
+		if m.At(i, 0) < 0 {
+			t.Fatalf("negative interarrival at row %d", i)
+		}
+	}
+	// Storage bytes column holds only the two class sizes.
+	for i := 0; i < m.Rows; i++ {
+		b := m.At(i, 6)
+		if b != 64<<10 && b != 4<<20 {
+			t.Fatalf("unexpected storage bytes %g", b)
+		}
+	}
+	if _, err := FeatureMatrix(nil); err == nil {
+		t.Error("nil trace should fail")
+	}
+	if _, err := FeatureMatrix(&trace.Trace{}); err == nil {
+		t.Error("empty trace should fail")
+	}
+}
+
+func TestFeatureAnalysis(t *testing.T) {
+	tr := gfsTrace(t, 2000, 621)
+	rep, err := FeatureAnalysis(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two-class workload is strongly correlated across subsystems
+	// (size features move together), so the effective dimensionality is
+	// well below the 8 raw features.
+	if rep.Components95 >= len(FeatureNames) {
+		t.Errorf("components for 95%% = %d, want < %d", rep.Components95, len(FeatureNames))
+	}
+	if rep.Components95 < 1 {
+		t.Error("at least one component required")
+	}
+	// The first component should load on the correlated size features.
+	if len(rep.Loadings) == 0 || len(rep.Loadings[0]) < 2 {
+		t.Fatalf("loadings = %v", rep.Loadings)
+	}
+	joined := strings.Join(rep.Loadings[0], " ")
+	if !strings.Contains(joined, "bytes") {
+		t.Errorf("first component does not load on size features: %v", rep.Loadings[0])
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "effective dimensionality") || !strings.Contains(out, "PC1") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}

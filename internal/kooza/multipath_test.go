@@ -1,0 +1,159 @@
+package kooza
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dcmodel/internal/gfs"
+	"dcmodel/internal/replay"
+	"dcmodel/internal/stats"
+	"dcmodel/internal/trace"
+	"dcmodel/internal/workload"
+)
+
+// cachedTrace simulates a GFS chunkserver with a page cache: reads branch
+// into a hit path (no storage phase) and a miss path.
+func cachedTrace(t *testing.T, hitProb float64, n int, seed int64) *trace.Trace {
+	t.Helper()
+	cfg := gfs.DefaultConfig()
+	cfg.CacheHitProb = hitProb
+	c, err := gfs.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Run(gfs.RunConfig{
+		Mix:      workload.Table2Mix(),
+		Arrivals: workload.Poisson{Rate: 20},
+		Requests: n,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func pathShare(tr *trace.Trace, class string, withStorage bool) float64 {
+	sub := tr.ByClass(class)
+	if sub.Len() == 0 {
+		return 0
+	}
+	var match int
+	for _, r := range sub.Requests {
+		has := len(r.SpansIn(trace.Storage)) > 0
+		if has == withStorage {
+			match++
+		}
+	}
+	return float64(match) / float64(sub.Len())
+}
+
+func TestMultiQueueTrainingCapturesBranches(t *testing.T) {
+	tr := cachedTrace(t, 0.6, 4000, 660)
+	// Sanity: the read class really branches.
+	if share := pathShare(tr, "read64K", false); share < 0.5 || share > 0.7 {
+		t.Fatalf("hit share = %g, want ~0.6", share)
+	}
+	m := trainOn(t, tr, Options{})
+	read, err := m.Class("read64K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(read.Queues) != 2 {
+		t.Fatalf("read class queues = %d, want 2 (hit and miss paths)", len(read.Queues))
+	}
+	// Modal queue is the hit path (5 phases, no storage) at ~60%.
+	modal := read.Queues[0]
+	if len(modal.Phases) != 5 {
+		t.Errorf("modal queue has %d phases, want 5 (cache hit)", len(modal.Phases))
+	}
+	if math.Abs(modal.Weight-0.6) > 0.05 {
+		t.Errorf("modal queue weight = %g, want ~0.6", modal.Weight)
+	}
+	// Writes keep a single queue.
+	write, err := m.Class("write4M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(write.Queues) != 1 {
+		t.Errorf("write class queues = %d, want 1", len(write.Queues))
+	}
+}
+
+func TestMultiQueueSynthesisReproducesBranchMix(t *testing.T) {
+	tr := cachedTrace(t, 0.6, 4000, 661)
+	m := trainOn(t, tr, Options{})
+	synth, err := m.Synthesize(4000, rand.New(rand.NewSource(662)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := synth.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	origHit := pathShare(tr, "read64K", false)
+	synthHit := pathShare(synth, "read64K", false)
+	if math.Abs(origHit-synthHit) > 0.05 {
+		t.Errorf("hit-path share: orig %g vs synth %g", origHit, synthHit)
+	}
+}
+
+func TestMultiQueueLatencyBimodality(t *testing.T) {
+	// The cache makes read latency bimodal (sub-ms hits, multi-ms
+	// misses); the synthetic workload must reproduce the bimodality, not
+	// just the mean.
+	tr := cachedTrace(t, 0.5, 5000, 663)
+	m := trainOn(t, tr, Options{})
+	synth, err := m.Synthesize(5000, rand.New(rand.NewSource(664)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, err := replay.Run(synth, replay.Platform{NewServer: gfs.DefaultServerHW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origLat := tr.ByClass("read64K").Latencies()
+	synthLat := timed.ByClass("read64K").Latencies()
+	// Both modes present: p25 (hits) and p90 (misses) each within 25%.
+	for _, q := range []float64{0.25, 0.9} {
+		o := stats.Quantile(origLat, q)
+		s := stats.Quantile(synthLat, q)
+		if d := stats.RelError(o, s); d > 0.25 {
+			t.Errorf("read latency q%.0f: orig %g vs synth %g (dev %g)", 100*q, o, s, d)
+		}
+	}
+	// The modes differ by an order of magnitude in the original; confirm
+	// the synthetic preserves the gap.
+	origGap := stats.Quantile(origLat, 0.9) / stats.Quantile(origLat, 0.25)
+	synthGap := stats.Quantile(synthLat, 0.9) / stats.Quantile(synthLat, 0.25)
+	if origGap < 3 {
+		t.Fatalf("test premise broken: original gap %g", origGap)
+	}
+	if synthGap < origGap/2 {
+		t.Errorf("bimodality lost: orig gap %g vs synth %g", origGap, synthGap)
+	}
+	// Mean still tracks.
+	if d := stats.RelError(stats.Mean(origLat), stats.Mean(synthLat)); d > 0.15 {
+		t.Errorf("mean read latency deviation %g", d)
+	}
+}
+
+func TestRareBranchesBelowThresholdDropped(t *testing.T) {
+	// A 0.1% branch is below phaseQueueMinShare and must be folded away.
+	tr := cachedTrace(t, 0.001, 3000, 665)
+	m := trainOn(t, tr, Options{})
+	read, err := m.Class("read64K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(read.Queues) != 1 {
+		t.Errorf("queues = %d, want rare branch dropped", len(read.Queues))
+	}
+	// Weights always sum to 1.
+	var sum float64
+	for _, q := range read.Queues {
+		sum += q.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("queue weights sum to %g", sum)
+	}
+}

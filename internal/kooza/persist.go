@@ -1,0 +1,137 @@
+package kooza
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dcmodel/internal/markov"
+	"dcmodel/internal/stats"
+)
+
+// Model persistence: a trained KOOZA model serializes to JSON so it can be
+// trained once and reused across studies (train on the production system,
+// synthesize in the lab). Everything in the model is either plain data or
+// an empirical distribution (serialized as its sample); the one interface
+// value — the fitted interarrival distribution — is stored as a
+// (family, parameters) spec.
+
+// distSpec is the serialized form of a parametric distribution.
+type distSpec struct {
+	Name   string    `json:"name"`
+	Params []float64 `json:"params"`
+}
+
+// networkJSON mirrors NetworkModel with the interface field replaced.
+type networkJSON struct {
+	Interarrival distSpec           `json:"interarrival"`
+	FitKS        float64            `json:"fit_ks"`
+	Rate         float64            `json:"rate"`
+	GapChain     *markov.Chain      `json:"gap_chain,omitempty"`
+	GapStates    []*stats.Empirical `json:"gap_states,omitempty"`
+}
+
+// modelJSON is the serialized model envelope.
+type modelJSON struct {
+	Version   int           `json:"version"`
+	Classes   []*ClassModel `json:"classes"`
+	Network   networkJSON   `json:"network"`
+	Opts      Options       `json:"opts"`
+	TrainedOn int           `json:"trained_on"`
+}
+
+// persistVersion guards against loading incompatible files.
+const persistVersion = 1
+
+// Save writes the model as JSON.
+func Save(w io.Writer, m *Model) error {
+	if m == nil || m.Network == nil {
+		return fmt.Errorf("kooza: cannot save a nil or untrained model")
+	}
+	env := modelJSON{
+		Version: persistVersion,
+		Classes: m.Classes,
+		Network: networkJSON{
+			Interarrival: distSpec{
+				Name:   m.Network.Interarrival.Name(),
+				Params: m.Network.Interarrival.Params(),
+			},
+			FitKS:     m.Network.FitKS,
+			Rate:      m.Network.Rate,
+			GapChain:  m.Network.GapChain,
+			GapStates: m.Network.GapStates,
+		},
+		Opts:      m.Opts,
+		TrainedOn: m.TrainedOn,
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(env); err != nil {
+		return fmt.Errorf("kooza: encode model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var env modelJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("kooza: decode model: %w", err)
+	}
+	if env.Version != persistVersion {
+		return nil, fmt.Errorf("kooza: model version %d, want %d", env.Version, persistVersion)
+	}
+	inter, err := stats.DistFromSpec(env.Network.Interarrival.Name, env.Network.Interarrival.Params)
+	if err != nil {
+		return nil, fmt.Errorf("kooza: interarrival spec: %w", err)
+	}
+	m := &Model{
+		Classes: env.Classes,
+		Network: &NetworkModel{
+			Interarrival: inter,
+			FitKS:        env.Network.FitKS,
+			Rate:         env.Network.Rate,
+			GapChain:     env.Network.GapChain,
+			GapStates:    env.Network.GapStates,
+		},
+		Opts:      env.Opts,
+		TrainedOn: env.TrainedOn,
+	}
+	if err := m.validateLoaded(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// validateLoaded checks the structural invariants a loaded model needs for
+// synthesis to be safe.
+func (m *Model) validateLoaded() error {
+	if len(m.Classes) == 0 {
+		return fmt.Errorf("kooza: loaded model has no classes")
+	}
+	for _, c := range m.Classes {
+		if c == nil {
+			return fmt.Errorf("kooza: loaded model has a nil class")
+		}
+		if c.Storage == nil || c.CPU == nil || c.Memory == nil {
+			return fmt.Errorf("kooza: class %q missing subsystem models", c.Name)
+		}
+		if c.Storage.Chain == nil && c.Storage.Hier == nil {
+			return fmt.Errorf("kooza: class %q storage model has no chain", c.Name)
+		}
+		if c.CPU.Chain == nil || c.Memory.Chain == nil {
+			return fmt.Errorf("kooza: class %q missing cpu/memory chain", c.Name)
+		}
+		if len(c.Queues) == 0 {
+			return fmt.Errorf("kooza: class %q has no time-dependency queue", c.Name)
+		}
+		if c.NetIn == nil || c.NetOut == nil || c.Storage.Sizes == nil || c.Memory.Sizes == nil {
+			return fmt.Errorf("kooza: class %q missing feature distributions", c.Name)
+		}
+	}
+	if m.Network.GapChain != nil && len(m.Network.GapStates) != m.Network.GapChain.N {
+		return fmt.Errorf("kooza: gap chain has %d states but %d gap distributions",
+			m.Network.GapChain.N, len(m.Network.GapStates))
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package kooza
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := gfsTrace(t, 2000, 670)
+	m := trainOn(t, tr, Options{ArrivalStates: 3})
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded model is behaviorally identical: same seed, same
+	// synthetic trace.
+	a, err := m.Synthesize(500, rand.New(rand.NewSource(671)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Synthesize(500, rand.New(rand.NewSource(671)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("loaded model synthesizes differently")
+	}
+	if loaded.NumParams() != m.NumParams() {
+		t.Errorf("params %d vs %d", loaded.NumParams(), m.NumParams())
+	}
+	if loaded.Network.Interarrival.Name() != m.Network.Interarrival.Name() {
+		t.Error("interarrival family lost")
+	}
+	if loaded.TrainedOn != m.TrainedOn {
+		t.Error("metadata lost")
+	}
+	// Describe still works on the loaded model.
+	if !strings.Contains(loaded.Describe(), "KOOZA model") {
+		t.Error("describe broken after load")
+	}
+}
+
+func TestSaveLoadHierarchical(t *testing.T) {
+	tr := gfsTrace(t, 1200, 672)
+	m := trainOn(t, tr, Options{Hierarchical: true})
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth, err := loaded.Synthesize(300, rand.New(rand.NewSource(673)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := synth.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, nil); err == nil {
+		t.Error("nil model should fail")
+	}
+	if err := Save(&buf, &Model{}); err == nil {
+		t.Error("untrained model should fail")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Error("bad json should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("wrong version should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"network":{"interarrival":{"name":"bogus"}}}`)); err == nil {
+		t.Error("unknown family should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"network":{"interarrival":{"name":"exponential","params":[2]}}}`)); err == nil {
+		t.Error("no classes should fail")
+	}
+	// Structurally broken class.
+	broken := `{"version":1,"classes":[{"Name":"x"}],` +
+		`"network":{"interarrival":{"name":"exponential","params":[2]}}}`
+	if _, err := Load(strings.NewReader(broken)); err == nil {
+		t.Error("class without subsystem models should fail")
+	}
+}

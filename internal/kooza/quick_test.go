@@ -1,0 +1,128 @@
+package kooza
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any seed and any reasonable option set, synthesis from a
+// trained model produces a structurally valid trace with the trained
+// classes, ascending arrivals and the learned phase queues.
+func TestSynthesisValidityProperty(t *testing.T) {
+	tr := gfsTrace(t, 1200, 640)
+	optSets := []Options{
+		{},
+		{StorageRegions: 8, CPUStates: 4},
+		{Hierarchical: true, HierGroups: 4},
+		{StorageRegions: 64, CPUStates: 16, Smoothing: 0.2},
+	}
+	models := make([]*Model, len(optSets))
+	for i, o := range optSets {
+		models[i] = trainOn(t, tr, o)
+	}
+	classes := make(map[string]bool)
+	for _, c := range tr.Classes() {
+		classes[c] = true
+	}
+	f := func(seed int64, pick uint8) bool {
+		m := models[int(pick)%len(models)]
+		synth, err := m.Synthesize(200, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		if synth.Validate() != nil {
+			return false
+		}
+		prev := -1.0
+		for _, r := range synth.Requests {
+			if !classes[r.Class] {
+				return false
+			}
+			if r.Arrival < prev {
+				return false
+			}
+			prev = r.Arrival
+			cm, err := m.Class(r.Class)
+			if err != nil {
+				return false
+			}
+			if len(r.Spans) != len(cm.Phases) {
+				return false
+			}
+			for i, s := range r.Spans {
+				if s.Subsystem != cm.Phases[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: training is deterministic — the same trace and options yield
+// byte-identical synthesis for the same seed.
+func TestTrainDeterminismProperty(t *testing.T) {
+	tr := gfsTrace(t, 800, 641)
+	f := func(seed int64) bool {
+		m1, err := Train(tr, Options{})
+		if err != nil {
+			return false
+		}
+		m2, err := Train(tr, Options{})
+		if err != nil {
+			return false
+		}
+		s1, err := m1.Synthesize(50, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		s2, err := m2.Synthesize(50, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		for i := range s1.Requests {
+			a, b := s1.Requests[i], s2.Requests[i]
+			if a.Arrival != b.Arrival || a.Class != b.Class || len(a.Spans) != len(b.Spans) {
+				return false
+			}
+			for j := range a.Spans {
+				if a.Spans[j] != b.Spans[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the trained storage model's sequentiality estimate lands in
+// [0, 1] and tracks the configured class locality ordering.
+func TestSeqProbOrderingProperty(t *testing.T) {
+	tr := gfsTrace(t, 2000, 642)
+	m := trainOn(t, tr, Options{})
+	read, err := m.Class("read64K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	write, err := m.Class("write4M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*ClassModel{read, write} {
+		if c.Storage.SeqProb < 0 || c.Storage.SeqProb > 1 {
+			t.Fatalf("seq prob %g outside [0,1]", c.Storage.SeqProb)
+		}
+	}
+	// Table2Mix configures writes far more sequential (0.7) than reads
+	// (0.05).
+	if write.Storage.SeqProb <= read.Storage.SeqProb {
+		t.Errorf("write seq %g not above read seq %g", write.Storage.SeqProb, read.Storage.SeqProb)
+	}
+}

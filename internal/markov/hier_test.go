@@ -1,0 +1,134 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// groupedWalk produces a sequence over 6 states in 2 groups ({0,1,2} and
+// {3,4,5}) that stays inside a group for a while then hops.
+func groupedWalk(n int, r *rand.Rand) []int {
+	seq := make([]int, n)
+	cur := 0
+	for i := range seq {
+		seq[i] = cur
+		if r.Float64() < 0.05 {
+			// Hop to the other group.
+			if cur < 3 {
+				cur = 3 + r.Intn(3)
+			} else {
+				cur = r.Intn(3)
+			}
+		} else {
+			// Stay in the group.
+			if cur < 3 {
+				cur = r.Intn(3)
+			} else {
+				cur = 3 + r.Intn(3)
+			}
+		}
+	}
+	return seq
+}
+
+func TestTrainHierarchical(t *testing.T) {
+	r := rand.New(rand.NewSource(90))
+	seq := groupedWalk(20000, r)
+	groups := []int{0, 0, 0, 1, 1, 1}
+	h, err := TrainHierarchical([][]int{seq}, 6, groups, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsStochastic(t, h.Top.Trans)
+	for _, sub := range h.Sub {
+		rowsStochastic(t, sub.Trans)
+	}
+	// Top chain should be sticky (~0.95 self-transition).
+	if h.Top.Trans.At(0, 0) < 0.9 || h.Top.Trans.At(1, 1) < 0.9 {
+		t.Errorf("top chain not sticky: %v", h.Top.Trans.Data)
+	}
+	if h.GroupOf(4) != 1 {
+		t.Errorf("GroupOf(4) = %d, want 1", h.GroupOf(4))
+	}
+}
+
+func TestHierarchicalSimulatePreservesLocality(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	seq := groupedWalk(20000, r)
+	groups := []int{0, 0, 0, 1, 1, 1}
+	h, err := TrainHierarchical([][]int{seq}, 6, groups, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := h.Simulate(20000, r)
+	if len(synth) != 20000 {
+		t.Fatalf("simulate length %d", len(synth))
+	}
+	// Group-switch rate of original and synthetic should match (~5%).
+	switchRate := func(s []int) float64 {
+		var switches int
+		for i := 1; i < len(s); i++ {
+			if groups[s[i]] != groups[s[i-1]] {
+				switches++
+			}
+		}
+		return float64(switches) / float64(len(s)-1)
+	}
+	origRate, synthRate := switchRate(seq), switchRate(synth)
+	if math.Abs(origRate-synthRate) > 0.01 {
+		t.Errorf("group switch rate: orig %g vs synth %g", origRate, synthRate)
+	}
+	for _, s := range synth {
+		if s < 0 || s >= 6 {
+			t.Fatalf("state %d out of range", s)
+		}
+	}
+}
+
+func TestHierarchicalErrors(t *testing.T) {
+	if _, err := TrainHierarchical([][]int{{0}}, 2, []int{0}, 0); err == nil {
+		t.Error("groups length mismatch should fail")
+	}
+	if _, err := TrainHierarchical([][]int{{0}}, 2, []int{0, -1}, 0); err == nil {
+		t.Error("negative group should fail")
+	}
+	if _, err := TrainHierarchical([][]int{{0, 3}}, 2, []int{0, 1}, 0); err == nil {
+		t.Error("out-of-range state should fail")
+	}
+	// Dense-group requirement: group 1 empty.
+	if _, err := TrainHierarchical([][]int{{0, 1}}, 2, []int{0, 2}, 0); err == nil {
+		t.Error("empty group should fail")
+	}
+}
+
+func TestHierarchicalSimulateZero(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	seq := groupedWalk(1000, r)
+	h, err := TrainHierarchical([][]int{seq}, 6, []int{0, 0, 0, 1, 1, 1}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Simulate(0, r) != nil {
+		t.Error("zero-length simulate should be nil")
+	}
+}
+
+func TestHierarchicalNumParams(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	seq := groupedWalk(1000, r)
+	h, err := TrainHierarchical([][]int{seq}, 6, []int{0, 0, 0, 1, 1, 1}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := h.Top.NumParams() + h.Sub[0].NumParams() + h.Sub[1].NumParams()
+	if got := h.NumParams(); got != want {
+		t.Errorf("NumParams = %d, want %d", got, want)
+	}
+	// A flat 6-state chain has more parameters than the hierarchy — the
+	// complexity reduction the paper's hierarchical refinement targets.
+	flat, _ := Train([][]int{seq}, 6, 0.1)
+	if h.NumParams() >= flat.NumParams() {
+		t.Errorf("hierarchy params %d not below flat %d", h.NumParams(), flat.NumParams())
+	}
+}

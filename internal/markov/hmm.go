@@ -1,0 +1,347 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dcmodel/internal/stats"
+)
+
+// GaussianHMM is a hidden Markov model with scalar Gaussian emissions,
+// the "Ergodic Continuous Hidden Markov Model" (ECHMM) that Moro et al.
+// train on memory-reference streams (virtual page numbers as floating-point
+// series) to characterize memory activity and generate synthetic traces.
+type GaussianHMM struct {
+	// N is the number of hidden states.
+	N int
+	// Trans is the row-stochastic transition matrix.
+	Trans *stats.Matrix
+	// Initial is the initial state distribution.
+	Initial []float64
+	// Mu and Sigma are the per-state emission mean and standard deviation.
+	Mu, Sigma []float64
+	// LogLik is the final per-observation average log-likelihood after
+	// fitting.
+	LogLik float64
+	// Iters is the number of Baum-Welch iterations performed.
+	Iters int
+}
+
+const sigmaFloor = 1e-6
+
+// NewGaussianHMM returns an HMM with n states initialized for Baum-Welch:
+// uniform transitions perturbed by r, and emission parameters spread across
+// the observed range of obs.
+func NewGaussianHMM(n int, obs []float64, r *rand.Rand) (*GaussianHMM, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("markov: hmm needs at least one state, got %d", n)
+	}
+	if len(obs) < 2*n {
+		return nil, fmt.Errorf("markov: hmm with %d states needs >= %d observations, got %d", n, 2*n, len(obs))
+	}
+	h := &GaussianHMM{
+		N:       n,
+		Trans:   stats.NewMatrix(n, n),
+		Initial: make([]float64, n),
+		Mu:      make([]float64, n),
+		Sigma:   make([]float64, n),
+	}
+	lo, hi := stats.Min(obs), stats.Max(obs)
+	if hi == lo {
+		hi = lo + 1
+	}
+	sd := stats.StdDev(obs)
+	if sd < sigmaFloor {
+		sd = 1
+	}
+	for i := 0; i < n; i++ {
+		h.Initial[i] = 1 / float64(n)
+		row := h.Trans.Row(i)
+		var sum float64
+		for j := range row {
+			row[j] = 1 + 0.1*r.Float64()
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+		// Spread means over the data range (quantile-like placement).
+		h.Mu[i] = lo + (hi-lo)*(float64(i)+0.5)/float64(n)
+		h.Sigma[i] = sd / float64(n)
+		if h.Sigma[i] < sigmaFloor {
+			h.Sigma[i] = sigmaFloor
+		}
+	}
+	return h, nil
+}
+
+func (h *GaussianHMM) emission(state int, x float64) float64 {
+	s := h.Sigma[state]
+	z := (x - h.Mu[state]) / s
+	return math.Exp(-z*z/2) / (s * math.Sqrt(2*math.Pi))
+}
+
+// Fit runs Baum-Welch (EM) on obs for at most maxIter iterations with
+// per-step scaling for numerical stability. It returns an error if the
+// forward pass degenerates (all emission densities underflow).
+func (h *GaussianHMM) Fit(obs []float64, maxIter int) error {
+	tn := len(obs)
+	if tn == 0 {
+		return ErrNoData
+	}
+	if maxIter < 1 {
+		maxIter = 50
+	}
+	n := h.N
+	alpha := stats.NewMatrix(tn, n)
+	beta := stats.NewMatrix(tn, n)
+	scale := make([]float64, tn)
+	gamma := stats.NewMatrix(tn, n)
+	xi := stats.NewMatrix(n, n)
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		h.Iters = iter + 1
+		// Forward with scaling.
+		var ll float64
+		for t := 0; t < tn; t++ {
+			arow := alpha.Row(t)
+			if t == 0 {
+				for i := 0; i < n; i++ {
+					arow[i] = h.Initial[i] * h.emission(i, obs[0])
+				}
+			} else {
+				prev := alpha.Row(t - 1)
+				for j := 0; j < n; j++ {
+					var s float64
+					for i := 0; i < n; i++ {
+						s += prev[i] * h.Trans.At(i, j)
+					}
+					arow[j] = s * h.emission(j, obs[t])
+				}
+			}
+			var c float64
+			for _, v := range arow {
+				c += v
+			}
+			if c <= 0 || math.IsNaN(c) {
+				return errors.New("markov: hmm forward pass underflow")
+			}
+			scale[t] = c
+			for i := range arow {
+				arow[i] /= c
+			}
+			ll += math.Log(c)
+		}
+		h.LogLik = ll / float64(tn)
+		// Backward with the same scaling.
+		brow := beta.Row(tn - 1)
+		for i := range brow {
+			brow[i] = 1
+		}
+		for t := tn - 2; t >= 0; t-- {
+			brow := beta.Row(t)
+			next := beta.Row(t + 1)
+			for i := 0; i < n; i++ {
+				var s float64
+				for j := 0; j < n; j++ {
+					s += h.Trans.At(i, j) * h.emission(j, obs[t+1]) * next[j]
+				}
+				brow[i] = s / scale[t+1]
+			}
+		}
+		// Gamma and xi accumulators.
+		for i := range xi.Data {
+			xi.Data[i] = 0
+		}
+		for t := 0; t < tn; t++ {
+			arow, brow, grow := alpha.Row(t), beta.Row(t), gamma.Row(t)
+			var sum float64
+			for i := 0; i < n; i++ {
+				grow[i] = arow[i] * brow[i]
+				sum += grow[i]
+			}
+			if sum > 0 {
+				for i := range grow {
+					grow[i] /= sum
+				}
+			}
+			if t < tn-1 {
+				next := beta.Row(t + 1)
+				var denom float64
+				vals := make([]float64, n*n)
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						v := arow[i] * h.Trans.At(i, j) * h.emission(j, obs[t+1]) * next[j]
+						vals[i*n+j] = v
+						denom += v
+					}
+				}
+				if denom > 0 {
+					for k, v := range vals {
+						xi.Data[k] += v / denom
+					}
+				}
+			}
+		}
+		// M step.
+		for i := 0; i < n; i++ {
+			h.Initial[i] = gamma.At(0, i)
+		}
+		for i := 0; i < n; i++ {
+			var gsum float64
+			for t := 0; t < tn-1; t++ {
+				gsum += gamma.At(t, i)
+			}
+			row := h.Trans.Row(i)
+			if gsum > 0 {
+				for j := 0; j < n; j++ {
+					row[j] = xi.At(i, j) / gsum
+				}
+			}
+			// Renormalize against accumulated error.
+			var rs float64
+			for _, v := range row {
+				rs += v
+			}
+			if rs > 0 {
+				for j := range row {
+					row[j] /= rs
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			var wsum, msum float64
+			for t := 0; t < tn; t++ {
+				g := gamma.At(t, i)
+				wsum += g
+				msum += g * obs[t]
+			}
+			if wsum > 0 {
+				h.Mu[i] = msum / wsum
+				var vsum float64
+				for t := 0; t < tn; t++ {
+					d := obs[t] - h.Mu[i]
+					vsum += gamma.At(t, i) * d * d
+				}
+				h.Sigma[i] = math.Sqrt(vsum / wsum)
+				if h.Sigma[i] < sigmaFloor {
+					h.Sigma[i] = sigmaFloor
+				}
+			}
+		}
+		if h.LogLik-prevLL < 1e-7 && iter > 0 {
+			break
+		}
+		prevLL = h.LogLik
+	}
+	return nil
+}
+
+// LogLikelihood returns the per-observation average log-likelihood of obs
+// under the model (scaled forward pass), without modifying the model.
+func (h *GaussianHMM) LogLikelihood(obs []float64) (float64, error) {
+	tn := len(obs)
+	if tn == 0 {
+		return 0, ErrNoData
+	}
+	n := h.N
+	alpha := make([]float64, n)
+	next := make([]float64, n)
+	var ll float64
+	for t := 0; t < tn; t++ {
+		if t == 0 {
+			for i := 0; i < n; i++ {
+				alpha[i] = h.Initial[i] * h.emission(i, obs[0])
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				var s float64
+				for i := 0; i < n; i++ {
+					s += alpha[i] * h.Trans.At(i, j)
+				}
+				next[j] = s * h.emission(j, obs[t])
+			}
+			copy(alpha, next)
+		}
+		var c float64
+		for _, v := range alpha {
+			c += v
+		}
+		if c <= 0 {
+			return 0, errors.New("markov: hmm likelihood underflow")
+		}
+		for i := range alpha {
+			alpha[i] /= c
+		}
+		ll += math.Log(c)
+	}
+	return ll / float64(tn), nil
+}
+
+// Viterbi returns the most likely hidden-state path for obs.
+func (h *GaussianHMM) Viterbi(obs []float64) []int {
+	tn := len(obs)
+	if tn == 0 {
+		return nil
+	}
+	n := h.N
+	delta := stats.NewMatrix(tn, n)
+	psi := make([][]int, tn)
+	for t := range psi {
+		psi[t] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		delta.Set(0, i, math.Log(h.Initial[i]+1e-300)+math.Log(h.emission(i, obs[0])+1e-300))
+	}
+	for t := 1; t < tn; t++ {
+		for j := 0; j < n; j++ {
+			best, bestI := math.Inf(-1), 0
+			for i := 0; i < n; i++ {
+				v := delta.At(t-1, i) + math.Log(h.Trans.At(i, j)+1e-300)
+				if v > best {
+					best, bestI = v, i
+				}
+			}
+			delta.Set(t, j, best+math.Log(h.emission(j, obs[t])+1e-300))
+			psi[t][j] = bestI
+		}
+	}
+	path := make([]int, tn)
+	best, bestI := math.Inf(-1), 0
+	for i := 0; i < n; i++ {
+		if v := delta.At(tn-1, i); v > best {
+			best, bestI = v, i
+		}
+	}
+	path[tn-1] = bestI
+	for t := tn - 2; t >= 0; t-- {
+		path[t] = psi[t+1][path[t+1]]
+	}
+	return path
+}
+
+// Sample generates a synthetic observation sequence (and its hidden path)
+// of the given length.
+func (h *GaussianHMM) Sample(length int, r *rand.Rand) (obs []float64, states []int) {
+	if length <= 0 {
+		return nil, nil
+	}
+	obs = make([]float64, length)
+	states = make([]int, length)
+	s := sampleIndex(h.Initial, r)
+	for t := 0; t < length; t++ {
+		if t > 0 {
+			s = sampleIndex(h.Trans.Row(s), r)
+		}
+		states[t] = s
+		obs[t] = h.Mu[s] + h.Sigma[s]*r.NormFloat64()
+	}
+	return obs, states
+}
+
+// NumParams returns the free-parameter count of the HMM.
+func (h *GaussianHMM) NumParams() int {
+	return h.N*(h.N-1) + (h.N - 1) + 2*h.N
+}

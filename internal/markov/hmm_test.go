@@ -1,0 +1,181 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twoRegimeSeries generates a series that alternates between two clearly
+// separated Gaussian regimes with sticky dynamics.
+func twoRegimeSeries(n int, r *rand.Rand) ([]float64, []int) {
+	obs := make([]float64, n)
+	states := make([]int, n)
+	s := 0
+	for i := 0; i < n; i++ {
+		if r.Float64() < 0.05 {
+			s = 1 - s
+		}
+		states[i] = s
+		if s == 0 {
+			obs[i] = 10 + r.NormFloat64()
+		} else {
+			obs[i] = 50 + 2*r.NormFloat64()
+		}
+	}
+	return obs, states
+}
+
+func TestGaussianHMMFitRecoversRegimes(t *testing.T) {
+	r := rand.New(rand.NewSource(100))
+	obs, _ := twoRegimeSeries(4000, r)
+	h, err := NewGaussianHMM(2, obs, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Fit(obs, 100); err != nil {
+		t.Fatal(err)
+	}
+	rowsStochastic(t, h.Trans)
+	// Means should land near 10 and 50 (order unknown).
+	lo, hi := h.Mu[0], h.Mu[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if math.Abs(lo-10) > 1.5 || math.Abs(hi-50) > 1.5 {
+		t.Errorf("emission means = %v, want ~{10, 50}", h.Mu)
+	}
+	// Dynamics should be sticky (~0.95 self-transition).
+	if h.Trans.At(0, 0) < 0.85 || h.Trans.At(1, 1) < 0.85 {
+		t.Errorf("transitions not sticky: %v", h.Trans.Data)
+	}
+}
+
+func TestGaussianHMMViterbi(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	obs, truth := twoRegimeSeries(2000, r)
+	h, err := NewGaussianHMM(2, obs, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Fit(obs, 100); err != nil {
+		t.Fatal(err)
+	}
+	path := h.Viterbi(obs)
+	if len(path) != len(obs) {
+		t.Fatalf("viterbi length %d", len(path))
+	}
+	// Accuracy up to label permutation.
+	var agree int
+	for i := range path {
+		if path[i] == truth[i] {
+			agree++
+		}
+	}
+	acc := float64(agree) / float64(len(path))
+	if acc < 0.5 {
+		acc = 1 - acc
+	}
+	if acc < 0.97 {
+		t.Errorf("viterbi accuracy %g, want > 0.97", acc)
+	}
+}
+
+func TestGaussianHMMSampleStatistics(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	obs, _ := twoRegimeSeries(4000, r)
+	h, err := NewGaussianHMM(2, obs, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Fit(obs, 100); err != nil {
+		t.Fatal(err)
+	}
+	synth, states := h.Sample(20000, r)
+	if len(synth) != 20000 || len(states) != 20000 {
+		t.Fatal("sample lengths wrong")
+	}
+	// Synthetic series should land in the same regimes: overall mean close.
+	origMean := mean(obs)
+	synthMean := mean(synth)
+	if math.Abs(origMean-synthMean) > 3 {
+		t.Errorf("synthetic mean %g vs original %g", synthMean, origMean)
+	}
+}
+
+func TestGaussianHMMLikelihoodImproves(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	obs, _ := twoRegimeSeries(2000, r)
+	h, err := NewGaussianHMM(2, obs, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll0, err := h.LogLikelihood(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Fit(obs, 100); err != nil {
+		t.Fatal(err)
+	}
+	ll1, err := h.LogLikelihood(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll1 <= ll0 {
+		t.Errorf("fit did not improve likelihood: %g -> %g", ll0, ll1)
+	}
+	// A wrong-regime model scores worse than the fitted one.
+	bad, _ := NewGaussianHMM(2, obs, r)
+	for i := range bad.Mu {
+		bad.Mu[i] = -100
+	}
+	llBad, err := bad.LogLikelihood(obs)
+	if err == nil && llBad >= ll1 {
+		t.Errorf("bad model likelihood %g >= fitted %g", llBad, ll1)
+	}
+}
+
+func TestGaussianHMMErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(104))
+	if _, err := NewGaussianHMM(0, []float64{1, 2}, r); err == nil {
+		t.Error("zero states should fail")
+	}
+	if _, err := NewGaussianHMM(3, []float64{1, 2}, r); err == nil {
+		t.Error("too few observations should fail")
+	}
+	h, err := NewGaussianHMM(2, []float64{1, 2, 3, 4}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Fit(nil, 10); err == nil {
+		t.Error("fit on empty obs should fail")
+	}
+	if _, err := h.LogLikelihood(nil); err == nil {
+		t.Error("likelihood of empty obs should fail")
+	}
+	if h.Viterbi(nil) != nil {
+		t.Error("viterbi of empty obs should be nil")
+	}
+	if obs, states := h.Sample(0, r); obs != nil || states != nil {
+		t.Error("zero-length sample should be nil")
+	}
+}
+
+func TestGaussianHMMNumParams(t *testing.T) {
+	r := rand.New(rand.NewSource(105))
+	h, err := NewGaussianHMM(3, make([]float64, 10), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.NumParams(); got != 3*2+2+6 {
+		t.Errorf("NumParams = %d, want 14", got)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

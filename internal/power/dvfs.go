@@ -1,0 +1,146 @@
+package power
+
+import (
+	"fmt"
+
+	"dcmodel/internal/trace"
+)
+
+// DVFS policy evaluation in the style of Huang et al.: use the workload's
+// CPU-utilization pattern to decide when to drop to a low-power mode —
+// "during processor stalls due to long off-chip activities" (batch I/O) —
+// and quantify the energy benefit against the performance cost.
+
+// DVFSPolicy drops the CPU to a low-power state during a request's
+// off-chip (storage and network) phases when the request's CPU utilization
+// is below the threshold.
+type DVFSPolicy struct {
+	// UtilThreshold: requests with CPU utilization below this are run with
+	// the CPU in the low state during their non-CPU phases.
+	UtilThreshold float64
+	// LowFactor scales CPU idle power in the low state (e.g. 0.3 means
+	// the low state draws 30% of normal idle power).
+	LowFactor float64
+	// SwitchPenalty is the time cost of each mode switch (seconds),
+	// charged twice per downshifted request (enter + exit).
+	SwitchPenalty float64
+}
+
+// Validate reports a configuration error, if any.
+func (p DVFSPolicy) Validate() error {
+	switch {
+	case p.UtilThreshold < 0 || p.UtilThreshold > 1:
+		return fmt.Errorf("power: dvfs threshold %g outside [0,1]", p.UtilThreshold)
+	case p.LowFactor < 0 || p.LowFactor > 1:
+		return fmt.Errorf("power: dvfs low factor %g outside [0,1]", p.LowFactor)
+	case p.SwitchPenalty < 0:
+		return fmt.Errorf("power: dvfs switch penalty %g negative", p.SwitchPenalty)
+	}
+	return nil
+}
+
+// DVFSResult quantifies a policy's effect on one server.
+type DVFSResult struct {
+	// BaselineCPUJ and PolicyCPUJ are the CPU energies without and with
+	// the policy.
+	BaselineCPUJ, PolicyCPUJ float64
+	// SavingsFraction is 1 - PolicyCPUJ/BaselineCPUJ.
+	SavingsFraction float64
+	// Downshifted is the number of requests run in the low mode.
+	Downshifted int
+	// AddedLatency is the total switch-penalty time added.
+	AddedLatency float64
+}
+
+// EvaluateDVFS computes the CPU energy of a server under the policy: idle
+// power is paid for the whole trace, CPU-active power during CPU spans,
+// and during a downshifted request's off-chip phases the idle draw is
+// scaled by LowFactor.
+func EvaluateDVFS(tr *trace.Trace, server int, cpu Component, p DVFSPolicy) (DVFSResult, error) {
+	if tr == nil || tr.Len() == 0 {
+		return DVFSResult{}, trace.ErrEmptyTrace
+	}
+	if err := cpu.Validate(); err != nil {
+		return DVFSResult{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return DVFSResult{}, err
+	}
+	var duration float64
+	var cpuBusy []interval
+	var lowIntervals []interval
+	res := DVFSResult{}
+	for _, r := range tr.Requests {
+		if end := r.Arrival + r.Latency(); end > duration {
+			duration = end
+		}
+		if r.Server != server {
+			continue
+		}
+		var util float64
+		for _, s := range r.Spans {
+			if s.Subsystem == trace.CPU {
+				cpuBusy = append(cpuBusy, interval{s.Start, s.End()})
+				util = s.Util
+			}
+		}
+		if util >= p.UtilThreshold {
+			continue
+		}
+		// Downshift during the request's off-chip phases.
+		res.Downshifted++
+		res.AddedLatency += 2 * p.SwitchPenalty
+		for _, s := range r.Spans {
+			if s.Subsystem == trace.Storage || s.Subsystem == trace.Network {
+				lowIntervals = append(lowIntervals, interval{s.Start, s.End()})
+			}
+		}
+	}
+	if duration <= 0 {
+		return DVFSResult{}, fmt.Errorf("power: trace has zero duration")
+	}
+	var busyTime float64
+	for _, iv := range merge(cpuBusy) {
+		busyTime += iv.end - iv.start
+	}
+	// Low-power time excludes instants the CPU is actually busy (another
+	// request may be computing while this one waits on I/O).
+	lowTime := subtractTime(merge(lowIntervals), merge(cpuBusy))
+	res.BaselineCPUJ = cpu.Idle*duration + (cpu.Active-cpu.Idle)*busyTime
+	res.PolicyCPUJ = res.BaselineCPUJ - cpu.Idle*(1-p.LowFactor)*lowTime
+	if res.BaselineCPUJ > 0 {
+		res.SavingsFraction = 1 - res.PolicyCPUJ/res.BaselineCPUJ
+	}
+	return res, nil
+}
+
+// subtractTime returns the total length of a-minus-b for merged interval
+// lists a and b.
+func subtractTime(a, b []interval) float64 {
+	var total float64
+	j := 0
+	for _, iv := range a {
+		start := iv.start
+		for j < len(b) && b[j].end <= start {
+			j++
+		}
+		k := j
+		for start < iv.end {
+			if k >= len(b) || b[k].start >= iv.end {
+				total += iv.end - start
+				break
+			}
+			if b[k].start > start {
+				total += b[k].start - start
+			}
+			if b[k].end > start {
+				start = b[k].end
+			}
+			if start >= iv.end {
+				break
+			}
+			k++
+		}
+	}
+	return total
+}

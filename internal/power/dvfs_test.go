@@ -1,0 +1,125 @@
+package power
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcmodel/internal/gfs"
+	"dcmodel/internal/trace"
+	"dcmodel/internal/workload"
+)
+
+func TestSubtractTime(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []interval
+		want float64
+	}{
+		{"disjoint", []interval{{0, 2}}, []interval{{5, 6}}, 2},
+		{"contained", []interval{{0, 10}}, []interval{{3, 5}}, 8},
+		{"covering", []interval{{3, 5}}, []interval{{0, 10}}, 0},
+		{"partial overlap", []interval{{0, 4}}, []interval{{2, 6}}, 2},
+		{"multi", []interval{{0, 10}}, []interval{{1, 2}, {4, 5}}, 8},
+		{"empty b", []interval{{1, 3}}, nil, 2},
+		{"empty a", nil, []interval{{1, 3}}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := subtractTime(tt.a, tt.b); got != tt.want {
+				t.Errorf("subtractTime = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvaluateDVFSHandComputed(t *testing.T) {
+	// One request: cpu 1s, storage 4s, over a 10s window.
+	tr := &trace.Trace{Requests: []trace.Request{
+		{ID: 1, Arrival: 0, Spans: []trace.Span{
+			{Subsystem: trace.CPU, Start: 0, Duration: 1, Util: 0.05},
+			{Subsystem: trace.Storage, Start: 1, Duration: 4},
+		}},
+		{ID: 2, Arrival: 9.5, Spans: []trace.Span{
+			{Subsystem: trace.CPU, Start: 9.5, Duration: 0.5, Util: 0.9},
+		}},
+	}}
+	cpu := Component{Idle: 10, Active: 20}
+	policy := DVFSPolicy{UtilThreshold: 0.1, LowFactor: 0.5, SwitchPenalty: 0.001}
+	res, err := EvaluateDVFS(tr, 0, cpu, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: idle 10W*10s + extra 10W*1.5s busy = 115 J.
+	approx(t, res.BaselineCPUJ, 115, 1e-9, "baseline")
+	// Request 1 downshifts during its 4s storage phase: saves
+	// idle*(1-0.5)*4 = 20 J.
+	approx(t, res.PolicyCPUJ, 95, 1e-9, "policy energy")
+	approx(t, res.SavingsFraction, 20.0/115, 1e-9, "savings")
+	if res.Downshifted != 1 {
+		t.Errorf("downshifted = %d, want 1 (request 2 is above threshold)", res.Downshifted)
+	}
+	approx(t, res.AddedLatency, 0.002, 1e-12, "switch penalty")
+}
+
+func TestEvaluateDVFSValidation(t *testing.T) {
+	tr := handTrace()
+	cpu := Component{Idle: 10, Active: 20}
+	if _, err := EvaluateDVFS(nil, 0, cpu, DVFSPolicy{}); err == nil {
+		t.Error("nil trace should fail")
+	}
+	if _, err := EvaluateDVFS(tr, 0, Component{Idle: 5, Active: 1}, DVFSPolicy{}); err == nil {
+		t.Error("bad component should fail")
+	}
+	bads := []DVFSPolicy{
+		{UtilThreshold: -1},
+		{UtilThreshold: 2},
+		{UtilThreshold: 0.5, LowFactor: 2},
+		{UtilThreshold: 0.5, LowFactor: 0.5, SwitchPenalty: -1},
+	}
+	for i, p := range bads {
+		if _, err := EvaluateDVFS(tr, 0, cpu, p); err == nil {
+			t.Errorf("policy %d should fail validation", i)
+		}
+	}
+}
+
+func TestEvaluateDVFSOnGFS(t *testing.T) {
+	c, err := gfs.NewCluster(gfs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Run(gfs.RunConfig{
+		Mix:      workload.Table2Mix(),
+		Arrivals: workload.Poisson{Rate: 20},
+		Requests: 2000,
+	}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := BigCoreServer().CPU
+	// GFS requests are I/O dominated with low CPU utilization: an
+	// aggressive threshold downshifts nearly everything and saves real
+	// energy.
+	res, err := EvaluateDVFS(tr, 0, cpu, DVFSPolicy{UtilThreshold: 0.5, LowFactor: 0.3, SwitchPenalty: 10e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Downshifted < 1900 {
+		t.Errorf("downshifted = %d, want nearly all", res.Downshifted)
+	}
+	if res.SavingsFraction < 0.1 {
+		t.Errorf("savings = %g, want > 10%%", res.SavingsFraction)
+	}
+	// A zero threshold downshifts nothing and saves nothing.
+	none, err := EvaluateDVFS(tr, 0, cpu, DVFSPolicy{UtilThreshold: 0, LowFactor: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Downshifted != 0 || none.SavingsFraction != 0 {
+		t.Errorf("zero threshold should be a no-op: %+v", none)
+	}
+	// Policy energy never exceeds baseline.
+	if res.PolicyCPUJ > res.BaselineCPUJ {
+		t.Error("policy energy above baseline")
+	}
+}

@@ -1,0 +1,158 @@
+package queueing
+
+import (
+	"fmt"
+
+	"dcmodel/internal/stats"
+)
+
+// JacksonNode describes one station of an open Jackson network.
+type JacksonNode struct {
+	// Name labels the node in results.
+	Name string
+	// Mu is the exponential service rate per server.
+	Mu float64
+	// Servers is the number of parallel servers (>= 1).
+	Servers int
+	// External is the external Poisson arrival rate into this node.
+	External float64
+}
+
+// JacksonNetwork is an open Jackson network: Poisson external arrivals,
+// exponential services, probabilistic routing. Liu et al.'s 3-tier web
+// model is an instance with chain routing web -> app -> db.
+type JacksonNetwork struct {
+	Nodes []JacksonNode
+	// Routing[i][j] is the probability a job leaving node i proceeds to
+	// node j; the remainder 1 - sum_j Routing[i][j] exits the network.
+	Routing [][]float64
+}
+
+// JacksonNodeResult reports the per-node steady-state metrics.
+type JacksonNodeResult struct {
+	Name         string
+	Arrival      float64 // effective arrival rate (traffic equations)
+	Utilization  float64
+	MeanJobs     float64
+	MeanResponse float64
+}
+
+// JacksonResult reports the network steady state.
+type JacksonResult struct {
+	Nodes []JacksonNodeResult
+	// Throughput is the total external arrival rate (= exit rate).
+	Throughput float64
+	// MeanJobs is the total mean population.
+	MeanJobs float64
+	// MeanResponse is the end-to-end mean response time by Little's law.
+	MeanResponse float64
+}
+
+// Solve computes the steady state of the network: it solves the traffic
+// equations lambda_j = gamma_j + sum_i lambda_i R[i][j], then applies
+// per-node M/M/c formulas (product form).
+func (n *JacksonNetwork) Solve() (JacksonResult, error) {
+	k := len(n.Nodes)
+	if k == 0 {
+		return JacksonResult{}, fmt.Errorf("queueing: jackson network has no nodes")
+	}
+	if len(n.Routing) != k {
+		return JacksonResult{}, fmt.Errorf("queueing: routing matrix has %d rows, want %d", len(n.Routing), k)
+	}
+	for i, row := range n.Routing {
+		if len(row) != k {
+			return JacksonResult{}, fmt.Errorf("queueing: routing row %d has %d cols, want %d", i, len(row), k)
+		}
+		var sum float64
+		for _, p := range row {
+			if p < 0 {
+				return JacksonResult{}, fmt.Errorf("queueing: negative routing probability at row %d", i)
+			}
+			sum += p
+		}
+		if sum > 1+1e-9 {
+			return JacksonResult{}, fmt.Errorf("queueing: routing row %d sums to %g > 1", i, sum)
+		}
+	}
+	// Traffic equations: (I - R^T) lambda = gamma.
+	a := stats.NewMatrix(k, k)
+	gamma := make([]float64, k)
+	var totalExternal float64
+	for i := 0; i < k; i++ {
+		gamma[i] = n.Nodes[i].External
+		totalExternal += gamma[i]
+		for j := 0; j < k; j++ {
+			v := 0.0
+			if i == j {
+				v = 1
+			}
+			a.Set(i, j, v-n.Routing[j][i])
+		}
+	}
+	if totalExternal <= 0 {
+		return JacksonResult{}, fmt.Errorf("queueing: open network needs positive external arrivals")
+	}
+	lambda, err := stats.SolveLinear(a, gamma)
+	if err != nil {
+		return JacksonResult{}, fmt.Errorf("queueing: traffic equations: %w", err)
+	}
+	res := JacksonResult{Throughput: totalExternal}
+	for i, node := range n.Nodes {
+		servers := node.Servers
+		if servers < 1 {
+			servers = 1
+		}
+		var nodeRes JacksonNodeResult
+		nodeRes.Name = node.Name
+		nodeRes.Arrival = lambda[i]
+		if lambda[i] <= 0 {
+			res.Nodes = append(res.Nodes, nodeRes)
+			continue
+		}
+		if servers == 1 {
+			q, err := NewMM1(lambda[i], node.Mu)
+			if err != nil {
+				return JacksonResult{}, fmt.Errorf("queueing: node %s: %w", node.Name, err)
+			}
+			nodeRes.Utilization = q.Utilization()
+			nodeRes.MeanJobs = q.MeanJobs()
+			nodeRes.MeanResponse = q.MeanResponse()
+		} else {
+			q, err := NewMMc(lambda[i], node.Mu, servers)
+			if err != nil {
+				return JacksonResult{}, fmt.Errorf("queueing: node %s: %w", node.Name, err)
+			}
+			nodeRes.Utilization = q.Utilization()
+			nodeRes.MeanJobs = q.MeanJobs()
+			nodeRes.MeanResponse = q.MeanResponse()
+		}
+		res.MeanJobs += nodeRes.MeanJobs
+		res.Nodes = append(res.Nodes, nodeRes)
+	}
+	res.MeanResponse = res.MeanJobs / totalExternal
+	return res, nil
+}
+
+// TandemNetwork builds the chain routing network web -> app -> db (every
+// job visits all tiers once) with the given per-tier service rates and
+// external arrival rate into the first tier. It is the canonical 3-tier
+// in-depth model.
+func TandemNetwork(names []string, mus []float64, servers []int, lambda float64) (*JacksonNetwork, error) {
+	k := len(names)
+	if k == 0 || len(mus) != k || len(servers) != k {
+		return nil, fmt.Errorf("queueing: tandem needs matching names/mus/servers, got %d/%d/%d", len(names), len(mus), len(servers))
+	}
+	n := &JacksonNetwork{
+		Nodes:   make([]JacksonNode, k),
+		Routing: make([][]float64, k),
+	}
+	for i := 0; i < k; i++ {
+		n.Nodes[i] = JacksonNode{Name: names[i], Mu: mus[i], Servers: servers[i]}
+		n.Routing[i] = make([]float64, k)
+		if i+1 < k {
+			n.Routing[i][i+1] = 1
+		}
+	}
+	n.Nodes[0].External = lambda
+	return n, nil
+}

@@ -1,0 +1,102 @@
+package queueing
+
+import (
+	"fmt"
+)
+
+// Exact Mean Value Analysis for closed product-form queueing networks —
+// the "analysis of closed queueing networks" Luthi's VU-lists target and
+// the BCMP-style closed models of Imieowski. A closed network has N
+// circulating customers (e.g. N concurrent users with think time) visiting
+// queueing stations with given service demands.
+
+// MVAStation is one station of a closed network.
+type MVAStation struct {
+	// Name labels the station.
+	Name string
+	// Demand is the per-visit service demand times the visit ratio
+	// (seconds per job cycle).
+	Demand float64
+	// Delay marks a pure delay (infinite-server) station, e.g. user think
+	// time: customers never queue there.
+	Delay bool
+}
+
+// MVAResult holds the steady state for one population size.
+type MVAResult struct {
+	// Customers is the population N this row describes.
+	Customers int
+	// Throughput is the system throughput X(N) in jobs/second.
+	Throughput float64
+	// ResponseTime is the total response time R(N) excluding delay
+	// stations' contribution is included (R = N/X).
+	ResponseTime float64
+	// QueueLen holds the mean number of customers at each station.
+	QueueLen []float64
+	// StationResp holds the per-station residence time.
+	StationResp []float64
+}
+
+// MVA computes the exact mean value analysis for populations 1..n and
+// returns one result per population size.
+func MVA(stations []MVAStation, n int) ([]MVAResult, error) {
+	if len(stations) == 0 {
+		return nil, fmt.Errorf("queueing: mva needs at least one station")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("queueing: mva needs a positive population, got %d", n)
+	}
+	for i, s := range stations {
+		if s.Demand < 0 {
+			return nil, fmt.Errorf("queueing: mva station %d (%s) has negative demand", i, s.Name)
+		}
+	}
+	k := len(stations)
+	queue := make([]float64, k) // Q_i(N-1), starts at 0 for N=0
+	results := make([]MVAResult, 0, n)
+	for pop := 1; pop <= n; pop++ {
+		resp := make([]float64, k)
+		var total float64
+		for i, s := range stations {
+			if s.Delay {
+				resp[i] = s.Demand
+			} else {
+				resp[i] = s.Demand * (1 + queue[i])
+			}
+			total += resp[i]
+		}
+		x := float64(pop) / total
+		next := make([]float64, k)
+		for i := range stations {
+			next[i] = x * resp[i]
+		}
+		queue = next
+		results = append(results, MVAResult{
+			Customers:    pop,
+			Throughput:   x,
+			ResponseTime: total,
+			QueueLen:     next,
+			StationResp:  resp,
+		})
+	}
+	return results, nil
+}
+
+// Bottleneck returns the index of the station with the largest demand
+// among queueing (non-delay) stations — the asymptotic throughput limit
+// X(N) -> 1/D_max.
+func Bottleneck(stations []MVAStation) (int, error) {
+	best, bestD := -1, -1.0
+	for i, s := range stations {
+		if s.Delay {
+			continue
+		}
+		if s.Demand > bestD {
+			best, bestD = i, s.Demand
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("queueing: no queueing station in the network")
+	}
+	return best, nil
+}

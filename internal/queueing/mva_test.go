@@ -1,0 +1,114 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMVASingleStation(t *testing.T) {
+	// One queueing station, N=1: no queueing, X = 1/D.
+	res, err := MVA([]MVAStation{{Name: "cpu", Demand: 0.1}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	approx(t, res[0].Throughput, 10, 1e-12, "X(1)")
+	approx(t, res[0].ResponseTime, 0.1, 1e-12, "R(1)")
+	// With more customers the single station saturates: X -> 1/D.
+	approx(t, res[2].Throughput, 10, 1e-9, "X(3) saturated")
+	approx(t, res[2].ResponseTime, 0.3, 1e-9, "R(3) = N/X")
+}
+
+func TestMVAInteractiveSystem(t *testing.T) {
+	// Classic interactive system: think time Z=2s (delay), cpu D=0.05,
+	// disk D=0.08 (bottleneck). Asymptotes: X -> 1/0.08 = 12.5;
+	// R -> N*Dmax - Z for large N.
+	stations := []MVAStation{
+		{Name: "think", Demand: 2, Delay: true},
+		{Name: "cpu", Demand: 0.05},
+		{Name: "disk", Demand: 0.08},
+	}
+	res, err := MVA(stations, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N=1: no queueing anywhere.
+	approx(t, res[0].ResponseTime, 2.13, 1e-9, "R(1)")
+	approx(t, res[0].Throughput, 1/2.13, 1e-9, "X(1)")
+	// Large N: bottleneck law.
+	x100 := res[99].Throughput
+	approx(t, x100, 12.5, 0.05, "X(100) near bottleneck limit")
+	// Throughput is non-decreasing in N for product-form networks.
+	for i := 1; i < len(res); i++ {
+		if res[i].Throughput < res[i-1].Throughput-1e-9 {
+			t.Fatalf("throughput decreased at N=%d", i+1)
+		}
+	}
+	// Little's law at every population: N = X * (R) where R includes all
+	// stations (think included in ResponseTime here since R=sum resp).
+	for _, row := range res {
+		if math.Abs(float64(row.Customers)-row.Throughput*row.ResponseTime) > 1e-6 {
+			t.Fatalf("Little's law violated at N=%d", row.Customers)
+		}
+	}
+	// Queue lengths sum to N.
+	last := res[99]
+	var totalQ float64
+	for _, q := range last.QueueLen {
+		totalQ += q
+	}
+	approx(t, totalQ, 100, 1e-6, "queue lengths sum to N")
+}
+
+func TestMVABottleneck(t *testing.T) {
+	stations := []MVAStation{
+		{Name: "think", Demand: 5, Delay: true},
+		{Name: "cpu", Demand: 0.05},
+		{Name: "disk", Demand: 0.08},
+	}
+	b, err := Bottleneck(stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stations[b].Name != "disk" {
+		t.Errorf("bottleneck = %s, want disk", stations[b].Name)
+	}
+	if _, err := Bottleneck([]MVAStation{{Name: "z", Demand: 1, Delay: true}}); err == nil {
+		t.Error("delay-only network should fail")
+	}
+}
+
+func TestMVAErrors(t *testing.T) {
+	if _, err := MVA(nil, 5); err == nil {
+		t.Error("no stations should fail")
+	}
+	if _, err := MVA([]MVAStation{{Demand: 1}}, 0); err == nil {
+		t.Error("zero population should fail")
+	}
+	if _, err := MVA([]MVAStation{{Demand: -1}}, 1); err == nil {
+		t.Error("negative demand should fail")
+	}
+}
+
+func TestMVAMatchesOpenNetworkAtLowLoad(t *testing.T) {
+	// With a huge think time the closed system behaves like an open one
+	// at rate N/Z: compare a light-load case with M/M/1.
+	const z = 1000.0
+	stations := []MVAStation{
+		{Name: "think", Demand: z, Delay: true},
+		{Name: "srv", Demand: 0.1},
+	}
+	res, err := MVA(stations, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res[49]
+	lambda := last.Throughput // ~50/1000 = 0.05
+	q, err := NewMM1(lambda, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, last.StationResp[1], q.MeanResponse(), 0.002, "station response vs open M/M/1")
+}

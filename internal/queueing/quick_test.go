@@ -1,0 +1,121 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcmodel/internal/stats"
+)
+
+// Property: for random stable configurations the simulator conserves jobs
+// (exactly NumJobs - Warmup records), produces non-negative waits, keeps
+// utilization in [0, 1], and response = wait + service per visit.
+func TestSimulateInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nStations := 1 + r.Intn(3)
+		stations := make([]Station, nStations)
+		for i := range stations {
+			stations[i] = Station{
+				Name:    "s",
+				Servers: 1 + r.Intn(3),
+				Service: stats.Exponential{Rate: 5 + 10*r.Float64()},
+			}
+		}
+		path := make([]int, 1+r.Intn(nStations))
+		for i := range path {
+			path[i] = r.Intn(nStations)
+		}
+		cfg := Config{
+			Stations:     stations,
+			Classes:      []Class{{Name: "c", Weight: 1, Path: path}},
+			Interarrival: stats.Exponential{Rate: 0.5 + r.Float64()},
+			NumJobs:      300,
+			Warmup:       30,
+		}
+		res, err := Simulate(cfg, r)
+		if err != nil {
+			return false
+		}
+		if len(res.Jobs) != 270 {
+			return false
+		}
+		for _, j := range res.Jobs {
+			var wait, svc float64
+			for _, s := range j.Steps {
+				if s.Wait < 0 || s.Service < 0 {
+					return false
+				}
+				wait += s.Wait
+				svc += s.Service
+			}
+			if math.Abs(j.Response()-(wait+svc)) > 1e-6 {
+				return false
+			}
+		}
+		for _, s := range res.Stations {
+			if s.Utilization < 0 || s.Utilization > 1+1e-9 {
+				return false
+			}
+			if s.MeanQueueLen < 0 || s.MeanWait < 0 {
+				return false
+			}
+		}
+		return res.Makespan > 0 && res.Throughput > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MVA with random demands satisfies Little's law at every
+// population and throughput never exceeds the bottleneck bound.
+func TestMVAInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		stations := make([]MVAStation, n)
+		var dmax float64
+		for i := range stations {
+			stations[i] = MVAStation{
+				Demand: 0.01 + r.Float64(),
+				Delay:  r.Intn(3) == 0 && i > 0,
+			}
+			if !stations[i].Delay && stations[i].Demand > dmax {
+				dmax = stations[i].Demand
+			}
+		}
+		if dmax == 0 {
+			stations[0].Delay = false
+			dmax = stations[0].Demand
+		}
+		res, err := MVA(stations, 30)
+		if err != nil {
+			return false
+		}
+		for _, row := range res {
+			if math.Abs(float64(row.Customers)-row.Throughput*row.ResponseTime) > 1e-6 {
+				return false
+			}
+			if row.Throughput > 1/dmax+1e-9 {
+				return false
+			}
+			var q float64
+			for _, v := range row.QueueLen {
+				if v < 0 {
+					return false
+				}
+				q += v
+			}
+			if math.Abs(q-float64(row.Customers)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

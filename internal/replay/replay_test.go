@@ -1,0 +1,181 @@
+package replay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dcmodel/internal/gfs"
+	"dcmodel/internal/hw"
+	"dcmodel/internal/trace"
+	"dcmodel/internal/workload"
+)
+
+func gfsTrace(t *testing.T, servers, n int, seed int64) *trace.Trace {
+	t.Helper()
+	cfg := gfs.DefaultConfig()
+	cfg.Chunkservers = servers
+	c, err := gfs.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Run(gfs.RunConfig{
+		Mix:      workload.Table2Mix(),
+		Arrivals: workload.Poisson{Rate: 20},
+		Requests: n,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestReplayReproducesOriginalExactly(t *testing.T) {
+	// The engine's core invariant: replaying a GFS trace on an identical
+	// platform reproduces every span time and thus every latency.
+	tr := gfsTrace(t, 1, 500, 500)
+	re, err := Run(tr, Platform{NewServer: gfs.DefaultServerHW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != tr.Len() {
+		t.Fatalf("replayed %d requests, want %d", re.Len(), tr.Len())
+	}
+	for i, orig := range tr.Requests {
+		got := re.Requests[i]
+		if got.ID != orig.ID || got.Class != orig.Class {
+			t.Fatalf("request %d identity changed", i)
+		}
+		if math.Abs(got.Latency()-orig.Latency()) > 1e-9 {
+			t.Fatalf("request %d latency %g != original %g", i, got.Latency(), orig.Latency())
+		}
+		for j := range orig.Spans {
+			if math.Abs(got.Spans[j].Start-orig.Spans[j].Start) > 1e-9 ||
+				math.Abs(got.Spans[j].Duration-orig.Spans[j].Duration) > 1e-9 {
+				t.Fatalf("request %d span %d timing mismatch: %+v vs %+v", i, j, got.Spans[j], orig.Spans[j])
+			}
+		}
+	}
+}
+
+func TestReplayReproducesCacheHitTrace(t *testing.T) {
+	// Requests without a storage phase (page-cache hits) replay exactly
+	// too: the memory-row convention matches the generator's.
+	cfg := gfs.DefaultConfig()
+	cfg.CacheHitProb = 0.5
+	c, err := gfs.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Run(gfs.RunConfig{
+		Mix:      workload.Table2Mix(),
+		Arrivals: workload.Poisson{Rate: 20},
+		Requests: 800,
+	}, rand.New(rand.NewSource(506)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Run(tr, Platform{NewServer: gfs.DefaultServerHW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, orig := range tr.Requests {
+		if math.Abs(re.Requests[i].Latency()-orig.Latency()) > 1e-9 {
+			t.Fatalf("request %d latency %g != original %g", i, re.Requests[i].Latency(), orig.Latency())
+		}
+	}
+}
+
+func TestReplayMultiServer(t *testing.T) {
+	tr := gfsTrace(t, 4, 800, 501)
+	re, err := Run(tr, Platform{NewServer: gfs.DefaultServerHW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, orig := range tr.Requests {
+		if math.Abs(re.Requests[i].Latency()-orig.Latency()) > 1e-9 {
+			t.Fatalf("request %d latency mismatch on multi-server replay", i)
+		}
+	}
+}
+
+func TestReplayPreservesFeatures(t *testing.T) {
+	tr := gfsTrace(t, 1, 300, 502)
+	re, err := Run(tr, Platform{NewServer: gfs.DefaultServerHW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, orig := range tr.Requests {
+		got := re.Requests[i]
+		for j, s := range orig.Spans {
+			g := got.Spans[j]
+			if g.Bytes != s.Bytes || g.LBN != s.LBN || g.Bank != s.Bank || g.Op != s.Op {
+				t.Fatalf("request %d span %d features changed: %+v vs %+v", i, j, g, s)
+			}
+		}
+	}
+}
+
+func TestReplaySlowerPlatformSlower(t *testing.T) {
+	tr := gfsTrace(t, 1, 300, 503)
+	fast, err := Run(tr, Platform{NewServer: gfs.DefaultServerHW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowHW := func() *hw.Server {
+		s := gfs.DefaultServerHW()
+		s.Disk.TransferRate /= 4
+		s.Net.Bandwidth /= 4
+		return s
+	}
+	slow, err := Run(tr, Platform{NewServer: slowHW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fastMean, slowMean float64
+	for i := range fast.Requests {
+		fastMean += fast.Requests[i].Latency()
+		slowMean += slow.Requests[i].Latency()
+	}
+	if slowMean <= fastMean {
+		t.Errorf("slow platform total %g not above fast %g", slowMean, fastMean)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	if _, err := Run(nil, Platform{NewServer: gfs.DefaultServerHW}); err == nil {
+		t.Error("nil trace should fail")
+	}
+	if _, err := Run(&trace.Trace{}, Platform{NewServer: gfs.DefaultServerHW}); err == nil {
+		t.Error("empty trace should fail")
+	}
+	tr := gfsTrace(t, 1, 10, 504)
+	if _, err := Run(tr, Platform{}); err == nil {
+		t.Error("missing server factory should fail")
+	}
+	bad := &trace.Trace{Requests: []trace.Request{{ID: 1, Server: -1}}}
+	if _, err := Run(bad, Platform{NewServer: gfs.DefaultServerHW}); err == nil {
+		t.Error("negative server should fail")
+	}
+	badHW := func() *hw.Server { return &hw.Server{} }
+	if _, err := Run(tr, Platform{NewServer: badHW}); err == nil {
+		t.Error("invalid hardware should fail")
+	}
+	badSpan := &trace.Trace{Requests: []trace.Request{{
+		ID: 1, Spans: []trace.Span{{Subsystem: trace.Subsystem(9)}},
+	}}}
+	if _, err := Run(badSpan, Platform{NewServer: gfs.DefaultServerHW}); err == nil {
+		t.Error("invalid subsystem should fail")
+	}
+}
+
+func TestReplayExplicitServerCount(t *testing.T) {
+	tr := gfsTrace(t, 1, 50, 505)
+	re, err := Run(tr, Platform{NewServer: gfs.DefaultServerHW, Servers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 50 {
+		t.Errorf("replayed %d", re.Len())
+	}
+}

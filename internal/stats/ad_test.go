@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestADTestAcceptsTrueDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(150))
+	var rejections int
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		xs := Sample(Exponential{Rate: 2}, 500, r)
+		if ADTest(xs, Exponential{Rate: 2}).P < 0.05 {
+			rejections++
+		}
+	}
+	// At level 0.05 roughly 5% of true-null trials reject.
+	if rejections > trials/4 {
+		t.Errorf("AD rejected true distribution %d/%d times", rejections, trials)
+	}
+}
+
+func TestADTestRejectsWrongDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(151))
+	xs := Sample(LogNormal{Mu: 0, Sigma: 1}, 1000, r)
+	fit, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ADTest(xs, fit)
+	if res.P > 0.01 {
+		t.Errorf("AD failed to reject exponential fit of lognormal data: p=%g", res.P)
+	}
+}
+
+func TestADMoreTailSensitiveThanKS(t *testing.T) {
+	// A distribution that matches in the body but differs in the tail:
+	// AD should produce a larger (more significant) statistic relative to
+	// its null than KS.
+	r := rand.New(rand.NewSource(152))
+	// Truncate an exponential's tail: same body, no tail mass.
+	truncated := make([]float64, 0, 2000)
+	for len(truncated) < 2000 {
+		x := Sample(Exponential{Rate: 1}, 1, r)[0]
+		if x < 2.5 { // chop the top ~8%
+			truncated = append(truncated, x)
+		}
+	}
+	ad := ADTest(truncated, Exponential{Rate: 1})
+	ks := KSTest(truncated, Exponential{Rate: 1})
+	if ad.P >= 0.01 {
+		t.Errorf("AD should strongly reject the truncated tail: p=%g", ad.P)
+	}
+	// Both reject here, but AD must not be weaker.
+	if ad.P > ks.P {
+		t.Errorf("AD p=%g weaker than KS p=%g on a tail defect", ad.P, ks.P)
+	}
+}
+
+func TestADEdgeCases(t *testing.T) {
+	if res := ADTest(nil, Exponential{Rate: 1}); res.P != 1 {
+		t.Errorf("empty AD p = %g", res.P)
+	}
+	// Values outside the support must not produce NaN/Inf.
+	res := ADTest([]float64{-5, 0, 1e308}, Exponential{Rate: 1})
+	if res.Statistic <= 0 {
+		t.Errorf("degenerate sample statistic = %g", res.Statistic)
+	}
+	if res.P < 0 || res.P > 1 {
+		t.Errorf("p out of range: %g", res.P)
+	}
+	if adPValue(-1) != 1 || adPValue(100) != 0 {
+		t.Error("p-value endpoints wrong")
+	}
+}

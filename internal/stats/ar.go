@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Autoregressive modeling: the second phase of Li's two-phase grid-workload
+// model "generates autocorrelations that match the real data to create
+// synthetic workloads". An AR(p) process fitted by Yule-Walker reproduces a
+// series' short-range autocorrelation structure; combined with a marginal
+// transform it yields synthetic series with both the right distribution and
+// the right correlations.
+
+// ARModel is a fitted autoregressive model of order p:
+// x_t = Mean + sum_i Coef[i] (x_{t-i} - Mean) + e_t, e_t ~ N(0, NoiseVar).
+type ARModel struct {
+	// Coef holds the AR coefficients, Coef[0] being the lag-1 weight.
+	Coef []float64
+	// Mean is the process mean.
+	Mean float64
+	// NoiseVar is the innovation variance.
+	NoiseVar float64
+}
+
+// FitAR fits an AR(p) model to xs by solving the Yule-Walker equations.
+func FitAR(xs []float64, p int) (*ARModel, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("stats: AR order must be >= 1, got %d", p)
+	}
+	if len(xs) < 2*p+2 {
+		return nil, ErrShortSample
+	}
+	acf := ACF(xs, p)
+	variance := PopVariance(xs)
+	if variance == 0 {
+		return nil, fmt.Errorf("stats: AR fit needs non-constant data")
+	}
+	// Toeplitz system R a = r, R[i][j] = acf(|i-j|), r[i] = acf(i+1).
+	m := NewMatrix(p, p)
+	r := make([]float64, p)
+	for i := 0; i < p; i++ {
+		r[i] = acf[i+1]
+		for j := 0; j < p; j++ {
+			lag := i - j
+			if lag < 0 {
+				lag = -lag
+			}
+			m.Set(i, j, acf[lag])
+		}
+	}
+	coef, err := SolveLinear(m, r)
+	if err != nil {
+		return nil, fmt.Errorf("stats: yule-walker: %w", err)
+	}
+	// Innovation variance: sigma^2 = var * (1 - sum a_i rho_i).
+	noise := 1.0
+	for i := 0; i < p; i++ {
+		noise -= coef[i] * acf[i+1]
+	}
+	noiseVar := variance * noise
+	if noiseVar < 0 {
+		noiseVar = 0
+	}
+	return &ARModel{Coef: coef, Mean: Mean(xs), NoiseVar: noiseVar}, nil
+}
+
+// Order returns the model order p.
+func (m *ARModel) Order() int { return len(m.Coef) }
+
+// Simulate generates n values from the model after a burn-in of 10*p
+// steps.
+func (m *ARModel) Simulate(n int, r *rand.Rand) []float64 {
+	p := m.Order()
+	burn := 10 * p
+	state := make([]float64, p) // deviations from mean, newest first
+	sd := math.Sqrt(m.NoiseVar)
+	out := make([]float64, 0, n)
+	for t := 0; t < burn+n; t++ {
+		var x float64
+		for i, a := range m.Coef {
+			x += a * state[i]
+		}
+		x += sd * r.NormFloat64()
+		copy(state[1:], state[:p-1])
+		state[0] = x
+		if t >= burn {
+			out = append(out, m.Mean+x)
+		}
+	}
+	return out
+}
+
+// TheoreticalACF returns the model-implied autocorrelations at lags
+// 0..maxLag via the recursive extension of the Yule-Walker equations.
+func (m *ARModel) TheoreticalACF(maxLag int) []float64 {
+	p := m.Order()
+	// Solve for the first p autocorrelations from the fitted
+	// coefficients, then extend by rho_k = sum a_i rho_{k-i}.
+	// For simplicity (and because FitAR derives coefficients from the
+	// sample ACF), seed with a long simulation-free fixed-point
+	// iteration.
+	rho := make([]float64, maxLag+1)
+	rho[0] = 1
+	// Fixed-point iteration for rho_1..rho_p.
+	work := make([]float64, p+1)
+	work[0] = 1
+	for iter := 0; iter < 500; iter++ {
+		var maxDelta float64
+		for k := 1; k <= p; k++ {
+			var v float64
+			for i, a := range m.Coef {
+				lag := k - (i + 1)
+				if lag < 0 {
+					lag = -lag
+				}
+				v += a * work[lag]
+			}
+			if d := math.Abs(v - work[k]); d > maxDelta {
+				maxDelta = d
+			}
+			work[k] = v
+		}
+		if maxDelta < 1e-12 {
+			break
+		}
+	}
+	for k := 1; k <= maxLag; k++ {
+		if k <= p {
+			rho[k] = work[k]
+			continue
+		}
+		var v float64
+		for i, a := range m.Coef {
+			v += a * rho[k-(i+1)]
+		}
+		rho[k] = v
+	}
+	return rho
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// arSeries generates an AR(2) series with known coefficients.
+func arSeries(n int, a1, a2, mean float64, r *rand.Rand) []float64 {
+	xs := make([]float64, n)
+	var p1, p2 float64
+	for i := range xs {
+		x := a1*p1 + a2*p2 + r.NormFloat64()
+		p2, p1 = p1, x
+		xs[i] = mean + x
+	}
+	return xs
+}
+
+func TestFitARRecoversCoefficients(t *testing.T) {
+	r := rand.New(rand.NewSource(110))
+	xs := arSeries(100000, 0.6, 0.2, 5, r)
+	m, err := FitAR(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, m.Coef[0], 0.6, 0.02, "a1")
+	approx(t, m.Coef[1], 0.2, 0.02, "a2")
+	approx(t, m.Mean, 5, 0.15, "mean")
+	approx(t, m.NoiseVar, 1, 0.05, "noise variance")
+	if m.Order() != 2 {
+		t.Errorf("order = %d", m.Order())
+	}
+}
+
+func TestARSimulateMatchesACF(t *testing.T) {
+	// Li's requirement: the synthetic series' autocorrelations match the
+	// original's.
+	r := rand.New(rand.NewSource(111))
+	orig := arSeries(50000, 0.7, 0, 10, r)
+	m, err := FitAR(orig, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := m.Simulate(50000, r)
+	if len(synth) != 50000 {
+		t.Fatalf("synth length %d", len(synth))
+	}
+	origACF := ACF(orig, 5)
+	synthACF := ACF(synth, 5)
+	for lag := 1; lag <= 5; lag++ {
+		if math.Abs(origACF[lag]-synthACF[lag]) > 0.03 {
+			t.Errorf("lag %d: orig %g vs synth %g", lag, origACF[lag], synthACF[lag])
+		}
+	}
+	approx(t, Mean(synth), Mean(orig), 0.2, "synthetic mean")
+	approx(t, Variance(synth), Variance(orig), 0.15*Variance(orig), "synthetic variance")
+}
+
+func TestARTheoreticalACF(t *testing.T) {
+	// AR(1) with coefficient a has ACF(k) = a^k.
+	m := &ARModel{Coef: []float64{0.8}, Mean: 0, NoiseVar: 1}
+	rho := m.TheoreticalACF(5)
+	for k := 0; k <= 5; k++ {
+		approx(t, rho[k], math.Pow(0.8, float64(k)), 1e-9, "AR(1) theoretical ACF")
+	}
+	// AR(2): rho_1 = a1/(1-a2).
+	m2 := &ARModel{Coef: []float64{0.5, 0.3}, Mean: 0, NoiseVar: 1}
+	rho2 := m2.TheoreticalACF(3)
+	approx(t, rho2[1], 0.5/(1-0.3), 1e-9, "AR(2) rho1")
+	approx(t, rho2[2], 0.5*rho2[1]+0.3, 1e-9, "AR(2) rho2")
+}
+
+func TestFitARErrors(t *testing.T) {
+	if _, err := FitAR([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("order 0 should fail")
+	}
+	if _, err := FitAR([]float64{1, 2, 3}, 5); err == nil {
+		t.Error("short sample should fail")
+	}
+	if _, err := FitAR([]float64{2, 2, 2, 2, 2, 2, 2, 2}, 1); err == nil {
+		t.Error("constant series should fail")
+	}
+}
+
+func TestVUListBasics(t *testing.T) {
+	data := [][]float64{
+		{1, 10}, {1.1, 11}, {0.9, 9},
+		{5, 50}, {5.2, 52},
+	}
+	v, err := NewVUList(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Total() != 5 {
+		t.Errorf("total = %d", v.Total())
+	}
+	if v.Dims != 2 {
+		t.Errorf("dims = %d", v.Dims)
+	}
+	if v.Cells() < 2 {
+		t.Errorf("cells = %d, want the two clusters separated", v.Cells())
+	}
+	// The cluster around (1, 10) holds 3/5 of the mass.
+	approx(t, v.Prob([]float64{1, 10}), 0.6, 1e-12, "cluster mass")
+	if p := v.Prob([]float64{3, 30}); p != 0 {
+		t.Errorf("empty cell mass = %g", p)
+	}
+}
+
+func TestVUListErrors(t *testing.T) {
+	if _, err := NewVUList(nil, 4); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := NewVUList([][]float64{{1}}, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	if _, err := NewVUList([][]float64{{}}, 4); err == nil {
+		t.Error("zero dims should fail")
+	}
+	if _, err := NewVUList([][]float64{{1, 2}, {3}}, 4); err == nil {
+		t.Error("ragged data should fail")
+	}
+	v, err := NewVUList([][]float64{{1, 2}, {3, 4}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.MarginalMean(5); err == nil {
+		t.Error("bad dimension should fail")
+	}
+}
+
+func TestVUListPreservesCorrelation(t *testing.T) {
+	// The whole point of VU-lists: jointly binned features keep their
+	// correlation; independent histograms would not.
+	r := rand.New(rand.NewSource(112))
+	n := 5000
+	data := make([][]float64, n)
+	for i := range data {
+		base := r.NormFloat64() * 10
+		data[i] = []float64{base, 3*base + r.NormFloat64()}
+	}
+	v, err := NewVUList(data, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs, ys []float64
+	for i := 0; i < 5000; i++ {
+		s := v.Sample(r)
+		xs = append(xs, s[0])
+		ys = append(ys, s[1])
+	}
+	if c := Correlation(xs, ys); c < 0.95 {
+		t.Errorf("sampled correlation = %g, want ~1", c)
+	}
+	m0, err := v.MarginalMean(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, m0, 0, 1.0, "marginal mean feature 0")
+}
+
+func TestVUListSampleWithinRange(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	data := [][]float64{{0, 0}, {1, 10}, {2, 20}, {3, 30}}
+	v, err := NewVUList(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		s := v.Sample(r)
+		if s[0] < 0 || s[0] > 3 || s[1] < 0 || s[1] > 30 {
+			t.Fatalf("sample %v outside data range", s)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Clustering: k-means and diagonal-covariance Gaussian-mixture EM. Li's
+// grid-workload model uses "Model-Based Clustering in order to perform the
+// distribution fitting" as its first phase; Abrahao et al. categorize CPU
+// utilization patterns similarly. KOOZA uses clustering to discretize
+// continuous features (e.g. CPU utilization levels) into Markov states.
+
+// KMeansResult is the outcome of a k-means run.
+type KMeansResult struct {
+	// Centroids has one row per cluster.
+	Centroids *Matrix
+	// Assign maps each observation to its cluster index.
+	Assign []int
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+	// Iters is the number of iterations performed.
+	Iters int
+}
+
+// KMeans clusters the rows of data into k clusters using Lloyd's algorithm
+// with k-means++ seeding. r drives the seeding; maxIter bounds iteration.
+func KMeans(data *Matrix, k int, r *rand.Rand, maxIter int) (KMeansResult, error) {
+	n, d := data.Rows, data.Cols
+	if k < 1 {
+		return KMeansResult{}, fmt.Errorf("stats: kmeans k=%d must be positive", k)
+	}
+	if n < k {
+		return KMeansResult{}, fmt.Errorf("stats: kmeans needs >= k=%d observations, got %d", k, n)
+	}
+	if maxIter < 1 {
+		maxIter = 100
+	}
+	centroids := kmeansppSeed(data, k, r)
+	assign := make([]int, n)
+	var inertia float64
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// Assignment step.
+		changed := false
+		inertia = 0
+		for i := 0; i < n; i++ {
+			row := data.Row(i)
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				dd := sqDist(row, centroids.Row(c))
+				if dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			inertia += bestD
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		// Update step.
+		counts := make([]int, k)
+		next := NewMatrix(k, d)
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			row := data.Row(i)
+			cr := next.Row(c)
+			for j, x := range row {
+				cr[j] += x
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid.
+				far, farD := 0, -1.0
+				for i := 0; i < n; i++ {
+					dd := sqDist(data.Row(i), centroids.Row(assign[i]))
+					if dd > farD {
+						far, farD = i, dd
+					}
+				}
+				copy(next.Row(c), data.Row(far))
+				counts[c] = 1
+				continue
+			}
+			cr := next.Row(c)
+			for j := range cr {
+				cr[j] /= float64(counts[c])
+			}
+		}
+		centroids = next
+	}
+	return KMeansResult{Centroids: centroids, Assign: assign, Inertia: inertia, Iters: iters}, nil
+}
+
+func kmeansppSeed(data *Matrix, k int, r *rand.Rand) *Matrix {
+	n, d := data.Rows, data.Cols
+	centroids := NewMatrix(k, d)
+	first := r.Intn(n)
+	copy(centroids.Row(0), data.Row(first))
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = sqDist(data.Row(i), centroids.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		total := Sum(dist)
+		var idx int
+		if total <= 0 {
+			idx = r.Intn(n)
+		} else {
+			target := r.Float64() * total
+			var cum float64
+			for i, dd := range dist {
+				cum += dd
+				if cum >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		copy(centroids.Row(c), data.Row(idx))
+		for i := range dist {
+			if dd := sqDist(data.Row(i), centroids.Row(c)); dd < dist[i] {
+				dist[i] = dd
+			}
+		}
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// GMM is a diagonal-covariance Gaussian mixture model fitted by EM.
+type GMM struct {
+	// Weights are the mixture weights (sum to 1).
+	Weights []float64
+	// Means has one row per component.
+	Means *Matrix
+	// Vars has one row of per-feature variances per component.
+	Vars *Matrix
+	// LogLik is the final per-observation average log-likelihood.
+	LogLik float64
+	// Iters is the number of EM iterations performed.
+	Iters int
+}
+
+// FitGMM fits a k-component diagonal GMM to the rows of data with EM,
+// initialized from k-means.
+func FitGMM(data *Matrix, k int, r *rand.Rand, maxIter int) (*GMM, error) {
+	n, d := data.Rows, data.Cols
+	km, err := KMeans(data, k, r, 50)
+	if err != nil {
+		return nil, err
+	}
+	if maxIter < 1 {
+		maxIter = 100
+	}
+	g := &GMM{
+		Weights: make([]float64, k),
+		Means:   km.Centroids.Clone(),
+		Vars:    NewMatrix(k, d),
+	}
+	counts := make([]int, k)
+	for i, c := range km.Assign {
+		counts[c]++
+		row := data.Row(i)
+		vr := g.Vars.Row(c)
+		mr := g.Means.Row(c)
+		for j, x := range row {
+			dv := x - mr[j]
+			vr[j] += dv * dv
+		}
+	}
+	const varFloor = 1e-9
+	for c := 0; c < k; c++ {
+		g.Weights[c] = float64(counts[c]) / float64(n)
+		vr := g.Vars.Row(c)
+		for j := range vr {
+			if counts[c] > 0 {
+				vr[j] /= float64(counts[c])
+			}
+			if vr[j] < varFloor {
+				vr[j] = varFloor
+			}
+		}
+	}
+	resp := NewMatrix(n, k)
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		g.Iters = iter + 1
+		// E step.
+		var ll float64
+		for i := 0; i < n; i++ {
+			row := data.Row(i)
+			logs := make([]float64, k)
+			for c := 0; c < k; c++ {
+				logs[c] = math.Log(g.Weights[c]+1e-300) + g.logGaussian(c, row)
+			}
+			lse := logSumExp(logs)
+			ll += lse
+			rrow := resp.Row(i)
+			for c := 0; c < k; c++ {
+				rrow[c] = math.Exp(logs[c] - lse)
+			}
+		}
+		g.LogLik = ll / float64(n)
+		// M step.
+		for c := 0; c < k; c++ {
+			var nc float64
+			mr := g.Means.Row(c)
+			vr := g.Vars.Row(c)
+			for j := range mr {
+				mr[j], vr[j] = 0, 0
+			}
+			for i := 0; i < n; i++ {
+				w := resp.At(i, c)
+				nc += w
+				row := data.Row(i)
+				for j, x := range row {
+					mr[j] += w * x
+				}
+			}
+			if nc < 1e-12 {
+				nc = 1e-12
+			}
+			for j := range mr {
+				mr[j] /= nc
+			}
+			for i := 0; i < n; i++ {
+				w := resp.At(i, c)
+				row := data.Row(i)
+				for j, x := range row {
+					dv := x - mr[j]
+					vr[j] += w * dv * dv
+				}
+			}
+			for j := range vr {
+				vr[j] /= nc
+				if vr[j] < varFloor {
+					vr[j] = varFloor
+				}
+			}
+			g.Weights[c] = nc / float64(n)
+		}
+		if g.LogLik-prevLL < 1e-8 && iter > 0 {
+			break
+		}
+		prevLL = g.LogLik
+	}
+	return g, nil
+}
+
+// logGaussian returns the log density of component c at x.
+func (g *GMM) logGaussian(c int, x []float64) float64 {
+	mr := g.Means.Row(c)
+	vr := g.Vars.Row(c)
+	s := -0.5 * float64(len(x)) * math.Log(2*math.Pi)
+	for j, xj := range x {
+		s -= 0.5 * math.Log(vr[j])
+		d := xj - mr[j]
+		s -= d * d / (2 * vr[j])
+	}
+	return s
+}
+
+// Predict returns the most likely component for the observation x.
+func (g *GMM) Predict(x []float64) int {
+	best, bestL := 0, math.Inf(-1)
+	for c := range g.Weights {
+		l := math.Log(g.Weights[c]+1e-300) + g.logGaussian(c, x)
+		if l > bestL {
+			best, bestL = c, l
+		}
+	}
+	return best
+}
+
+// Sample draws one observation from the mixture.
+func (g *GMM) Sample(r *rand.Rand) []float64 {
+	u := r.Float64()
+	var cum float64
+	c := len(g.Weights) - 1
+	for i, w := range g.Weights {
+		cum += w
+		if u <= cum {
+			c = i
+			break
+		}
+	}
+	mr := g.Means.Row(c)
+	vr := g.Vars.Row(c)
+	x := make([]float64, len(mr))
+	for j := range x {
+		x[j] = mr[j] + math.Sqrt(vr[j])*r.NormFloat64()
+	}
+	return x
+}
+
+func logSumExp(xs []float64) float64 {
+	m := Max(xs)
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}

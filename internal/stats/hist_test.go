@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1, 2.5, 5, 9.9, -3, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d, want 7", h.Total())
+	}
+	// -3 clamps to bin 0; 42 clamps to bin 4.
+	if h.Counts[0] != 3 { // 0, 1, -3
+		t.Errorf("bin0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.9, 42
+		t.Errorf("bin4 = %d, want 2", h.Counts[4])
+	}
+	approx(t, h.BinWidth(), 2, 1e-12, "bin width")
+	approx(t, h.BinCenter(0), 1, 1e-12, "bin center")
+}
+
+func TestHistogramProbabilities(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	for _, x := range []float64{0.5, 1.5, 1.6, 3.5} {
+		h.Add(x)
+	}
+	ps := h.Probabilities()
+	wantPs := []float64{0.25, 0.5, 0, 0.25}
+	for i := range ps {
+		approx(t, ps[i], wantPs[i], 1e-12, "probabilities")
+	}
+	approx(t, Sum(ps), 1, 1e-12, "probabilities sum")
+	empty := NewHistogram(0, 1, 3)
+	if Sum(empty.Probabilities()) != 0 {
+		t.Error("empty histogram probabilities should be zero")
+	}
+}
+
+func TestHistogramOf(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	xs := Sample(Normal{Mu: 0, Sigma: 1}, 10000, r)
+	h := HistogramOf(xs, 30)
+	if h.Total() != 10000 {
+		t.Errorf("total = %d, want 10000", h.Total())
+	}
+	approx(t, h.Mean(), 0, 0.05, "histogram mean approximates sample mean")
+	approx(t, h.Quantile(0.5), 0, 0.08, "histogram median")
+	// Degenerate: all equal.
+	h2 := HistogramOf([]float64{5, 5, 5}, 4)
+	if h2.Total() != 3 {
+		t.Error("degenerate histogram lost observations")
+	}
+}
+
+func TestHistogramDistanceAndEMD(t *testing.T) {
+	a := NewHistogram(0, 4, 4)
+	b := NewHistogram(0, 4, 4)
+	for _, x := range []float64{0.5, 1.5} {
+		a.Add(x)
+	}
+	for _, x := range []float64{0.5, 1.5} {
+		b.Add(x)
+	}
+	d, err := a.Distance(b)
+	if err != nil || d != 0 {
+		t.Errorf("identical histograms distance = %g, %v", d, err)
+	}
+	emd, err := a.EMD(b)
+	if err != nil || emd != 0 {
+		t.Errorf("identical histograms EMD = %g, %v", emd, err)
+	}
+	c := NewHistogram(0, 4, 4)
+	c.Add(3.5) // all mass in last bin
+	d, _ = a.Distance(c)
+	approx(t, d, 2, 1e-12, "disjoint L1 distance")
+	// EMD: a has mass .5 at bin0, .5 at bin1; c has 1.0 at bin3 →
+	// 0.5*3 + 0.5*2 = 2.5 bins of work.
+	emd, _ = a.EMD(c)
+	approx(t, emd, 2.5, 1e-12, "EMD")
+	mismatched := NewHistogram(0, 4, 8)
+	if _, err := a.Distance(mismatched); err == nil {
+		t.Error("bin mismatch should error")
+	}
+	if _, err := a.EMD(mismatched); err == nil {
+		t.Error("bin mismatch should error for EMD")
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	s := h.String()
+	if !strings.Contains(s, "#") || len(strings.Split(strings.TrimSpace(s), "\n")) != 2 {
+		t.Errorf("unexpected histogram rendering:\n%s", s)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	assertPanics(t, func() { NewHistogram(0, 1, 0) }, "nbins=0")
+	assertPanics(t, func() { NewHistogram(1, 1, 3) }, "hi==lo")
+}
+
+func assertPanics(t *testing.T, f func(), msg string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", msg)
+		}
+	}()
+	f()
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x, want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, tt := range tests {
+		approx(t, e.At(tt.x), tt.want, 1e-12, "ECDF.At")
+	}
+	if e.N() != 4 {
+		t.Errorf("N = %d, want 4", e.N())
+	}
+	approx(t, e.Quantile(0.5), 2.5, 1e-12, "ECDF median")
+	if _, err := NewECDF(nil); err == nil {
+		t.Error("NewECDF(nil) should fail")
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	xs := Sample(LogNormal{Mu: 0, Sigma: 1}, 500, r)
+	e, err := NewECDF(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for x := 0.0; x < 20; x += 0.1 {
+		v := e.At(x)
+		if v < prev {
+			t.Fatalf("ECDF not monotone at %g", x)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Goodness-of-fit tests: one- and two-sample Kolmogorov-Smirnov and the
+// chi-square test, the two tests the distribution-fitting literature uses
+// to accept or reject a candidate arrival-process model.
+
+// KSResult is the outcome of a Kolmogorov-Smirnov test.
+type KSResult struct {
+	// Statistic is the maximum absolute difference between the compared
+	// CDFs (D_n), in [0, 1].
+	Statistic float64
+	// P is the asymptotic p-value: small values reject the hypothesis that
+	// the sample follows the reference distribution.
+	P float64
+	// N is the effective sample size used for the p-value.
+	N float64
+}
+
+// KSTest performs a one-sample Kolmogorov-Smirnov test of xs against the
+// distribution d. An empty sample yields a zero-valued result with P = 1.
+func KSTest(xs []float64, d Dist) KSResult {
+	n := len(xs)
+	if n == 0 {
+		return KSResult{P: 1}
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var dn float64
+	for i, x := range sorted {
+		f := d.CDF(x)
+		upper := float64(i+1)/float64(n) - f
+		lower := f - float64(i)/float64(n)
+		if upper > dn {
+			dn = upper
+		}
+		if lower > dn {
+			dn = lower
+		}
+	}
+	en := float64(n)
+	lambda := (math.Sqrt(en) + 0.12 + 0.11/math.Sqrt(en)) * dn
+	return KSResult{Statistic: dn, P: KolmogorovQ(lambda), N: en}
+}
+
+// KSTest2 performs a two-sample Kolmogorov-Smirnov test between samples
+// xs and ys. Empty samples yield P = 1.
+func KSTest2(xs, ys []float64) KSResult {
+	n1, n2 := len(xs), len(ys)
+	if n1 == 0 || n2 == 0 {
+		return KSResult{P: 1}
+	}
+	a := make([]float64, n1)
+	copy(a, xs)
+	sort.Float64s(a)
+	b := make([]float64, n2)
+	copy(b, ys)
+	sort.Float64s(b)
+	var (
+		i, j int
+		dn   float64
+	)
+	for i < n1 && j < n2 {
+		x1, x2 := a[i], b[j]
+		x := math.Min(x1, x2)
+		for i < n1 && a[i] <= x {
+			i++
+		}
+		for j < n2 && b[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(n1) - float64(j)/float64(n2))
+		if diff > dn {
+			dn = diff
+		}
+	}
+	en := float64(n1) * float64(n2) / float64(n1+n2)
+	lambda := (math.Sqrt(en) + 0.12 + 0.11/math.Sqrt(en)) * dn
+	return KSResult{Statistic: dn, P: KolmogorovQ(lambda), N: en}
+}
+
+// ChiSquareResult is the outcome of a chi-square goodness-of-fit test.
+type ChiSquareResult struct {
+	// Statistic is the chi-square statistic over the binned sample.
+	Statistic float64
+	// DF is the degrees of freedom (bins - 1 - nparams).
+	DF int
+	// P is the p-value P(X^2_df >= Statistic).
+	P float64
+}
+
+// ChiSquareTest bins xs into nbins equal-probability bins under d and tests
+// the observed counts against the expected. nparams is the number of
+// parameters estimated from the data (reduces the degrees of freedom).
+func ChiSquareTest(xs []float64, d Dist, nbins, nparams int) ChiSquareResult {
+	n := len(xs)
+	if n == 0 || nbins < 2 {
+		return ChiSquareResult{P: 1}
+	}
+	edges := make([]float64, nbins-1)
+	for i := 1; i < nbins; i++ {
+		edges[i-1] = d.Quantile(float64(i) / float64(nbins))
+	}
+	counts := make([]int, nbins)
+	for _, x := range xs {
+		idx := sort.SearchFloat64s(edges, x)
+		counts[idx]++
+	}
+	expected := float64(n) / float64(nbins)
+	var stat float64
+	for _, c := range counts {
+		diff := float64(c) - expected
+		stat += diff * diff / expected
+	}
+	df := nbins - 1 - nparams
+	if df < 1 {
+		df = 1
+	}
+	return ChiSquareResult{
+		Statistic: stat,
+		DF:        df,
+		P:         ChiSquareSF(stat, float64(df)),
+	}
+}
+
+// ChiSquareSF returns the survival function P(X^2_df >= x) of the
+// chi-square distribution with df degrees of freedom.
+func ChiSquareSF(x, df float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return GammaIncQ(df/2, x/2)
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+)
+
+// Ordinary least squares regression, used both directly (Patwardhan-style
+// analytical throughput models; feature-space reduction via regression, §4)
+// and internally by the Hurst estimators.
+
+// LinearFit is a fitted simple linear regression y = Intercept + Slope*x.
+type LinearFit struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+}
+
+// FitLinear fits a simple linear regression of y on x by OLS.
+func FitLinear(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, fmt.Errorf("stats: regression length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return LinearFit{}, ErrShortSample
+	}
+	slope, intercept := olsSlope(x, y)
+	// R^2 = 1 - SS_res / SS_tot.
+	my := Mean(y)
+	var ssRes, ssTot float64
+	for i := range x {
+		pred := intercept + slope*x[i]
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - my) * (y[i] - my)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// MultiFit is a fitted multiple linear regression
+// y = Coef[0] + Coef[1]*x1 + ... + Coef[d]*xd.
+type MultiFit struct {
+	Coef []float64
+	R2   float64
+}
+
+// FitMultiLinear fits y on the feature matrix x (rows = observations) by
+// OLS using the normal equations.
+func FitMultiLinear(x *Matrix, y []float64) (MultiFit, error) {
+	n, d := x.Rows, x.Cols
+	if n != len(y) {
+		return MultiFit{}, fmt.Errorf("stats: regression length mismatch %d vs %d", n, len(y))
+	}
+	if n < d+1 {
+		return MultiFit{}, ErrShortSample
+	}
+	// Design matrix with intercept column: solve (X'X) b = X'y.
+	k := d + 1
+	xtx := NewMatrix(k, k)
+	xty := make([]float64, k)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for a := 0; a < k; a++ {
+			xa := 1.0
+			if a > 0 {
+				xa = row[a-1]
+			}
+			xty[a] += xa * y[i]
+			for b := a; b < k; b++ {
+				xb := 1.0
+				if b > 0 {
+					xb = row[b-1]
+				}
+				xtx.Data[a*k+b] += xa * xb
+			}
+		}
+	}
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			xtx.Set(b, a, xtx.At(a, b))
+		}
+	}
+	coef, err := SolveLinear(xtx, xty)
+	if err != nil {
+		return MultiFit{}, fmt.Errorf("stats: normal equations: %w", err)
+	}
+	fit := MultiFit{Coef: coef}
+	my := Mean(y)
+	var ssRes, ssTot float64
+	for i := 0; i < n; i++ {
+		pred := fit.Predict(x.Row(i))
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - my) * (y[i] - my)
+	}
+	fit.R2 = 1.0
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fitted hyperplane at the feature vector xs, which
+// must have len(Coef)-1 entries.
+func (f MultiFit) Predict(xs []float64) float64 {
+	pred := f.Coef[0]
+	for i, x := range xs {
+		pred += f.Coef[i+1] * x
+	}
+	return pred
+}

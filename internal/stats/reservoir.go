@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"math/rand"
+)
+
+// Reservoir is a fixed-size uniform sample of an unbounded stream
+// (Vitter's algorithm R) — the "statistical sampling" that lets SQS-style
+// online characterization "scale well to thousands of machines" with
+// bounded memory.
+type Reservoir struct {
+	sample []float64
+	seen   int64
+	r      *rand.Rand
+}
+
+// NewReservoir returns a reservoir keeping at most capacity observations.
+// It panics on non-positive capacity (a programming error).
+func NewReservoir(capacity int, r *rand.Rand) *Reservoir {
+	if capacity < 1 {
+		panic("stats: reservoir capacity must be positive")
+	}
+	return &Reservoir{sample: make([]float64, 0, capacity), r: r}
+}
+
+// Add offers one observation to the reservoir.
+func (v *Reservoir) Add(x float64) {
+	v.seen++
+	if len(v.sample) < cap(v.sample) {
+		v.sample = append(v.sample, x)
+		return
+	}
+	// Replace a random element with probability capacity/seen.
+	if j := v.r.Int63n(v.seen); j < int64(cap(v.sample)) {
+		v.sample[j] = x
+	}
+}
+
+// Seen returns the number of observations offered.
+func (v *Reservoir) Seen() int64 { return v.seen }
+
+// Len returns the current sample size (min(seen, capacity)).
+func (v *Reservoir) Len() int { return len(v.sample) }
+
+// Sample returns a copy of the retained sample.
+func (v *Reservoir) Sample() []float64 {
+	out := make([]float64, len(v.sample))
+	copy(out, v.sample)
+	return out
+}
+
+// Empirical returns the empirical distribution of the retained sample.
+func (v *Reservoir) Empirical() (*Empirical, error) { return NewEmpirical(v.sample) }

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReservoirFillsThenBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(140))
+	v := NewReservoir(100, r)
+	for i := 0; i < 50; i++ {
+		v.Add(float64(i))
+	}
+	if v.Len() != 50 || v.Seen() != 50 {
+		t.Errorf("len=%d seen=%d", v.Len(), v.Seen())
+	}
+	for i := 50; i < 10000; i++ {
+		v.Add(float64(i))
+	}
+	if v.Len() != 100 {
+		t.Errorf("len = %d, want capacity 100", v.Len())
+	}
+	if v.Seen() != 10000 {
+		t.Errorf("seen = %d", v.Seen())
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each stream element must survive with probability capacity/seen:
+	// the retained sample of a U(0,1) stream is still U(0,1).
+	r := rand.New(rand.NewSource(141))
+	v := NewReservoir(2000, r)
+	for i := 0; i < 200000; i++ {
+		v.Add(r.Float64())
+	}
+	res := KSTest(v.Sample(), Uniform{A: 0, B: 1})
+	if res.P < 0.001 {
+		t.Errorf("reservoir sample rejected as uniform: p=%g", res.P)
+	}
+	// Positional uniformity: the mean index retained from a 0..N-1 stream
+	// is ~N/2.
+	v2 := NewReservoir(1000, r)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v2.Add(float64(i))
+	}
+	m := Mean(v2.Sample())
+	if m < 0.45*n || m > 0.55*n {
+		t.Errorf("mean retained index %g, want ~%d", m, n/2)
+	}
+}
+
+func TestReservoirEmpirical(t *testing.T) {
+	r := rand.New(rand.NewSource(142))
+	v := NewReservoir(10, r)
+	if _, err := v.Empirical(); err == nil {
+		t.Error("empty reservoir should fail")
+	}
+	v.Add(1)
+	v.Add(2)
+	e, err := v.Empirical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, e.Mean(), 1.5, 1e-12, "empirical mean")
+	// Sample returns a copy.
+	s := v.Sample()
+	s[0] = 99
+	if v.Sample()[0] == 99 {
+		t.Error("Sample should copy")
+	}
+}
+
+func TestReservoirPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewReservoir(0, rand.New(rand.NewSource(1)))
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestACFWhiteNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(40))
+	xs := Sample(Normal{Mu: 0, Sigma: 1}, 5000, r)
+	acf := ACF(xs, 10)
+	approx(t, acf[0], 1, 1e-12, "acf lag 0")
+	for lag := 1; lag <= 10; lag++ {
+		if math.Abs(acf[lag]) > 0.05 {
+			t.Errorf("white-noise ACF at lag %d = %g, want ~0", lag, acf[lag])
+		}
+	}
+}
+
+func TestACFAR1(t *testing.T) {
+	// AR(1) with phi=0.8 has ACF(k) = 0.8^k.
+	r := rand.New(rand.NewSource(41))
+	const phi = 0.8
+	xs := make([]float64, 50000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = phi*xs[i-1] + r.NormFloat64()
+	}
+	acf := ACF(xs, 5)
+	for lag := 1; lag <= 5; lag++ {
+		want := math.Pow(phi, float64(lag))
+		approx(t, acf[lag], want, 0.03, "AR(1) ACF")
+	}
+}
+
+func TestACFEdgeCases(t *testing.T) {
+	if acf := ACF(nil, 3); len(acf) != 4 || acf[0] != 0 {
+		t.Error("ACF of empty series should be zeros of length maxLag+1")
+	}
+	constant := ACF([]float64{2, 2, 2, 2}, 2)
+	if constant[0] != 1 || constant[1] != 0 {
+		t.Error("ACF of constant series should be [1 0 0]")
+	}
+}
+
+func TestLjungBox(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	white := Sample(Normal{Mu: 0, Sigma: 1}, 2000, r)
+	_, p := LjungBox(white, 10)
+	if p < 0.01 {
+		t.Errorf("Ljung-Box rejected white noise: p=%g", p)
+	}
+	ar := make([]float64, 2000)
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.7*ar[i-1] + r.NormFloat64()
+	}
+	_, p = LjungBox(ar, 10)
+	if p > 0.001 {
+		t.Errorf("Ljung-Box failed to reject AR(1): p=%g", p)
+	}
+	if _, p := LjungBox([]float64{1, 2}, 5); p != 1 {
+		t.Error("short Ljung-Box should return p=1")
+	}
+}
+
+func poissonArrivals(rate float64, n int, r *rand.Rand) []float64 {
+	arr := make([]float64, n)
+	var t float64
+	for i := range arr {
+		t += r.ExpFloat64() / rate
+		arr[i] = t
+	}
+	return arr
+}
+
+func TestIndexOfDispersionPoisson(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	arr := poissonArrivals(10, 50000, r)
+	idc := IndexOfDispersion(arr, 1)
+	approx(t, idc, 1, 0.1, "Poisson IDC")
+}
+
+func TestIndexOfDispersionBursty(t *testing.T) {
+	// An on/off bursty process has IDC >> 1.
+	r := rand.New(rand.NewSource(44))
+	var arr []float64
+	var now float64
+	for burst := 0; burst < 500; burst++ {
+		for i := 0; i < 100; i++ {
+			now += r.ExpFloat64() / 100 // fast arrivals in burst
+			arr = append(arr, now)
+		}
+		now += 10 + r.ExpFloat64()*5 // long off period
+	}
+	idc := IndexOfDispersion(arr, 1)
+	if idc < 5 {
+		t.Errorf("bursty IDC = %g, want >> 1", idc)
+	}
+	if !math.IsNaN(IndexOfDispersion(nil, 1)) {
+		t.Error("empty IDC should be NaN")
+	}
+}
+
+func TestCountsInWindows(t *testing.T) {
+	arr := []float64{0, 0.5, 0.9, 1.1, 2.5}
+	counts := CountsInWindows(arr, 1)
+	want := []float64{3, 1, 1}
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v, want %v", counts, want)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("counts[%d] = %g, want %g", i, counts[i], want[i])
+		}
+	}
+	if CountsInWindows(nil, 1) != nil || CountsInWindows(arr, 0) != nil {
+		t.Error("degenerate inputs should return nil")
+	}
+}
+
+func TestPeakToMean(t *testing.T) {
+	arr := []float64{0, 0.1, 0.2, 1.5, 2.5}
+	// windows: [0,1): 3, [1,2): 1, [2,3): 1 → mean 5/3, peak 3.
+	approx(t, PeakToMean(arr, 1), 3/(5.0/3.0), 1e-12, "peak-to-mean")
+	if !math.IsNaN(PeakToMean(nil, 1)) {
+		t.Error("empty peak-to-mean should be NaN")
+	}
+}
+
+func TestHurstWhiteNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	xs := Sample(Normal{Mu: 0, Sigma: 1}, 8192, r)
+	h, err := HurstRS(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.4 || h > 0.65 {
+		t.Errorf("white-noise Hurst (R/S) = %g, want ~0.5", h)
+	}
+	hv, err := HurstAggVar(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv < 0.35 || hv > 0.65 {
+		t.Errorf("white-noise Hurst (aggvar) = %g, want ~0.5", hv)
+	}
+}
+
+// fgnLike produces a long-range-dependent series by superposing AR(1)
+// components at multiple timescales (an approximation of fractional
+// Gaussian noise adequate to drive the estimators above 0.5).
+func fgnLike(n int, r *rand.Rand) []float64 {
+	xs := make([]float64, n)
+	phis := []float64{0.5, 0.9, 0.99, 0.999}
+	states := make([]float64, len(phis))
+	for i := 0; i < n; i++ {
+		var v float64
+		for j, phi := range phis {
+			states[j] = phi*states[j] + r.NormFloat64()*math.Sqrt(1-phi*phi)
+			v += states[j]
+		}
+		xs[i] = v
+	}
+	return xs
+}
+
+func TestHurstLongRangeDependence(t *testing.T) {
+	r := rand.New(rand.NewSource(46))
+	xs := fgnLike(16384, r)
+	h, err := HurstRS(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.65 {
+		t.Errorf("LRD Hurst (R/S) = %g, want > 0.65", h)
+	}
+	hv, err := HurstAggVar(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv < 0.6 {
+		t.Errorf("LRD Hurst (aggvar) = %g, want > 0.6", hv)
+	}
+}
+
+func TestHurstShortSample(t *testing.T) {
+	if _, err := HurstRS(make([]float64, 10)); err == nil {
+		t.Error("short HurstRS should fail")
+	}
+	if _, err := HurstAggVar(make([]float64, 10)); err == nil {
+		t.Error("short HurstAggVar should fail")
+	}
+}
+
+func TestAnalyzeSelfSimilarity(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	arr := poissonArrivals(20, 20000, r)
+	ss, err := AnalyzeSelfSimilarity(arr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.HurstRS > 0.7 {
+		t.Errorf("Poisson arrivals HurstRS = %g, want ~0.5", ss.HurstRS)
+	}
+	if ss.IDCShort > 1.5 {
+		t.Errorf("Poisson IDC = %g, want ~1", ss.IDCShort)
+	}
+	if _, err := AnalyzeSelfSimilarity([]float64{1, 2}, 1); err == nil {
+		t.Error("short self-similarity analysis should fail")
+	}
+}

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// VUList is Luthi's multi-dimensional histogram ("VU-list"): a collection
+// of parameter vectors — e.g. (arrival rate, CPU demand, I/O demand) —
+// binned jointly, so correlations between job characteristics survive
+// where independent per-feature histograms would lose them. Luthi proposes
+// them for characterizing workload parameters in Web applications and for
+// the analysis of closed queueing networks.
+type VUList struct {
+	// Dims is the number of features per vector.
+	Dims int
+	// Lo and Hi are the per-feature bin ranges.
+	Lo, Hi []float64
+	// BinsPerDim is the number of bins per feature.
+	BinsPerDim int
+	// Counts maps a flattened cell index to its observation count.
+	Counts map[int]int64
+	// total observations.
+	total int64
+	// cellSamples retains up to sampleCap observed vectors per cell for
+	// within-cell resampling.
+	cellSamples map[int][][]float64
+}
+
+const vuCellSampleCap = 32
+
+// NewVUList builds a VU-list over vectors (rows of data) with the given
+// bins per dimension.
+func NewVUList(data [][]float64, binsPerDim int) (*VUList, error) {
+	if len(data) == 0 {
+		return nil, ErrEmpty
+	}
+	if binsPerDim < 1 {
+		return nil, fmt.Errorf("stats: vu-list needs >= 1 bin per dim, got %d", binsPerDim)
+	}
+	dims := len(data[0])
+	if dims == 0 {
+		return nil, fmt.Errorf("stats: vu-list needs >= 1 dimension")
+	}
+	v := &VUList{
+		Dims:        dims,
+		Lo:          make([]float64, dims),
+		Hi:          make([]float64, dims),
+		BinsPerDim:  binsPerDim,
+		Counts:      make(map[int]int64),
+		cellSamples: make(map[int][][]float64),
+	}
+	for d := 0; d < dims; d++ {
+		v.Lo[d] = data[0][d]
+		v.Hi[d] = data[0][d]
+	}
+	for i, row := range data {
+		if len(row) != dims {
+			return nil, fmt.Errorf("stats: vu-list row %d has %d dims, want %d", i, len(row), dims)
+		}
+		for d, x := range row {
+			if x < v.Lo[d] {
+				v.Lo[d] = x
+			}
+			if x > v.Hi[d] {
+				v.Hi[d] = x
+			}
+		}
+	}
+	for d := 0; d < dims; d++ {
+		if v.Hi[d] <= v.Lo[d] {
+			v.Hi[d] = v.Lo[d] + 1
+		}
+	}
+	for _, row := range data {
+		cell := v.cellOf(row)
+		v.Counts[cell]++
+		v.total++
+		if s := v.cellSamples[cell]; len(s) < vuCellSampleCap {
+			cp := make([]float64, dims)
+			copy(cp, row)
+			v.cellSamples[cell] = append(s, cp)
+		}
+	}
+	return v, nil
+}
+
+// cellOf maps a vector to its flattened cell index.
+func (v *VUList) cellOf(row []float64) int {
+	idx := 0
+	for d, x := range row {
+		b := int(float64(v.BinsPerDim) * (x - v.Lo[d]) / (v.Hi[d] - v.Lo[d]))
+		if b < 0 {
+			b = 0
+		}
+		if b >= v.BinsPerDim {
+			b = v.BinsPerDim - 1
+		}
+		idx = idx*v.BinsPerDim + b
+	}
+	return idx
+}
+
+// Total returns the number of recorded vectors.
+func (v *VUList) Total() int64 { return v.total }
+
+// Cells returns the number of non-empty cells — the list's compactness.
+func (v *VUList) Cells() int { return len(v.Counts) }
+
+// Prob returns the empirical probability mass of the cell containing row.
+func (v *VUList) Prob(row []float64) float64 {
+	if v.total == 0 {
+		return 0
+	}
+	return float64(v.Counts[v.cellOf(row)]) / float64(v.total)
+}
+
+// Sample draws a synthetic vector: a cell by its mass, then one of the
+// retained vectors of that cell (jittered resampling preserves the joint
+// structure).
+func (v *VUList) Sample(r *rand.Rand) []float64 {
+	target := r.Int63n(v.total)
+	var cum int64
+	var chosen int
+	// Deterministic cell order is unnecessary here: the draw is by mass,
+	// and map iteration randomness is absorbed by the random target.
+	for cell, n := range v.Counts {
+		cum += n
+		chosen = cell
+		if target < cum {
+			break
+		}
+	}
+	samples := v.cellSamples[chosen]
+	row := samples[r.Intn(len(samples))]
+	out := make([]float64, len(row))
+	copy(out, row)
+	return out
+}
+
+// MarginalMean returns the mean of feature d over the retained samples
+// weighted by cell mass (approximates the data's marginal mean).
+func (v *VUList) MarginalMean(d int) (float64, error) {
+	if d < 0 || d >= v.Dims {
+		return 0, fmt.Errorf("stats: vu-list dimension %d out of range", d)
+	}
+	var sum, weight float64
+	for cell, n := range v.Counts {
+		samples := v.cellSamples[cell]
+		if len(samples) == 0 {
+			continue
+		}
+		var cellMean float64
+		for _, row := range samples {
+			cellMean += row[d]
+		}
+		cellMean /= float64(len(samples))
+		sum += cellMean * float64(n)
+		weight += float64(n)
+	}
+	if weight == 0 {
+		return 0, ErrEmpty
+	}
+	return sum / weight, nil
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Trace codecs: a flat CSV span format (one row per span, with request
+// fields repeated — convenient for external tools) and JSON (lossless).
+
+// csvHeader is the column layout of the CSV codec.
+var csvHeader = []string{
+	"req_id", "class", "server", "arrival",
+	"subsystem", "start", "duration", "op", "bytes", "lbn", "bank", "util",
+}
+
+// WriteCSV writes the trace in the flat span-per-row CSV format. Requests
+// without spans are written as a single row with an empty subsystem.
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write csv header: %w", err)
+	}
+	fl := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range t.Requests {
+		base := []string{
+			strconv.FormatInt(r.ID, 10), r.Class, strconv.Itoa(r.Server), fl(r.Arrival),
+		}
+		if len(r.Spans) == 0 {
+			row := append(append([]string{}, base...), "", "", "", "", "", "", "", "")
+			if err := cw.Write(row[:len(csvHeader)]); err != nil {
+				return fmt.Errorf("trace: write csv row: %w", err)
+			}
+			continue
+		}
+		for _, s := range r.Spans {
+			row := append(append([]string{}, base...),
+				s.Subsystem.String(), fl(s.Start), fl(s.Duration), s.Op.String(),
+				strconv.FormatInt(s.Bytes, 10), strconv.FormatInt(s.LBN, 10),
+				strconv.Itoa(s.Bank), fl(s.Util),
+			)
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("trace: write csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a trace from the CSV format written by WriteCSV. Rows
+// sharing a req_id are folded into one request; rows must be grouped by
+// request (as WriteCSV emits them).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: csv header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, h := range header {
+		if h != csvHeader[i] {
+			return nil, fmt.Errorf("trace: csv column %d is %q, want %q", i, h, csvHeader[i])
+		}
+	}
+	t := &Trace{}
+	var cur *Request
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("trace: read csv line %d: %w", line, err)
+		}
+		id, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d req_id: %w", line, err)
+		}
+		if cur == nil || cur.ID != id {
+			server, err := strconv.Atoi(row[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: csv line %d server: %w", line, err)
+			}
+			arrival, err := strconv.ParseFloat(row[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: csv line %d arrival: %w", line, err)
+			}
+			t.Requests = append(t.Requests, Request{ID: id, Class: row[1], Server: server, Arrival: arrival})
+			cur = &t.Requests[len(t.Requests)-1]
+		}
+		if row[4] == "" {
+			continue // span-less request marker
+		}
+		sub, err := ParseSubsystem(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
+		}
+		op, err := ParseOp(row[7])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
+		}
+		var span Span
+		span.Subsystem = sub
+		span.Op = op
+		if span.Start, err = strconv.ParseFloat(row[5], 64); err != nil {
+			return nil, fmt.Errorf("trace: csv line %d start: %w", line, err)
+		}
+		if span.Duration, err = strconv.ParseFloat(row[6], 64); err != nil {
+			return nil, fmt.Errorf("trace: csv line %d duration: %w", line, err)
+		}
+		if span.Bytes, err = strconv.ParseInt(row[8], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: csv line %d bytes: %w", line, err)
+		}
+		if span.LBN, err = strconv.ParseInt(row[9], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: csv line %d lbn: %w", line, err)
+		}
+		if span.Bank, err = strconv.Atoi(row[10]); err != nil {
+			return nil, fmt.Errorf("trace: csv line %d bank: %w", line, err)
+		}
+		if span.Util, err = strconv.ParseFloat(row[11], 64); err != nil {
+			return nil, fmt.Errorf("trace: csv line %d util: %w", line, err)
+		}
+		cur.Spans = append(cur.Spans, span)
+	}
+	return t, nil
+}
+
+// WriteJSON writes the trace as JSON (lossless round trip).
+func WriteJSON(w io.Writer, t *Trace) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace: encode json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON reads a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode json: %w", err)
+	}
+	return &t, nil
+}

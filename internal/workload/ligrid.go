@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dcmodel/internal/stats"
+)
+
+// Li's two-phase model for grid workload attributes (job sizes, runtimes):
+// "The first step consists of Model-Based Clustering in order to perform
+// the distribution fitting. The second step generates autocorrelations
+// that match the real data to create synthetic workloads."
+//
+// Phase 1 fits a one-dimensional Gaussian mixture to the attribute's
+// marginal distribution (model-based clustering); phase 2 fits an AR(p)
+// model to the attribute's normal-scores series and generates synthetic
+// series whose rank correlations — and therefore autocorrelations — match
+// the original, mapped back through the mixture's quantile function.
+
+// LiModel is a fitted two-phase attribute model.
+type LiModel struct {
+	// GMM is the phase-1 marginal mixture (over the attribute values).
+	GMM *stats.GMM
+	// AR is the phase-2 autocorrelation model (over normal scores).
+	AR *stats.ARModel
+	// lo and hi bracket the mixture quantile search.
+	lo, hi float64
+}
+
+// FitLi fits the two-phase model to an attribute series with the given
+// mixture size and AR order.
+func FitLi(series []float64, clusters, arOrder int, r *rand.Rand) (*LiModel, error) {
+	if len(series) < 8*(arOrder+clusters) {
+		return nil, fmt.Errorf("workload: li fit needs more data (%d points for %d clusters, order %d)",
+			len(series), clusters, arOrder)
+	}
+	// Phase 1: model-based clustering of the marginal.
+	data := stats.NewMatrix(len(series), 1)
+	for i, x := range series {
+		data.Set(i, 0, x)
+	}
+	gmm, err := stats.FitGMM(data, clusters, r, 200)
+	if err != nil {
+		return nil, fmt.Errorf("workload: li clustering: %w", err)
+	}
+	// Phase 2: AR on the normal-scores (rank) series.
+	scores := normalScores(series)
+	ar, err := stats.FitAR(scores, arOrder)
+	if err != nil {
+		return nil, fmt.Errorf("workload: li autocorrelation: %w", err)
+	}
+	m := &LiModel{GMM: gmm, AR: ar}
+	m.lo = stats.Min(series)
+	m.hi = stats.Max(series)
+	span := m.hi - m.lo
+	if span <= 0 {
+		span = 1
+	}
+	m.lo -= span
+	m.hi += span
+	return m, nil
+}
+
+// normalScores maps a series to standard-normal quantiles of its ranks
+// (ties broken by position).
+func normalScores(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for rank, i := range idx {
+		u := (float64(rank) + 0.5) / float64(n)
+		out[i] = stats.NormQuantile(u)
+	}
+	return out
+}
+
+// mixtureCDF evaluates the 1-D mixture CDF at x.
+func (m *LiModel) mixtureCDF(x float64) float64 {
+	var c float64
+	for i, w := range m.GMM.Weights {
+		mu := m.GMM.Means.At(i, 0)
+		sd := math.Sqrt(m.GMM.Vars.At(i, 0))
+		c += w * stats.Normal{Mu: mu, Sigma: sd}.CDF(x)
+	}
+	return c
+}
+
+// Quantile inverts the mixture CDF by bisection.
+func (m *LiModel) Quantile(p float64) float64 {
+	if p <= 0 {
+		return m.lo
+	}
+	if p >= 1 {
+		return m.hi
+	}
+	lo, hi := m.lo, m.hi
+	for m.mixtureCDF(lo) > p {
+		lo -= hi - lo
+	}
+	for m.mixtureCDF(hi) < p {
+		hi += hi - lo
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if m.mixtureCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Generate produces a synthetic attribute series: an AR normal-scores
+// series mapped through the mixture quantile, so both the marginal
+// (phase 1) and the autocorrelation structure (phase 2) match the
+// original.
+func (m *LiModel) Generate(n int, r *rand.Rand) []float64 {
+	z := m.AR.Simulate(n, r)
+	// Standardize the AR output to unit normal scale.
+	mean := stats.Mean(z)
+	sd := stats.StdDev(z)
+	if sd == 0 {
+		sd = 1
+	}
+	std := stats.Normal{Mu: 0, Sigma: 1}
+	out := make([]float64, n)
+	for i, v := range z {
+		u := std.CDF((v - mean) / sd)
+		out[i] = m.Quantile(u)
+	}
+	return out
+}

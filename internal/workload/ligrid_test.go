@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dcmodel/internal/stats"
+)
+
+// correlatedHeavyTail builds a heavy-tailed, strongly autocorrelated
+// series — a lognormal transform of an AR(1) Gaussian — the
+// pseudoperiodic, long-range-dependent job-size behavior Li models on
+// grid traces.
+func correlatedHeavyTail(n int, r *rand.Rand) []float64 {
+	out := make([]float64, n)
+	var g float64
+	const phi = 0.85
+	for i := range out {
+		g = phi*g + math.Sqrt(1-phi*phi)*r.NormFloat64()
+		out[i] = 20 * math.Exp(0.8*g)
+	}
+	return out
+}
+
+func TestFitLiReproducesMarginalAndACF(t *testing.T) {
+	r := rand.New(rand.NewSource(320))
+	orig := correlatedHeavyTail(6000, r)
+	m, err := FitLi(orig, 3, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := m.Generate(6000, r)
+	if len(synth) != 6000 {
+		t.Fatalf("generated %d", len(synth))
+	}
+	// Phase 1: marginal matches (two-sample KS).
+	ks := stats.KSTest2(orig, synth)
+	if ks.Statistic > 0.06 {
+		t.Errorf("marginal KS = %g", ks.Statistic)
+	}
+	if d := stats.RelError(stats.Mean(orig), stats.Mean(synth)); d > 0.05 {
+		t.Errorf("mean deviation %g", d)
+	}
+	// Phase 2: autocorrelation matches over the fitted-order lags.
+	oACF := stats.ACF(orig, 5)
+	sACF := stats.ACF(synth, 5)
+	for lag := 1; lag <= 3; lag++ {
+		if math.Abs(oACF[lag]-sACF[lag]) > 0.12 {
+			t.Errorf("lag-%d ACF: orig %g vs synth %g", lag, oACF[lag], sACF[lag])
+		}
+	}
+	// Longer lags retain clear (if attenuated) correlation.
+	if sACF[5] < 0.2 {
+		t.Errorf("lag-5 synthetic ACF = %g, correlation structure lost", sACF[5])
+	}
+	// The original is strongly correlated; make sure we did not test a
+	// trivial case.
+	if oACF[1] < 0.5 {
+		t.Fatalf("test series ACF(1) = %g, expected strong correlation", oACF[1])
+	}
+	// An i.i.d. resample would NOT match the ACF — the phase-2 value-add.
+	iid := make([]float64, len(orig))
+	for i := range iid {
+		iid[i] = orig[r.Intn(len(orig))]
+	}
+	iidACF := stats.ACF(iid, 1)
+	if math.Abs(iidACF[1]-oACF[1]) < 0.3 {
+		t.Fatalf("iid shuffle unexpectedly preserves ACF; test invalid")
+	}
+}
+
+func TestLiQuantileMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	orig := correlatedHeavyTail(3000, r)
+	m, err := FitLi(orig, 2, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(-1)
+	for p := 0.01; p < 1; p += 0.02 {
+		q := m.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantile not monotone at p=%g", p)
+		}
+		prev = q
+	}
+	if m.Quantile(0) > m.Quantile(1) {
+		t.Error("quantile endpoints inverted")
+	}
+}
+
+func TestFitLiErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(322))
+	if _, err := FitLi(make([]float64, 10), 2, 2, r); err == nil {
+		t.Error("short series should fail")
+	}
+}

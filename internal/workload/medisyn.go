@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dcmodel/internal/stats"
+)
+
+// A MediSyn-like streaming-media workload generator (Tang et al.): sessions
+// start according to a non-stationary daily rate profile, pick a media
+// object by Zipf popularity, and stream it for a heavy-tailed fraction of
+// its duration. It models the long-term non-stationarity, burstiness and
+// request-duration behavior that pure renewal arrival processes miss.
+
+// Stream is one generated streaming session.
+type Stream struct {
+	// Start is the session start time (seconds).
+	Start float64
+	// Object is the streamed object's popularity rank (1 = hottest).
+	Object int
+	// Duration is the streamed duration (seconds).
+	Duration float64
+	// Bitrate is the stream bitrate (bytes/second).
+	Bitrate float64
+}
+
+// MediSyn configures the generator.
+type MediSyn struct {
+	// Objects is the media-catalog size.
+	Objects int
+	// ZipfSkew is the popularity skew (typically ~0.7-1.0).
+	ZipfSkew float64
+	// BaseRate is the mean session-arrival rate (sessions/second).
+	BaseRate float64
+	// DiurnalAmplitude in [0,1) scales the sinusoidal daily rate
+	// modulation: rate(t) = BaseRate * (1 + A sin(2 pi t / Period)).
+	DiurnalAmplitude float64
+	// Period is the modulation period (seconds; a "day").
+	Period float64
+	// FullDuration is the distribution of full object durations (seconds).
+	FullDuration stats.Dist
+	// WatchFraction is the distribution of the fraction of an object
+	// actually streamed (sessions often abort early), clamped to (0, 1].
+	WatchFraction stats.Dist
+	// Bitrate is the per-session bitrate distribution (bytes/second).
+	Bitrate stats.Dist
+}
+
+// DefaultMediSyn returns a typical parameterization: 1000-object catalog
+// with Zipf(0.8) popularity, lognormal durations around 5 minutes, early
+// aborts, and a strong diurnal cycle.
+func DefaultMediSyn() MediSyn {
+	return MediSyn{
+		Objects:          1000,
+		ZipfSkew:         0.8,
+		BaseRate:         2,
+		DiurnalAmplitude: 0.6,
+		Period:           86400,
+		FullDuration:     stats.LogNormal{Mu: 5.7, Sigma: 0.8}, // ~300 s median
+		WatchFraction:    stats.Uniform{A: 0.05, B: 1},
+		Bitrate:          stats.Deterministic{Value: 375e3}, // 3 Mb/s
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (m MediSyn) Validate() error {
+	switch {
+	case m.Objects < 1:
+		return fmt.Errorf("workload: medisyn needs >= 1 object, got %d", m.Objects)
+	case m.ZipfSkew < 0:
+		return fmt.Errorf("workload: medisyn zipf skew must be non-negative, got %g", m.ZipfSkew)
+	case m.BaseRate <= 0:
+		return fmt.Errorf("workload: medisyn needs a positive base rate, got %g", m.BaseRate)
+	case m.DiurnalAmplitude < 0 || m.DiurnalAmplitude >= 1:
+		return fmt.Errorf("workload: medisyn diurnal amplitude %g outside [0,1)", m.DiurnalAmplitude)
+	case m.Period <= 0:
+		return fmt.Errorf("workload: medisyn needs a positive period, got %g", m.Period)
+	case m.FullDuration == nil || m.WatchFraction == nil || m.Bitrate == nil:
+		return fmt.Errorf("workload: medisyn needs all three distributions")
+	}
+	return nil
+}
+
+// Generate produces n streaming sessions via thinning of the non-stationary
+// Poisson arrival process, sorted by start time.
+func (m MediSyn) Generate(n int, r *rand.Rand) ([]Stream, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	pop := stats.NewZipf(m.ZipfSkew, m.Objects)
+	maxRate := m.BaseRate * (1 + m.DiurnalAmplitude)
+	out := make([]Stream, 0, n)
+	var now float64
+	for len(out) < n {
+		// Thinning: candidate events at maxRate, accepted with
+		// probability rate(t)/maxRate.
+		now += r.ExpFloat64() / maxRate
+		rate := m.BaseRate * (1 + m.DiurnalAmplitude*math.Sin(2*math.Pi*now/m.Period))
+		if r.Float64()*maxRate > rate {
+			continue
+		}
+		full := m.FullDuration.Rand(r)
+		if full < 1 {
+			full = 1
+		}
+		frac := m.WatchFraction.Rand(r)
+		if frac <= 0 {
+			frac = 0.01
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		bitrate := m.Bitrate.Rand(r)
+		if bitrate <= 0 {
+			bitrate = 1
+		}
+		out = append(out, Stream{
+			Start:    now,
+			Object:   int(pop.Rand(r)),
+			Duration: full * frac,
+			Bitrate:  bitrate,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out, nil
+}
+
+// StreamStarts extracts session start times.
+func StreamStarts(streams []Stream) []float64 {
+	out := make([]float64, len(streams))
+	for i, s := range streams {
+		out[i] = s.Start
+	}
+	return out
+}
+
+// ConcurrentStreams returns the number of sessions active at time t.
+func ConcurrentStreams(streams []Stream, t float64) int {
+	var n int
+	for _, s := range streams {
+		if s.Start <= t && t < s.Start+s.Duration {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dcmodel/internal/stats"
+)
+
+// SURGE-like session-based web workload generator (Barford & Crovella):
+// users arrive, fetch pages consisting of several embedded objects with
+// heavy-tailed sizes, and think between pages. Joo et al. contrast exactly
+// this user-variability model with an infinite-source constant-load model
+// and find the two produce very different results — the comparison the
+// webtier example reproduces.
+
+// WebRequest is one object fetch emitted by the generator.
+type WebRequest struct {
+	// Time is the fetch instant.
+	Time float64
+	// Bytes is the object size.
+	Bytes int64
+	// Session and Page identify the generating user session and page.
+	Session, Page int
+}
+
+// Surge configures the session generator.
+type Surge struct {
+	// Sessions is the number of user sessions.
+	Sessions int
+	// SessionRate is the session-arrival rate (sessions/second).
+	SessionRate float64
+	// PagesPerSession is the distribution of pages viewed per session.
+	PagesPerSession stats.Dist
+	// ObjectsPerPage is the distribution of embedded objects per page.
+	ObjectsPerPage stats.Dist
+	// ObjectBytes is the object-size distribution (heavy-tailed).
+	ObjectBytes stats.Dist
+	// ThinkTime is the inter-page think-time distribution (heavy-tailed
+	// OFF periods).
+	ThinkTime stats.Dist
+	// ObjectGap is the within-page inter-object gap distribution.
+	ObjectGap stats.Dist
+}
+
+// DefaultSurge returns the canonical SURGE parameterization: Pareto page
+// and object counts, lognormal-body/Pareto-tail object sizes approximated
+// by a lognormal, Pareto think times.
+func DefaultSurge(sessions int) Surge {
+	return Surge{
+		Sessions:        sessions,
+		SessionRate:     5,
+		PagesPerSession: stats.Pareto{Xm: 1, Alpha: 1.5},
+		ObjectsPerPage:  stats.Pareto{Xm: 1, Alpha: 2.43},
+		ObjectBytes:     stats.LogNormal{Mu: 9.357, Sigma: 1.318},
+		ThinkTime:       stats.Pareto{Xm: 1, Alpha: 1.4},
+		ObjectGap:       stats.Exponential{Rate: 50},
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (s Surge) Validate() error {
+	switch {
+	case s.Sessions < 1:
+		return fmt.Errorf("workload: surge needs >= 1 session, got %d", s.Sessions)
+	case s.SessionRate <= 0:
+		return fmt.Errorf("workload: surge needs a positive session rate, got %g", s.SessionRate)
+	case s.PagesPerSession == nil || s.ObjectsPerPage == nil || s.ObjectBytes == nil ||
+		s.ThinkTime == nil || s.ObjectGap == nil:
+		return fmt.Errorf("workload: surge needs all five distributions")
+	}
+	return nil
+}
+
+// Generate produces the object-fetch stream of all sessions, sorted by
+// time.
+func (s Surge) Generate(r *rand.Rand) ([]WebRequest, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var out []WebRequest
+	var sessionStart float64
+	for sess := 0; sess < s.Sessions; sess++ {
+		sessionStart += r.ExpFloat64() / s.SessionRate
+		now := sessionStart
+		pages := int(s.PagesPerSession.Rand(r))
+		if pages < 1 {
+			pages = 1
+		}
+		for p := 0; p < pages; p++ {
+			objects := int(s.ObjectsPerPage.Rand(r))
+			if objects < 1 {
+				objects = 1
+			}
+			for o := 0; o < objects; o++ {
+				if o > 0 {
+					gap := s.ObjectGap.Rand(r)
+					if gap < 0 {
+						gap = 0
+					}
+					now += gap
+				}
+				bytes := int64(s.ObjectBytes.Rand(r))
+				if bytes < 1 {
+					bytes = 1
+				}
+				out = append(out, WebRequest{Time: now, Bytes: bytes, Session: sess, Page: p})
+			}
+			think := s.ThinkTime.Rand(r)
+			if think < 0 {
+				think = 0
+			}
+			now += think
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out, nil
+}
+
+// InfiniteSource is the strawman Joo et al. compare SURGE against: a single
+// source transferring constant-size objects back-to-back at a fixed rate,
+// with no user variability.
+type InfiniteSource struct {
+	// Rate is the constant request rate.
+	Rate float64
+	// Bytes is the constant object size.
+	Bytes int64
+}
+
+// Generate produces n requests at fixed intervals.
+func (s InfiniteSource) Generate(n int) []WebRequest {
+	out := make([]WebRequest, n)
+	for i := range out {
+		out[i] = WebRequest{Time: float64(i+1) / s.Rate, Bytes: s.Bytes}
+	}
+	return out
+}
+
+// RequestTimes extracts arrival instants from a web-request stream.
+func RequestTimes(reqs []WebRequest) []float64 {
+	out := make([]float64, len(reqs))
+	for i, q := range reqs {
+		out[i] = q.Time
+	}
+	return out
+}
+
+// RequestSizes extracts object sizes from a web-request stream.
+func RequestSizes(reqs []WebRequest) []float64 {
+	out := make([]float64, len(reqs))
+	for i, q := range reqs {
+		out[i] = float64(q.Bytes)
+	}
+	return out
+}

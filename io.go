@@ -1,0 +1,21 @@
+package dcmodel
+
+import (
+	"io"
+
+	"dcmodel/internal/trace"
+)
+
+// Trace I/O re-exports.
+
+// WriteTraceCSV writes a trace in the flat span-per-row CSV format.
+func WriteTraceCSV(w io.Writer, tr *Trace) error { return trace.WriteCSV(w, tr) }
+
+// ReadTraceCSV reads a trace written by WriteTraceCSV.
+func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }
+
+// WriteTraceJSON writes a trace as JSON.
+func WriteTraceJSON(w io.Writer, tr *Trace) error { return trace.WriteJSON(w, tr) }
+
+// ReadTraceJSON reads a trace written by WriteTraceJSON.
+func ReadTraceJSON(r io.Reader) (*Trace, error) { return trace.ReadJSON(r) }

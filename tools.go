@@ -1,0 +1,97 @@
+package dcmodel
+
+import (
+	"math/rand"
+
+	"dcmodel/internal/dapper"
+	"dcmodel/internal/gwp"
+	"dcmodel/internal/kooza"
+	"dcmodel/internal/power"
+	"dcmodel/internal/sqs"
+)
+
+// Facade over the observation and applicability tooling: Dapper-style
+// request tracing, GWP-style cluster profiling, SQS-style datacenter
+// sizing, and the power/energy models of the paper's §5.
+
+// Tracing (Dapper) re-exports.
+type (
+	// Tracer collects sampled request trace trees.
+	Tracer = dapper.Tracer
+	// TraceTree is one request's assembled span tree.
+	TraceTree = dapper.Tree
+)
+
+// TraceRequests replays a workload through a 1-in-sampleEvery sampling
+// tracer and returns it; call Trees on the result for the sampled trees.
+func TraceRequests(tr *Trace, sampleEvery int) (*Tracer, error) {
+	return dapper.TraceWorkload(tr, sampleEvery)
+}
+
+// Profiling (GWP) re-exports.
+type (
+	// Profile is a cluster-wide sampled profile.
+	Profile = gwp.Profile
+	// ProfileOptions configures profile collection.
+	ProfileOptions = gwp.Options
+)
+
+// CollectProfile samples a workload trace across machines.
+func CollectProfile(tr *Trace, opts ProfileOptions) (*Profile, error) {
+	return gwp.Collect(tr, opts)
+}
+
+// Sizing (SQS) re-exports.
+type (
+	// SQSModel is an empirical workload model for farm sizing.
+	SQSModel = sqs.Model
+	// SQSResult is one evaluated farm configuration.
+	SQSResult = sqs.Result
+)
+
+// CharacterizeSQS builds an SQS empirical model from a trace with the
+// given bounded sample budget.
+func CharacterizeSQS(tr *Trace, maxSamples int, seed int64) (*SQSModel, error) {
+	r := rand.New(rand.NewSource(seed))
+	c, err := sqs.NewCharacterizer(maxSamples, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.ObserveTrace(tr); err != nil {
+		return nil, err
+	}
+	return c.Model()
+}
+
+// Power re-exports.
+type (
+	// ServerPowerModel is a per-subsystem linear power model.
+	ServerPowerModel = power.ServerPower
+	// EnergyBreakdown is a per-subsystem energy accounting.
+	EnergyBreakdown = power.Breakdown
+)
+
+// BigCorePower and SmallCorePower return the two reference server power
+// models used by the server-configuration study.
+func BigCorePower() ServerPowerModel   { return power.BigCoreServer() }
+func SmallCorePower() ServerPowerModel { return power.SmallCoreServer() }
+
+// ServerEnergy accounts one server's energy over a trace.
+func ServerEnergy(tr *Trace, server int, sp ServerPowerModel) (EnergyBreakdown, error) {
+	return power.Energy(tr, server, sp)
+}
+
+// ClusterEnergy accounts the whole cluster's energy over a trace.
+func ClusterEnergy(tr *Trace, sp ServerPowerModel) (EnergyBreakdown, error) {
+	return power.ClusterEnergy(tr, sp)
+}
+
+// FeatureReport is the PCA feature-space analysis of a trace (§4).
+type FeatureReport = kooza.FeatureReport
+
+// AnalyzeFeatures runs the standardized-PCA feature-space analysis,
+// reporting the workload's effective dimensionality and what loads on the
+// leading components.
+func AnalyzeFeatures(tr *Trace) (*FeatureReport, error) {
+	return kooza.FeatureAnalysis(tr)
+}

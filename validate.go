@@ -1,0 +1,172 @@
+package dcmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dcmodel/internal/kooza"
+	"dcmodel/internal/replay"
+	"dcmodel/internal/stats"
+	"dcmodel/internal/trace"
+)
+
+// Validation is the Table 2 pipeline: train KOOZA on a trace, synthesize,
+// replay on the same platform, and compare per-class request features and
+// latency between the original and synthetic workloads.
+
+// FeatureRow is one original-vs-synthetic comparison row, matching the
+// columns of the paper's Table 2.
+type FeatureRow struct {
+	Class string
+	// Network request size (bytes): the request's payload transfer.
+	NetOrig, NetSynth float64
+	// CPU utilization (fraction).
+	UtilOrig, UtilSynth float64
+	// Memory access size (bytes) and dominant type.
+	MemOrig, MemSynth     float64
+	MemOpOrig, MemOpSynth Op
+	// Storage I/O size (bytes) and dominant type.
+	StorOrig, StorSynth     float64
+	StorOpOrig, StorOpSynth Op
+	// Latency (seconds), measured on the same platform.
+	LatOrig, LatSynth float64
+}
+
+// FeatureDeviation returns the maximum relative deviation across the
+// feature columns (the paper reports <= 1%).
+func (r FeatureRow) FeatureDeviation() float64 {
+	devs := []float64{
+		stats.RelError(r.NetOrig, r.NetSynth),
+		stats.RelError(r.UtilOrig, r.UtilSynth),
+		stats.RelError(r.MemOrig, r.MemSynth),
+		stats.RelError(r.StorOrig, r.StorSynth),
+	}
+	var m float64
+	for _, d := range devs {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// LatencyDeviation returns the relative latency deviation (the paper
+// reports <= 6.6%).
+func (r FeatureRow) LatencyDeviation() float64 {
+	return stats.RelError(r.LatOrig, r.LatSynth)
+}
+
+// ValidationResult is the outcome of the Table 2 pipeline.
+type ValidationResult struct {
+	Rows []FeatureRow
+	// Model is the trained KOOZA model (for Describe / inspection).
+	Model *KoozaModel
+}
+
+// Validate runs the Table 2 pipeline: train on tr, synthesize n requests,
+// replay on the platform, compare per class.
+func Validate(tr *Trace, n int, p Platform, opts KoozaOptions, seed int64) (*ValidationResult, error) {
+	model, err := kooza.Train(tr, opts)
+	if err != nil {
+		return nil, err
+	}
+	synth, err := model.Synthesize(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	timed, err := replay.Run(synth, p)
+	if err != nil {
+		return nil, err
+	}
+	res := &ValidationResult{Model: model}
+	for _, class := range tr.Classes() {
+		ot := tr.ByClass(class)
+		st := synth.ByClass(class)
+		tt := timed.ByClass(class)
+		if st.Len() == 0 {
+			return nil, fmt.Errorf("dcmodel: class %q missing from synthetic trace", class)
+		}
+		row := FeatureRow{Class: class}
+		row.NetOrig = meanNetPayload(ot)
+		row.NetSynth = meanNetPayload(st)
+		row.UtilOrig = meanFeature(ot, trace.CPU, utilOf)
+		row.UtilSynth = meanFeature(st, trace.CPU, utilOf)
+		row.MemOrig = meanFeature(ot, trace.Memory, bytesOf)
+		row.MemSynth = meanFeature(st, trace.Memory, bytesOf)
+		row.StorOrig = meanFeature(ot, trace.Storage, bytesOf)
+		row.StorSynth = meanFeature(st, trace.Storage, bytesOf)
+		row.MemOpOrig = dominantOp(ot, trace.Memory)
+		row.MemOpSynth = dominantOp(st, trace.Memory)
+		row.StorOpOrig = dominantOp(ot, trace.Storage)
+		row.StorOpSynth = dominantOp(st, trace.Storage)
+		row.LatOrig = stats.Mean(ot.Latencies())
+		row.LatSynth = stats.Mean(tt.Latencies())
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func bytesOf(s Span) float64 { return float64(s.Bytes) }
+func utilOf(s Span) float64  { return s.Util }
+
+func meanFeature(tr *Trace, sub Subsystem, f func(Span) float64) float64 {
+	return stats.Mean(tr.SpanFeature(sub, f))
+}
+
+// meanNetPayload averages each request's network payload (its largest
+// network transfer), the "request size" the paper's Table 2 reports.
+func meanNetPayload(tr *Trace) float64 {
+	var payloads []float64
+	for _, r := range tr.Requests {
+		var max int64
+		for _, s := range r.SpansIn(trace.Network) {
+			if s.Bytes > max {
+				max = s.Bytes
+			}
+		}
+		payloads = append(payloads, float64(max))
+	}
+	return stats.Mean(payloads)
+}
+
+func dominantOp(tr *Trace, sub Subsystem) Op {
+	var reads, writes int
+	for _, r := range tr.Requests {
+		for _, s := range r.SpansIn(sub) {
+			switch s.Op {
+			case OpRead:
+				reads++
+			case OpWrite:
+				writes++
+			}
+		}
+	}
+	if reads >= writes {
+		return OpRead
+	}
+	return OpWrite
+}
+
+// Render formats the validation result in the layout of the paper's
+// Table 2.
+func (v *ValidationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 — Validation of request features and latency (KOOZA)\n")
+	fmt.Fprintf(&b, "%-10s | %-10s | %-14s | %-10s | %-20s | %-20s | %-12s\n",
+		"Class", "Row", "Network B", "CPU util", "Memory (B, type)", "Storage (B, type)", "Latency ms")
+	for _, r := range v.Rows {
+		fmt.Fprintf(&b, "%-10s | %-10s | %14.0f | %9.2f%% | %12.0f %-7s | %12.0f %-7s | %12.3f\n",
+			r.Class, "original", r.NetOrig, 100*r.UtilOrig, r.MemOrig, r.MemOpOrig, r.StorOrig, r.StorOpOrig, 1000*r.LatOrig)
+		fmt.Fprintf(&b, "%-10s | %-10s | %14.0f | %9.2f%% | %12.0f %-7s | %12.0f %-7s | %12.3f\n",
+			"", "synthetic", r.NetSynth, 100*r.UtilSynth, r.MemSynth, r.MemOpSynth, r.StorSynth, r.StorOpSynth, 1000*r.LatSynth)
+		fmt.Fprintf(&b, "%-10s | %-10s | %13.2f%% | %9.2f%% | %12.2f%% %-7s | %12.2f%% %-7s | %11.2f%%\n",
+			"", "variation",
+			100*stats.RelError(r.NetOrig, r.NetSynth),
+			100*stats.RelError(r.UtilOrig, r.UtilSynth),
+			100*stats.RelError(r.MemOrig, r.MemSynth), "",
+			100*stats.RelError(r.StorOrig, r.StorSynth), "",
+			100*r.LatencyDeviation())
+	}
+	return b.String()
+}
