@@ -1,10 +1,26 @@
-# dcmodel build targets.
+# dcmodel build targets. Run `make help` for a summary.
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz examples artifacts clean
+.PHONY: all build vet test test-race race cover bench fuzz examples artifacts clean help
 
 all: build vet test
+
+help:
+	@echo "dcmodel targets:"
+	@echo "  all        build + vet + test"
+	@echo "  build      go build ./..."
+	@echo "  vet        go vet ./..."
+	@echo "  test       go test ./..."
+	@echo "  test-race  go test -race ./... — the concurrency gate for the"
+	@echo "             parallel cross-examination engine and sharded simulator"
+	@echo "  race       alias for test-race"
+	@echo "  cover      go test -cover ./..."
+	@echo "  bench      regenerate every table/figure + ablations (-bench=. -benchmem)"
+	@echo "  fuzz       run the codec and sharded-simulator fuzz targets (30s each)"
+	@echo "  examples   run every example program"
+	@echo "  artifacts  record test + bench output to *_output.txt"
+	@echo "  clean      remove build cache and recorded artifacts"
 
 build:
 	$(GO) build ./...
@@ -15,8 +31,12 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
+# The race detector must stay clean: parallel cross-examination, sharded
+# simulation and concurrent synthesis all run under it in CI.
+test-race:
 	$(GO) test -race ./...
+
+race: test-race
 
 cover:
 	$(GO) test -cover ./...
@@ -28,6 +48,7 @@ bench:
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzReadJSON -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz=FuzzShardedCodecRoundTrip -fuzztime=30s ./internal/trace/
 
 examples:
 	@for ex in quickstart storagestudy webtier selfsimilar serverconfig incast tracing memorymodel; do \

@@ -541,6 +541,45 @@ func BenchmarkKoozaSynthesize(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelCrossExamination times the full three-approach chain
+// (train -> synthesize -> replay -> score) at several worker counts. The
+// output is identical at every worker count (see the determinism tests);
+// only the wall clock changes. On a 4-core machine workers=4 should beat
+// workers=1 by >= 1.8x: the three chains are independent, and in-breadth
+// and KOOZA dominate the serial runtime about equally.
+func BenchmarkParallelCrossExamination(b *testing.B) {
+	tr := benchTrace()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := CrossExamineOpts(tr, tr.Len(), DefaultPlatform(), int64(1000+i),
+					CrossExamOptions{Workers: workers, SkipThroughput: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedGFS times the sharded cluster simulator at several worker
+// counts; with 8 shards the output trace is byte-identical across worker
+// counts and the parallel speedup tracks the core count.
+func BenchmarkShardedGFS(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SimulateGFS(DefaultGFSConfig(), GFSRun{
+					Mix: Table2Mix(), Rate: 20, Requests: 8000,
+					Shards: 8, Workers: workers,
+				}, int64(1100+i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkReplay(b *testing.B) {
 	tr := benchTrace()
 	b.ReportAllocs()

@@ -6,6 +6,7 @@
 //
 //	crossexam -requests 3000 -rate 20
 //	crossexam -in trace.csv
+//	crossexam -requests 3000 -workers 4   # parallel approach chains
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 		rate     = flag.Float64("rate", 20, "arrival rate for simulation")
 		n        = flag.Int("n", 0, "synthetic requests per approach (0 = trace size)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "concurrent approach chains (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -54,7 +56,8 @@ func main() {
 	if count == 0 {
 		count = tr.Len()
 	}
-	scores, err := dcmodel.CrossExamine(tr, count, dcmodel.DefaultPlatform(), *seed+1)
+	scores, err := dcmodel.CrossExamineOpts(tr, count, dcmodel.DefaultPlatform(), *seed+1,
+		dcmodel.CrossExamOptions{Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	gfstrace -requests 4000 -rate 20 -mix table2 -format csv > trace.csv
+//	gfstrace -requests 4000 -shards 8 -workers 4 > trace.csv  # sharded, same output for any -workers
 package main
 
 import (
@@ -32,6 +33,8 @@ func main() {
 		arrivals    = flag.String("arrivals", "poisson", "arrival process: poisson, mmpp or selfsimilar")
 		format      = flag.String("format", "csv", "output format: csv or json")
 		out         = flag.String("o", "-", "output path ('-' for stdout)")
+		shards      = flag.Int("shards", 1, "partition clients across this many independent cluster partitions")
+		workers     = flag.Int("workers", 0, "concurrent shards (0 = GOMAXPROCS, 1 = serial); needs -shards > 1")
 	)
 	flag.Parse()
 
@@ -71,6 +74,8 @@ func main() {
 		Mix:      mix,
 		Arrivals: arr,
 		Requests: *requests,
+		Shards:   *shards,
+		Workers:  *workers,
 	}, *seed)
 	if err != nil {
 		log.Fatal(err)

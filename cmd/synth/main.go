@@ -5,6 +5,7 @@
 //
 //	synth -in trace.csv -model kooza -n 10000 > synthetic.csv
 //	synth -model-file model.json -n 10000 > synthetic.csv
+//	synth -in trace.csv -n 10000 -shards 8 -workers 4 > synthetic.csv
 package main
 
 import (
@@ -31,10 +32,15 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		out       = flag.String("o", "-", "output path ('-' for stdout)")
 		replayIt  = flag.Bool("replay", false, "replay the synthetic workload on the default platform before writing (fills timing)")
+		shards    = flag.Int("shards", 1, "partition synthesis into this many independently-seeded shards")
+		workers   = flag.Int("workers", 0, "concurrent shards (0 = GOMAXPROCS, 1 = serial); needs -shards > 1")
 	)
 	flag.Parse()
 
-	r := rand.New(rand.NewSource(*seed))
+	var (
+		synthesize func(int, *rand.Rand) (*dcmodel.Trace, error)
+		label      string
+	)
 	if *modelFile != "" {
 		f, err := os.Open(*modelFile)
 		if err != nil {
@@ -45,51 +51,50 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		synth, err := m.Synthesize(*n, r)
+		synthesize, label = m.Synthesize, "kooza (loaded)"
+	} else {
+		tr, err := readTrace(*in)
 		if err != nil {
 			log.Fatal(err)
 		}
-		writeOut(synth, *out, "kooza (loaded)", *replayIt)
-		return
+		switch *modelName {
+		case "kooza":
+			m, err := dcmodel.TrainKooza(tr, dcmodel.KoozaOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			synthesize = m.Synthesize
+		case "inbreadth":
+			m, err := dcmodel.TrainInBreadth(tr, dcmodel.InBreadthOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			synthesize = m.Synthesize
+		case "indepth":
+			m, err := dcmodel.TrainInDepth(tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			synthesize = m.Synthesize
+		default:
+			log.Fatalf("unknown model %q (want kooza, inbreadth or indepth)", *modelName)
+		}
+		label = *modelName
 	}
 
-	tr, err := readTrace(*in)
+	var (
+		synth *dcmodel.Trace
+		err   error
+	)
+	if *shards > 1 {
+		synth, err = dcmodel.SynthesizeSharded(synthesize, *n, *shards, *workers, *seed)
+	} else {
+		synth, err = synthesize(*n, rand.New(rand.NewSource(*seed)))
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	var synth *dcmodel.Trace
-	switch *modelName {
-	case "kooza":
-		m, err := dcmodel.TrainKooza(tr, dcmodel.KoozaOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		synth, err = m.Synthesize(*n, r)
-		if err != nil {
-			log.Fatal(err)
-		}
-	case "inbreadth":
-		m, err := dcmodel.TrainInBreadth(tr, dcmodel.InBreadthOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		synth, err = m.Synthesize(*n, r)
-		if err != nil {
-			log.Fatal(err)
-		}
-	case "indepth":
-		m, err := dcmodel.TrainInDepth(tr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		synth, err = m.Synthesize(*n, r)
-		if err != nil {
-			log.Fatal(err)
-		}
-	default:
-		log.Fatalf("unknown model %q (want kooza, inbreadth or indepth)", *modelName)
-	}
-	writeOut(synth, *out, *modelName, *replayIt)
+	writeOut(synth, *out, label, *replayIt)
 }
 
 // writeOut optionally replays the workload for timing, then writes it.

@@ -31,6 +31,7 @@ package dcmodel
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"dcmodel/internal/crossexam"
 	"dcmodel/internal/gfs"
@@ -38,6 +39,8 @@ import (
 	"dcmodel/internal/inbreadth"
 	"dcmodel/internal/indepth"
 	"dcmodel/internal/kooza"
+	"dcmodel/internal/par"
+	"dcmodel/internal/prand"
 	"dcmodel/internal/replay"
 	"dcmodel/internal/trace"
 	"dcmodel/internal/workload"
@@ -143,17 +146,26 @@ type GFSRun struct {
 	Rate float64
 	// Arrivals optionally overrides the arrival process.
 	Arrivals Arrivals
-	// Requests is the number of requests to simulate (required).
+	// Requests is the number of requests to simulate (required). In
+	// sharded mode this is the total across all shards.
 	Requests int
+	// Shards, when > 1, partitions the client population into that many
+	// independent cluster partitions, each with its own SplitMix64-derived
+	// rand stream (see gfs.SimulateSharded). The merged trace depends only
+	// on (cfg, run, Shards, seed) — never on Workers.
+	Shards int
+	// Workers bounds how many shards simulate concurrently: 0 selects
+	// runtime.GOMAXPROCS(0), 1 is the serial fallback. Only consulted
+	// when Shards > 1.
+	Workers int
 }
 
 // SimulateGFS builds a cluster from cfg, runs the workload and returns the
-// resulting trace. The seed makes the run reproducible.
+// resulting trace. The seed makes the run reproducible: with Shards <= 1
+// the run is the classic single-threaded simulation; with Shards > 1 the
+// sharded engine partitions clients across cluster partitions and the
+// output is byte-identical for any Workers value.
 func SimulateGFS(cfg GFSConfig, run GFSRun, seed int64) (*Trace, error) {
-	cluster, err := gfs.NewCluster(cfg)
-	if err != nil {
-		return nil, err
-	}
 	arrivals := run.Arrivals
 	if arrivals == nil {
 		if run.Rate <= 0 {
@@ -161,39 +173,60 @@ func SimulateGFS(cfg GFSConfig, run GFSRun, seed int64) (*Trace, error) {
 		}
 		arrivals = workload.Poisson{Rate: run.Rate}
 	}
-	return cluster.Run(gfs.RunConfig{
+	rc := gfs.RunConfig{
 		Mix:      run.Mix,
 		Arrivals: arrivals,
 		Requests: run.Requests,
-	}, rand.New(rand.NewSource(seed)))
+	}
+	if run.Shards > 1 {
+		return gfs.SimulateSharded(cfg, rc, run.Shards, run.Workers, seed)
+	}
+	cluster, err := gfs.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.Run(rc, rand.New(rand.NewSource(seed)))
 }
 
 // GFSClosedRun drives a closed-loop (interactive) GFS simulation.
 type GFSClosedRun struct {
 	// Mix is the request-class mix (required).
 	Mix *Mix
-	// Users is the closed population size.
+	// Users is the closed population size (total across shards).
 	Users int
 	// MeanThink is the mean exponential think time (seconds).
 	MeanThink float64
-	// Requests is the number of requests to complete.
+	// Requests is the number of requests to complete (total across
+	// shards).
 	Requests int
+	// Shards, when > 1, partitions the user population across that many
+	// independent cluster partitions (see gfs.SimulateShardedClosed).
+	Shards int
+	// Workers bounds shard concurrency (0 = GOMAXPROCS, 1 = serial); only
+	// consulted when Shards > 1.
+	Workers int
 }
 
 // SimulateGFSClosed builds a cluster from cfg and runs a closed-loop
 // workload: Users concurrent users issuing, thinking and reissuing — the
-// interactive-population shape of closed queueing analyses.
+// interactive-population shape of closed queueing analyses. With Shards >
+// 1 the users are partitioned across independent cluster partitions and
+// the merged trace is byte-identical for any Workers value.
 func SimulateGFSClosed(cfg GFSConfig, run GFSClosedRun, seed int64) (*Trace, error) {
-	cluster, err := gfs.NewCluster(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return cluster.RunClosed(gfs.ClosedRunConfig{
+	rc := gfs.ClosedRunConfig{
 		Mix:       run.Mix,
 		Users:     run.Users,
 		MeanThink: run.MeanThink,
 		Requests:  run.Requests,
-	}, rand.New(rand.NewSource(seed)))
+	}
+	if run.Shards > 1 {
+		return gfs.SimulateShardedClosed(cfg, rc, run.Shards, run.Workers, seed)
+	}
+	cluster, err := gfs.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.RunClosed(rc, rand.New(rand.NewSource(seed)))
 }
 
 // TrainKooza fits the paper's combined model to a trace.
@@ -217,27 +250,132 @@ func Replay(tr *Trace, p Platform) (*Trace, error) {
 	return replay.Run(tr, p)
 }
 
+// CrossExamOptions configures the parallel cross-examination.
+type CrossExamOptions struct {
+	// Workers bounds how many approach chains (train → synthesize →
+	// replay → score) run concurrently: 0 selects runtime.GOMAXPROCS(0),
+	// 1 is the serial fallback. Every scorecard field except the
+	// wall-clock Scalability throughput is independent of Workers.
+	Workers int
+	// SkipThroughput zeroes the wall-clock Scalability measurement so the
+	// returned Scores are bit-identical across runs and worker counts.
+	SkipThroughput bool
+}
+
 // CrossExamine scores the three standard approaches (trained on tr) on the
-// Table 1 criteria using n synthetic requests each.
+// Table 1 criteria using n synthetic requests each, running the approach
+// chains on up to GOMAXPROCS workers.
 func CrossExamine(tr *Trace, n int, p Platform, seed int64) ([]Scores, error) {
-	ib, err := inbreadth.Train(tr, inbreadth.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("dcmodel: in-breadth: %w", err)
-	}
-	id, err := indepth.Train(tr)
-	if err != nil {
-		return nil, fmt.Errorf("dcmodel: in-depth: %w", err)
-	}
-	kz, err := kooza.Train(tr, kooza.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("dcmodel: kooza: %w", err)
-	}
+	return CrossExamineOpts(tr, n, p, seed, CrossExamOptions{})
+}
+
+// CrossExamineOpts is CrossExamine with explicit parallelism options. Each
+// approach's whole chain — training included — runs as one task of the
+// worker pool, with per-approach rand streams derived from seed via
+// SplitMix64.
+func CrossExamineOpts(tr *Trace, n int, p Platform, seed int64, opts CrossExamOptions) ([]Scores, error) {
 	approaches := []Approach{
-		{Name: "in-breadth", Synthesize: ib.Synthesize, NumParams: ib.NumParams(), Knobs: 3},
-		{Name: "in-depth", Synthesize: id.Synthesize, NumParams: id.NumParams(), Knobs: 1, SelfTimed: true},
-		{Name: "KOOZA", Synthesize: kz.Synthesize, NumParams: kz.NumParams(), Knobs: 5},
+		{Name: "in-breadth", Knobs: 3, Setup: func(a *Approach) error {
+			ib, err := inbreadth.Train(tr, inbreadth.Options{})
+			if err != nil {
+				return fmt.Errorf("dcmodel: in-breadth: %w", err)
+			}
+			a.Synthesize, a.NumParams = ib.Synthesize, ib.NumParams()
+			return nil
+		}},
+		{Name: "in-depth", Knobs: 1, SelfTimed: true, Setup: func(a *Approach) error {
+			id, err := indepth.Train(tr)
+			if err != nil {
+				return fmt.Errorf("dcmodel: in-depth: %w", err)
+			}
+			a.Synthesize, a.NumParams = id.Synthesize, id.NumParams()
+			return nil
+		}},
+		{Name: "KOOZA", Knobs: 5, Setup: func(a *Approach) error {
+			kz, err := kooza.Train(tr, kooza.Options{})
+			if err != nil {
+				return fmt.Errorf("dcmodel: kooza: %w", err)
+			}
+			a.Synthesize, a.NumParams = kz.Synthesize, kz.NumParams()
+			return nil
+		}},
 	}
-	return crossexam.Evaluate(tr, approaches, n, p, rand.New(rand.NewSource(seed)))
+	return crossexam.Evaluate(tr, approaches, n, p, crossexam.Options{
+		Seed:           seed,
+		Workers:        opts.Workers,
+		SkipThroughput: opts.SkipThroughput,
+	})
+}
+
+// SynthesizeSharded fans one model's synthesis across shards: shard s
+// generates its share of the n requests with the rand stream
+// prand.Derive(seed, s), and the shard streams are stitched end-to-end on
+// the time axis (each shard's timeline is offset by the end of the
+// previous shard's, plus one mean interarrival gap). The result depends
+// only on (n, shards, seed) — workers merely bounds concurrency — at the
+// cost of resetting the model's Markov-walk state at the shards-1 stitch
+// boundaries. synthesize must be safe for concurrent use with distinct
+// *rand.Rand instances, which all trained models in this module are.
+func SynthesizeSharded(synthesize func(n int, r *rand.Rand) (*Trace, error), n, shards, workers int, seed int64) (*Trace, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("dcmodel: need >= 1 shard, got %d", shards)
+	}
+	if n < shards {
+		return nil, fmt.Errorf("dcmodel: %d requests cannot cover %d shards", n, shards)
+	}
+	quota := make([]int, shards)
+	base, extra := n/shards, n%shards
+	for s := range quota {
+		quota[s] = base
+		if s < extra {
+			quota[s]++
+		}
+	}
+	parts := make([]*Trace, shards)
+	err := par.Do(shards, workers, func(s int) error {
+		tr, err := synthesize(quota[s], prand.New(seed, uint64(s)))
+		if err != nil {
+			return fmt.Errorf("dcmodel: shard %d: %w", s, err)
+		}
+		if tr.Len() != quota[s] {
+			return fmt.Errorf("dcmodel: shard %d synthesized %d requests, want %d", s, tr.Len(), quota[s])
+		}
+		parts[s] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := &Trace{Requests: make([]Request, 0, n)}
+	var offset float64
+	for _, part := range parts {
+		var end float64
+		for _, req := range part.Requests {
+			req.Arrival += offset
+			for i := range req.Spans {
+				req.Spans[i].Start += offset
+				if e := req.Spans[i].Start + req.Spans[i].Duration; e > end {
+					end = e
+				}
+			}
+			if req.Arrival > end {
+				end = req.Arrival
+			}
+			req.ID = int64(len(merged.Requests))
+			merged.Requests = append(merged.Requests, req)
+		}
+		// Advance by the shard's span plus one mean gap so streams do not
+		// overlap at the stitch point.
+		span := end - offset
+		offset = end + span/float64(part.Len())
+	}
+	sort.SliceStable(merged.Requests, func(i, j int) bool {
+		return merged.Requests[i].Arrival < merged.Requests[j].Arrival
+	})
+	for i := range merged.Requests {
+		merged.Requests[i].ID = int64(i)
+	}
+	return merged, nil
 }
 
 // RenderScores renders the Table 1 regeneration (qualitative matrix plus

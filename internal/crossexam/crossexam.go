@@ -14,6 +14,8 @@ import (
 	"strings"
 	"time"
 
+	"dcmodel/internal/par"
+	"dcmodel/internal/prand"
 	"dcmodel/internal/replay"
 	"dcmodel/internal/stats"
 	"dcmodel/internal/trace"
@@ -23,7 +25,14 @@ import (
 type Approach struct {
 	// Name labels the approach ("in-breadth", "in-depth", "KOOZA").
 	Name string
-	// Synthesize generates n synthetic requests.
+	// Setup, when non-nil, runs inside the approach's worker before
+	// synthesis — typically model training, filling in Synthesize and
+	// NumParams — so the expensive train stage of every approach's
+	// train→synth→replay→score chain participates in the fan-out.
+	Setup func(a *Approach) error
+	// Synthesize generates n synthetic requests. It must be safe for
+	// concurrent use with distinct *rand.Rand instances (trained models
+	// are read-only after Train).
 	Synthesize func(n int, r *rand.Rand) (*trace.Trace, error)
 	// NumParams is the trained model's parameter count (ease-of-use).
 	NumParams int
@@ -32,6 +41,22 @@ type Approach struct {
 	// SelfTimed marks approaches whose synthetic spans already carry
 	// durations (in-depth); others are replayed on the platform.
 	SelfTimed bool
+}
+
+// Options configures Evaluate.
+type Options struct {
+	// Seed is the master seed. Approach i synthesizes with its own
+	// rand stream derived via SplitMix64 (prand.Derive(Seed, i)), so the
+	// scorecard is a fixed function of (trace, approaches, n, Seed) —
+	// independent of Workers and of goroutine scheduling.
+	Seed int64
+	// Workers bounds how many approach chains run concurrently: <= 0
+	// selects runtime.GOMAXPROCS(0), 1 is the serial fallback.
+	Workers int
+	// SkipThroughput zeroes the wall-clock Scalability measurement (the
+	// only non-deterministic scorecard entry), making the returned Scores
+	// bit-identical across runs and worker counts.
+	SkipThroughput bool
 }
 
 // Scores is the measured scorecard of one approach.
@@ -63,7 +88,14 @@ type Scores struct {
 // Evaluate scores every approach against the original trace. n synthetic
 // requests are generated per approach; non-self-timed approaches are
 // replayed on the platform for latency measurement.
-func Evaluate(orig *trace.Trace, approaches []Approach, n int, platform replay.Platform, r *rand.Rand) ([]Scores, error) {
+//
+// Each approach's full setup→synth→replay→score chain runs as one task of
+// a bounded worker pool (opts.Workers goroutines; 1 = serial fallback)
+// with its own SplitMix64-derived rand stream, and results are merged in
+// approach order — so every Scores field except the wall-clock Scalability
+// measurement is independent of the worker count (set opts.SkipThroughput
+// for fully bit-identical scorecards).
+func Evaluate(orig *trace.Trace, approaches []Approach, n int, platform replay.Platform, opts Options) ([]Scores, error) {
 	if orig == nil || orig.Len() == 0 {
 		return nil, trace.ErrEmptyTrace
 	}
@@ -71,15 +103,22 @@ func Evaluate(orig *trace.Trace, approaches []Approach, n int, platform replay.P
 		return nil, fmt.Errorf("crossexam: n must be positive, got %d", n)
 	}
 	modal := modalPhasesByClass(orig)
-	var out []Scores
-	for _, a := range approaches {
-		if a.Synthesize == nil {
-			return nil, fmt.Errorf("crossexam: approach %q has no synthesizer", a.Name)
+	out := make([]Scores, len(approaches))
+	err := par.Do(len(approaches), opts.Workers, func(i int) error {
+		a := approaches[i]
+		if a.Setup != nil {
+			if err := a.Setup(&a); err != nil {
+				return fmt.Errorf("crossexam: %s setup: %w", a.Name, err)
+			}
 		}
+		if a.Synthesize == nil {
+			return fmt.Errorf("crossexam: approach %q has no synthesizer", a.Name)
+		}
+		r := prand.New(opts.Seed, uint64(i))
 		start := time.Now()
 		synth, err := a.Synthesize(n, r)
 		if err != nil {
-			return nil, fmt.Errorf("crossexam: %s synthesize: %w", a.Name, err)
+			return fmt.Errorf("crossexam: %s synthesize: %w", a.Name, err)
 		}
 		elapsed := time.Since(start).Seconds()
 		s := Scores{
@@ -87,7 +126,7 @@ func Evaluate(orig *trace.Trace, approaches []Approach, n int, platform replay.P
 			Configurability: a.Knobs,
 			EaseOfUse:       a.NumParams,
 		}
-		if elapsed > 0 {
+		if elapsed > 0 && !opts.SkipThroughput {
 			s.Scalability = float64(n) / elapsed
 		}
 		s.RequestFeatures = featureScore(orig, synth)
@@ -97,12 +136,16 @@ func Evaluate(orig *trace.Trace, approaches []Approach, n int, platform replay.P
 		if !a.SelfTimed {
 			timed, err = replay.Run(synth, platform)
 			if err != nil {
-				return nil, fmt.Errorf("crossexam: %s replay: %w", a.Name, err)
+				return fmt.Errorf("crossexam: %s replay: %w", a.Name, err)
 			}
 		}
 		s.LatencyFidelity = latencyScore(orig, timed)
 		s.Completeness = geoMean3(s.RequestFeatures, s.TimeDependencies, s.LatencyFidelity)
-		out = append(out, s)
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package crossexam
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -57,7 +58,7 @@ func TestEvaluateReproducesTable1Shape(t *testing.T) {
 	tr := gfsTrace(t, 3000, 900)
 	approaches := buildApproaches(t, tr)
 	scores, err := Evaluate(tr, approaches, 3000,
-		replay.Platform{NewServer: gfs.DefaultServerHW}, rand.New(rand.NewSource(901)))
+		replay.Platform{NewServer: gfs.DefaultServerHW}, Options{Seed: 901})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,16 +124,84 @@ func TestEvaluateReproducesTable1Shape(t *testing.T) {
 func TestEvaluateErrors(t *testing.T) {
 	tr := gfsTrace(t, 300, 902)
 	approaches := buildApproaches(t, tr)
-	r := rand.New(rand.NewSource(1))
+	opts := Options{Seed: 1}
 	platform := replay.Platform{NewServer: gfs.DefaultServerHW}
-	if _, err := Evaluate(nil, approaches, 10, platform, r); err == nil {
+	if _, err := Evaluate(nil, approaches, 10, platform, opts); err == nil {
 		t.Error("nil trace should fail")
 	}
-	if _, err := Evaluate(tr, approaches, 0, platform, r); err == nil {
+	if _, err := Evaluate(tr, approaches, 0, platform, opts); err == nil {
 		t.Error("n=0 should fail")
 	}
-	if _, err := Evaluate(tr, []Approach{{Name: "x"}}, 10, platform, r); err == nil {
+	if _, err := Evaluate(tr, []Approach{{Name: "x"}}, 10, platform, opts); err == nil {
 		t.Error("missing synthesizer should fail")
+	}
+	failing := []Approach{{Name: "boom", Setup: func(*Approach) error {
+		return errors.New("train exploded")
+	}}}
+	for _, workers := range []int{1, 4} {
+		if _, err := Evaluate(tr, failing, 10, platform, Options{Seed: 1, Workers: workers}); err == nil || !strings.Contains(err.Error(), "train exploded") {
+			t.Errorf("workers=%d: setup error not propagated: %v", workers, err)
+		}
+	}
+}
+
+// TestEvaluateDeterministicAcrossWorkers is the determinism regression of
+// the parallel engine: serial (workers=1) and parallel (workers=8) runs of
+// the same seed must return bit-identical Scores.
+func TestEvaluateDeterministicAcrossWorkers(t *testing.T) {
+	tr := gfsTrace(t, 1200, 907)
+	platform := replay.Platform{NewServer: gfs.DefaultServerHW}
+	run := func(workers int) []Scores {
+		t.Helper()
+		scores, err := Evaluate(tr, buildApproaches(t, tr), 1200, platform,
+			Options{Seed: 908, Workers: workers, SkipThroughput: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scores
+	}
+	serial := run(1)
+	parallel := run(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("score counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		// Scores contains only comparable scalar fields, so == is a
+		// bit-identity check.
+		if serial[i] != parallel[i] {
+			t.Errorf("%s: serial %+v != parallel %+v", serial[i].Name, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestEvaluateSetupRunsInWorker verifies the lazy-training hook: Setup
+// fills in the synthesizer and parameter count inside the fan-out, and the
+// reported EaseOfUse reflects the trained model.
+func TestEvaluateSetupRunsInWorker(t *testing.T) {
+	tr := gfsTrace(t, 800, 909)
+	lazy := []Approach{{
+		Name:  "lazy-kooza",
+		Knobs: 5,
+		Setup: func(a *Approach) error {
+			kz, err := kooza.Train(tr, kooza.Options{})
+			if err != nil {
+				return err
+			}
+			a.Synthesize = kz.Synthesize
+			a.NumParams = kz.NumParams()
+			return nil
+		},
+	}}
+	scores, err := Evaluate(tr, lazy, 800,
+		replay.Platform{NewServer: gfs.DefaultServerHW}, Options{Seed: 910, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0].EaseOfUse == 0 {
+		t.Error("EaseOfUse not taken from the Setup-trained model")
+	}
+	if scores[0].Completeness <= 0 {
+		t.Error("lazy-trained approach scored zero completeness")
 	}
 }
 
@@ -160,7 +229,7 @@ func TestDeriveQualitativeMatchesPaperShape(t *testing.T) {
 	tr := gfsTrace(t, 2500, 905)
 	approaches := buildApproaches(t, tr)
 	scores, err := Evaluate(tr, approaches, 2500,
-		replay.Platform{NewServer: gfs.DefaultServerHW}, rand.New(rand.NewSource(906)))
+		replay.Platform{NewServer: gfs.DefaultServerHW}, Options{Seed: 906})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +278,7 @@ func TestRender(t *testing.T) {
 	tr := gfsTrace(t, 500, 903)
 	approaches := buildApproaches(t, tr)
 	scores, err := Evaluate(tr, approaches, 500,
-		replay.Platform{NewServer: gfs.DefaultServerHW}, rand.New(rand.NewSource(904)))
+		replay.Platform{NewServer: gfs.DefaultServerHW}, Options{Seed: 904})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,69 @@
+package crossexam
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files under testdata/")
+
+// goldenScores is a fixed scorecard (no wall-clock, no rand) so the golden
+// bytes pin the Render formatting itself.
+func goldenScores() []Scores {
+	return []Scores{
+		{
+			Name: "in-breadth", RequestFeatures: 0.941, TimeDependencies: 0.002,
+			Configurability: 3, FineGranularity: 0.858, Scalability: 1.25e6,
+			EaseOfUse: 5120, LatencyFidelity: 0.612, Completeness: 0.104,
+		},
+		{
+			Name: "in-depth", RequestFeatures: 0.389, TimeDependencies: 1,
+			Configurability: 1, FineGranularity: 0.402, Scalability: 2.5e6,
+			EaseOfUse: 23, LatencyFidelity: 0.951, Completeness: 0.717,
+		},
+		{
+			Name: "KOOZA", RequestFeatures: 0.973, TimeDependencies: 1,
+			Configurability: 5, FineGranularity: 0.955, Scalability: 9.8e5,
+			EaseOfUse: 5200, LatencyFidelity: 0.957, Completeness: 0.976,
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/crossexam/ -run Golden -update` to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file (re-run with -update if intentional)\n got:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+func TestRenderGolden(t *testing.T) {
+	checkGolden(t, "render.golden", Render(goldenScores()))
+}
+
+func TestQualitativeTableGolden(t *testing.T) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", strings.Join(Columns(), " | "))
+	for _, row := range QualitativeTable() {
+		fmt.Fprintf(&b, "%s: %s\n", row.Name, strings.Join(row.Marks, " | "))
+	}
+	checkGolden(t, "qualitative.golden", b.String())
+}

@@ -1,0 +1,166 @@
+package gfs
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"dcmodel/internal/prand"
+	"dcmodel/internal/trace"
+	"dcmodel/internal/workload"
+)
+
+func shardCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Chunkservers = 2
+	cfg.Files = 8
+	return cfg
+}
+
+func openRC(n int) RunConfig {
+	return RunConfig{
+		Mix:      workload.Table2Mix(),
+		Arrivals: workload.Poisson{Rate: 20},
+		Requests: n,
+	}
+}
+
+// TestShardedParallelMatchesSerial is the core determinism regression: for
+// a fixed seed and shard count, a run on 8 workers must be byte-identical
+// to the serial (workers=1) run.
+func TestShardedParallelMatchesSerial(t *testing.T) {
+	serial, err := SimulateSharded(shardCfg(), openRC(600), 6, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SimulateSharded(shardCfg(), openRC(600), 6, 8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel sharded trace differs from serial run of the same decomposition")
+	}
+	if serial.Len() != 600 {
+		t.Fatalf("merged trace has %d requests, want 600", serial.Len())
+	}
+}
+
+func TestShardedClosedParallelMatchesSerial(t *testing.T) {
+	rc := ClosedRunConfig{
+		Mix:       workload.Table2Mix(),
+		Users:     10,
+		MeanThink: 0.05,
+		Requests:  400,
+	}
+	serial, err := SimulateShardedClosed(shardCfg(), rc, 5, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SimulateShardedClosed(shardCfg(), rc, 5, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel sharded closed trace differs from serial run")
+	}
+	if serial.Len() != 400 {
+		t.Fatalf("merged trace has %d requests, want 400", serial.Len())
+	}
+}
+
+// TestShardedMergeInvariants checks the merge contract: arrivals
+// non-decreasing, IDs dense in merge order, servers offset per shard, and
+// every request structurally valid.
+func TestShardedMergeInvariants(t *testing.T) {
+	const shards = 4
+	cfg := shardCfg()
+	tr, err := SimulateSharded(cfg, openRC(500), shards, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(tr.Requests, func(i, j int) bool {
+		return tr.Requests[i].Arrival < tr.Requests[j].Arrival
+	}) {
+		t.Error("merged trace not sorted by arrival")
+	}
+	for i, r := range tr.Requests {
+		if r.ID != int64(i) {
+			t.Fatalf("request %d has ID %d, want dense merge-order IDs", i, r.ID)
+		}
+		if r.Server < 0 || r.Server >= shards*cfg.Chunkservers {
+			t.Fatalf("request %d on server %d, want < %d", i, r.Server, shards*cfg.Chunkservers)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	// All shard partitions must actually be exercised.
+	seen := map[int]bool{}
+	for _, r := range tr.Requests {
+		seen[r.Server/cfg.Chunkservers] = true
+	}
+	if len(seen) != shards {
+		t.Errorf("only %d of %d shard partitions executed requests", len(seen), shards)
+	}
+}
+
+// TestShardedSingleShardMatchesPlainRun pins the sharded seeding scheme:
+// one shard is exactly a plain Run with the shard-0 derived stream.
+func TestShardedSingleShardMatchesPlainRun(t *testing.T) {
+	sharded, err := SimulateSharded(shardCfg(), openRC(200), 1, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewCluster(shardCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := cluster.Run(openRC(200), prand.New(11, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merge reassigns IDs in arrival order; align before comparing.
+	plainSorted := &trace.Trace{Requests: append([]trace.Request(nil), plain.Requests...)}
+	sort.SliceStable(plainSorted.Requests, func(i, j int) bool {
+		return plainSorted.Requests[i].Arrival < plainSorted.Requests[j].Arrival
+	})
+	for i := range plainSorted.Requests {
+		plainSorted.Requests[i].ID = int64(i)
+	}
+	if !reflect.DeepEqual(sharded, plainSorted) {
+		t.Fatal("single-shard sharded run differs from plain run with the derived stream")
+	}
+}
+
+func TestShardedSeedsDisjoint(t *testing.T) {
+	a, err := SimulateSharded(shardCfg(), openRC(300), 3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateSharded(shardCfg(), openRC(300), 3, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced identical sharded traces")
+	}
+}
+
+func TestShardedErrors(t *testing.T) {
+	if _, err := SimulateSharded(shardCfg(), openRC(100), 0, 1, 1); err == nil {
+		t.Error("0 shards should fail")
+	}
+	if _, err := SimulateSharded(shardCfg(), openRC(3), 8, 1, 1); err == nil {
+		t.Error("fewer requests than shards should fail")
+	}
+	bad := shardCfg()
+	bad.Files = 0
+	if _, err := SimulateSharded(bad, openRC(100), 2, 2, 1); err == nil {
+		t.Error("invalid config should fail")
+	}
+	if _, err := SimulateShardedClosed(shardCfg(), ClosedRunConfig{
+		Mix: workload.Table2Mix(), Users: 0, Requests: 10,
+	}, 2, 1, 1); err == nil {
+		t.Error("closed run with 0 users should fail")
+	}
+}

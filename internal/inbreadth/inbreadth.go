@@ -130,6 +130,9 @@ var assumedOrder = []trace.Subsystem{trace.Storage, trace.Memory, trace.CPU, tra
 // Synthesize emits n whole requests. Per-subsystem features come from the
 // subsystem models (good marginals); the phase order is the assumed
 // constant order and per-request cross-subsystem correlations are absent.
+//
+// A trained Model is read-only; concurrent Synthesize calls are safe as
+// long as each call gets its own *rand.Rand.
 func (m *Model) Synthesize(n int, r *rand.Rand) (*trace.Trace, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("inbreadth: synthesize needs n >= 1, got %d", n)

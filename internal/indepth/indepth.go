@@ -156,6 +156,10 @@ func (m *Model) NumParams() int {
 // FIFO stations the system exhibits (this is a queueing model: request
 // arrival plus contention is exactly what it emulates). Spans carry NO
 // features — the approach does not model them.
+//
+// A trained Model is read-only (the FIFO-station state is per call);
+// concurrent Synthesize calls are safe as long as each call gets its own
+// *rand.Rand.
 func (m *Model) Synthesize(n int, r *rand.Rand) (*trace.Trace, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("indepth: synthesize needs n >= 1, got %d", n)

@@ -16,6 +16,11 @@ import (
 // models. Span durations are zero — the synthetic workload describes what
 // to do, not how long it takes; timing comes from replaying it on a
 // (simulated) platform.
+//
+// A trained Model is read-only: Synthesize keeps all walk state in
+// per-call walkers and never mutates the model, so concurrent Synthesize
+// calls on one Model are safe as long as each call gets its own
+// *rand.Rand (see prand.New for derived streams).
 func (m *Model) Synthesize(n int, r *rand.Rand) (*trace.Trace, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("kooza: synthesize needs n >= 1, got %d", n)

@@ -1,0 +1,65 @@
+// Package par is the worker-pool primitive shared by the parallel engines:
+// a bounded, index-ordered fan-out over a fixed task count.
+//
+// Determinism contract: Do never communicates values between tasks — each
+// task writes only to its own index of the caller's result slice — so the
+// output of a Do fan-out is independent of the worker count and of
+// goroutine scheduling. Workers=1 runs the tasks inline on the calling
+// goroutine (the serial fallback), which is also the byte-identical
+// reference for any Workers>1 run.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs fn(0), …, fn(n-1) on at most workers goroutines and returns the
+// lowest-indexed error, or nil. workers <= 0 selects runtime.GOMAXPROCS(0);
+// workers == 1 runs serially on the calling goroutine and stops at the
+// first error. With workers > 1 every task runs even when an earlier index
+// fails (tasks must not depend on each other), and the lowest-indexed
+// error is still the one reported, keeping error reporting deterministic.
+func Do(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

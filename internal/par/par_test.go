@@ -1,0 +1,83 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		out := make([]int, 50)
+		if err := Do(len(out), workers, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestDoZeroTasks(t *testing.T) {
+	if err := Do(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoReturnsLowestIndexedError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := Do(20, workers, func(i int) error {
+			if i == 3 || i == 11 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want task 3 failed", workers, err)
+		}
+	}
+}
+
+func TestDoSerialStopsAtFirstError(t *testing.T) {
+	var ran atomic.Int64
+	err := Do(10, 1, func(i int) error {
+		ran.Add(1)
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("serial ran %d tasks after error at index 2, want 3", got)
+	}
+}
+
+func TestDoBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int64
+	if err := Do(64, workers, func(int) error {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		active.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds workers %d", p, workers)
+	}
+}

@@ -1,0 +1,45 @@
+// Package prand derives independent, reproducible pseudo-random sub-streams
+// from a single master seed using SplitMix64 (Steele, Lea & Flood, OOPSLA
+// 2014 — the generator java.util.SplittableRandom builds on).
+//
+// The parallel engines (sharded GFS simulation, parallel cross-examination,
+// sharded synthesis) hand every worker its own *rand.Rand seeded with
+// Derive(seed, stream). Because each sub-stream's seed is a fixed function
+// of (seed, stream) — never of the worker count, the scheduling order or
+// the wall clock — the merged output of a parallel run is byte-identical to
+// a serial run of the same decomposition.
+package prand
+
+import "math/rand"
+
+// gamma is the golden-ratio increment of the SplitMix64 state sequence.
+const gamma = 0x9E3779B97F4A7C15
+
+// mix64 is the SplitMix64 output function (a strong 64-bit finalizer).
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Mix returns the SplitMix64 output for state x — the x-th value of the
+// generator whose state equals x. Exposed for tests and for callers that
+// need raw 64-bit mixing.
+func Mix(x uint64) uint64 { return mix64(x + gamma) }
+
+// Derive returns the seed of sub-stream `stream` of the given master seed:
+// the SplitMix64 output at position stream+1 of the sequence started at
+// seed. Distinct streams of one seed, and equal streams of distinct seeds,
+// yield statistically independent seeds.
+func Derive(seed int64, stream uint64) int64 {
+	return int64(mix64(uint64(seed) + (stream+1)*gamma))
+}
+
+// New returns a *rand.Rand for sub-stream `stream` of the master seed —
+// shorthand for rand.New(rand.NewSource(Derive(seed, stream))).
+func New(seed int64, stream uint64) *rand.Rand {
+	return rand.New(rand.NewSource(Derive(seed, stream)))
+}

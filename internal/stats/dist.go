@@ -525,15 +525,17 @@ type Zipf struct {
 	S float64
 	N int
 
-	// cdf is a lazily built cumulative table; Zipf values are cached by
-	// NewZipf. A zero Zipf still works but recomputes per call.
+	// cdf is the cumulative table precomputed by NewZipf. A zero Zipf
+	// still works but recomputes per call: table() deliberately does NOT
+	// memoize into the struct, so a NewZipf-constructed Zipf is read-only
+	// and safe for concurrent Rand/CDF/Quantile use.
 	cdf []float64
 }
 
 // NewZipf returns a Zipf distribution with a precomputed CDF table.
 func NewZipf(s float64, n int) *Zipf {
 	z := &Zipf{S: s, N: n}
-	z.table()
+	z.cdf = z.table()
 	return z
 }
 
@@ -553,7 +555,6 @@ func (z *Zipf) table() []float64 {
 	for i := range cdf {
 		cdf[i] /= sum
 	}
-	z.cdf = cdf
 	return cdf
 }
 

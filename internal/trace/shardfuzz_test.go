@@ -1,0 +1,96 @@
+package trace_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dcmodel/internal/gfs"
+	"dcmodel/internal/trace"
+	"dcmodel/internal/workload"
+)
+
+// FuzzShardedCodecRoundTrip drives the sharded cluster simulator with
+// fuzzer-chosen (seed, shards, requests, closed) and pushes the merged
+// trace through the CSV codec. It is two properties in one target:
+//
+//   - simulator invariants: the merged trace is arrival-sorted with dense
+//     request IDs and passes Validate for any shard decomposition;
+//   - codec round trip: WriteCSV -> ReadCSV reproduces the trace exactly
+//     and re-encodes to identical bytes (the float format is lossless).
+//
+// The external test package breaks the trace <- gfs import cycle.
+func FuzzShardedCodecRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint16(40), false)
+	f.Add(int64(42), uint8(4), uint16(120), false)
+	f.Add(int64(-7), uint8(8), uint16(64), true)
+	f.Add(int64(123456789), uint8(3), uint16(33), true)
+	f.Add(int64(0), uint8(16), uint16(16), false)
+	f.Fuzz(func(t *testing.T, seed int64, shards uint8, requests uint16, closed bool) {
+		// Keep the simulation small: the fuzzer explores the parameter
+		// space, not the request count.
+		nShards := int(shards)%16 + 1
+		n := int(requests)%256 + nShards
+		cfg := gfs.Config{
+			Chunkservers: 2,
+			ChunkSize:    1 << 19,
+			Files:        8,
+			FileSize:     1 << 21,
+			Replication:  1,
+		}
+		var (
+			tr  *trace.Trace
+			err error
+		)
+		if closed {
+			tr, err = gfs.SimulateShardedClosed(cfg, gfs.ClosedRunConfig{
+				Mix:       workload.Table2Mix(),
+				Users:     nShards * 2,
+				MeanThink: 0.01,
+				Requests:  n,
+			}, nShards, 2, seed)
+		} else {
+			tr, err = gfs.SimulateSharded(cfg, gfs.RunConfig{
+				Mix:      workload.Table2Mix(),
+				Arrivals: workload.Poisson{Rate: 50},
+				Requests: n,
+			}, nShards, 2, seed)
+		}
+		if err != nil {
+			t.Fatalf("simulate(seed=%d shards=%d n=%d closed=%v): %v", seed, nShards, n, closed, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("got %d requests, want %d", tr.Len(), n)
+		}
+		for i, r := range tr.Requests {
+			if r.ID != int64(i) {
+				t.Fatalf("request %d has ID %d, want dense merge-order IDs", i, r.ID)
+			}
+			if i > 0 && r.Arrival < tr.Requests[i-1].Arrival {
+				t.Fatalf("arrivals out of order at %d", i)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("merged trace invalid: %v", err)
+		}
+
+		var first bytes.Buffer
+		if err := trace.WriteCSV(&first, tr); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		decoded, err := trace.ReadCSV(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(tr, decoded) {
+			t.Fatal("CSV round trip changed the trace")
+		}
+		var second bytes.Buffer
+		if err := trace.WriteCSV(&second, decoded); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("CSV encoding not byte-idempotent")
+		}
+	})
+}
