@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race cover bench fuzz examples artifacts clean help
+.PHONY: all build vet test test-race race cover bench bench-json fuzz examples artifacts clean help
 
 all: build vet test
 
@@ -17,6 +17,7 @@ help:
 	@echo "  race       alias for test-race"
 	@echo "  cover      go test -cover ./..."
 	@echo "  bench      regenerate every table/figure + ablations (-bench=. -benchmem)"
+	@echo "  bench-json rerun the hot-path benchmarks and refresh BENCH_PR2.json"
 	@echo "  fuzz       run the codec and sharded-simulator fuzz targets (30s each)"
 	@echo "  examples   run every example program"
 	@echo "  artifacts  record test + bench output to *_output.txt"
@@ -28,7 +29,8 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# vet gates test so a vet regression can never ride in on a green test run.
+test: vet
 	$(GO) test ./...
 
 # The race detector must stay clean: parallel cross-examination, sharded
@@ -44,6 +46,18 @@ cover:
 # Regenerates every table/figure and runs the ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The benchmark packages BENCH_PR2.json records: the synthesis hot paths
+# (alias-method sampling, Markov stepping, DES, trace codec) plus the
+# end-to-end Table 2 pipeline in the root package.
+BENCH_JSON_PKGS = . ./internal/markov/ ./internal/stats/ ./internal/workload/ ./internal/queueing/ ./internal/trace/
+
+# Refreshes the "current" section of BENCH_PR2.json in place; the frozen
+# pre-optimization "baseline" section is preserved (see cmd/bench2json).
+bench-json:
+	$(GO) test -bench=. -benchmem -run=xxx -benchtime=2s $(BENCH_JSON_PKGS) > bench_raw.txt
+	$(GO) run ./cmd/bench2json -in bench_raw.txt -out BENCH_PR2.json
+	rm -f bench_raw.txt
 
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/trace/

@@ -541,6 +541,25 @@ func BenchmarkKoozaSynthesize(b *testing.B) {
 	}
 }
 
+// BenchmarkSynthTable2Scale times pure KOOZA synthesis at the scale of the
+// Table 2 validation run (the full 4000-request training-trace length) —
+// the number BENCH_PR2.json tracks for the O(1)-sampler speedup.
+func BenchmarkSynthTable2Scale(b *testing.B) {
+	tr := benchTrace()
+	m, err := kooza.Train(tr, kooza.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Synthesize(tr.Len(), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkParallelCrossExamination times the full three-approach chain
 // (train -> synthesize -> replay -> score) at several worker counts. The
 // output is identical at every worker count (see the determinism tests);

@@ -1,0 +1,184 @@
+// Command bench2json converts `go test -bench -benchmem` output into the
+// machine-readable benchmark record the repository checks in (e.g.
+// BENCH_PR2.json), so performance claims in the docs are backed by a file
+// that can be regenerated and diffed.
+//
+// The JSON holds two measurement sets: "baseline" (recorded once, before
+// an optimization lands) and "current", plus the per-benchmark ns/op
+// speedup of current over baseline. When several `-count` repetitions of
+// one benchmark appear in the input, the fastest is kept — the standard
+// best-of-N reading that suppresses scheduler noise.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run xxx ./... > bench_raw.txt
+//	bench2json -in bench_raw.txt -out BENCH_PR2.json
+//
+// The baseline section comes from -baseline (raw benchmark output captured
+// before the change). Without -baseline, an existing -out file keeps its
+// baseline section, so re-running `make bench-json` refreshes "current"
+// while the frozen pre-change numbers stay put.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// File is the schema of the checked-in benchmark record.
+type File struct {
+	Go       string             `json:"go"`
+	Note     string             `json:"note,omitempty"`
+	Baseline map[string]Result  `json:"baseline"`
+	Current  map[string]Result  `json:"current"`
+	Speedup  map[string]float64 `json:"speedup_ns_per_op"`
+}
+
+// benchLine matches one benchmark result line; the -N GOMAXPROCS suffix is
+// stripped so records stay comparable across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// metric matches the trailing per-op metrics (B/op, allocs/op, and any
+// custom ReportMetric units, which are ignored).
+var metric = regexp.MustCompile(`([\d.]+) (\S+)`)
+
+func parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, err
+		}
+		res := Result{Iterations: iters, NsPerOp: ns}
+		for _, mm := range metric.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				return nil, err
+			}
+			switch mm[2] {
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if prev, ok := out[m[1]]; !ok || res.NsPerOp < prev.NsPerOp {
+			out[m[1]] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+func parseFile(path string) (map[string]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench2json: ")
+	var (
+		in       = flag.String("in", "", "raw benchmark output (empty = stdin)")
+		out      = flag.String("out", "", "output JSON path (empty = stdout)")
+		baseline = flag.String("baseline", "", "raw benchmark output recorded before the change")
+		note     = flag.String("note", "", "free-form note stored in the record")
+	)
+	flag.Parse()
+
+	var (
+		current map[string]Result
+		err     error
+	)
+	if *in == "" {
+		current, err = parse(os.Stdin)
+	} else {
+		current, err = parseFile(*in)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(current) == 0 {
+		log.Fatal("no benchmark lines in input")
+	}
+
+	file := File{
+		Go:       runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		Note:     *note,
+		Baseline: map[string]Result{},
+		Current:  current,
+		Speedup:  map[string]float64{},
+	}
+	switch {
+	case *baseline != "":
+		if file.Baseline, err = parseFile(*baseline); err != nil {
+			log.Fatal(err)
+		}
+	case *out != "":
+		// Keep the frozen baseline of an existing record.
+		if data, err := os.ReadFile(*out); err == nil {
+			var prev File
+			if err := json.Unmarshal(data, &prev); err != nil {
+				log.Fatalf("existing %s: %v", *out, err)
+			}
+			file.Baseline = prev.Baseline
+			if *note == "" {
+				file.Note = prev.Note
+			}
+		}
+	}
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if base, ok := file.Baseline[name]; ok && current[name].NsPerOp > 0 {
+			file.Speedup[name] = base.NsPerOp / current[name].NsPerOp
+		}
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, %d with baseline)\n", *out, len(current), len(file.Speedup))
+}

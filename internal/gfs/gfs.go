@@ -523,23 +523,20 @@ func (c *Cluster) RunClosed(rc ClosedRunConfig, r *rand.Rand) (*trace.Trace, err
 		}
 		return r.ExpFloat64() * rc.MeanThink
 	}
-	// Users ready to issue, as a min-heap over ready time (implemented as
-	// a sorted insertion into a small slice: populations are modest).
-	ready := make([]float64, rc.Users)
+	// Users ready to issue, as a typed min-heap over (ready time, user
+	// index): O(log U) per request instead of a linear scan, with the same
+	// lowest-index-wins tie-break the scan had.
+	ready := make(userHeap, rc.Users)
 	for i := range ready {
-		ready[i] = think()
+		ready[i] = userReady{at: think(), user: i}
 	}
+	ready.init()
 	tr := &trace.Trace{Requests: make([]trace.Request, 0, rc.Requests)}
 	states := make(map[[2]int]*classState)
 	for i := 0; i < rc.Requests; i++ {
 		// Pop the earliest-ready user.
-		minIdx := 0
-		for u := 1; u < len(ready); u++ {
-			if ready[u] < ready[minIdx] {
-				minIdx = u
-			}
-		}
-		issue := ready[minIdx]
+		next := ready[0]
+		issue := next.at
 		classIdx := rc.Mix.Pick(r)
 		class := rc.Mix.Classes[classIdx]
 		req, err := c.execute(int64(i), issue, classIdx, class, states, r)
@@ -547,9 +544,60 @@ func (c *Cluster) RunClosed(rc ClosedRunConfig, r *rand.Rand) (*trace.Trace, err
 			return nil, err
 		}
 		tr.Requests = append(tr.Requests, req)
-		ready[minIdx] = issue + req.Latency() + think()
+		ready.replaceMin(userReady{at: issue + req.Latency() + think(), user: next.user})
 	}
 	return tr, nil
+}
+
+// userReady is one closed-loop user's next issue instant.
+type userReady struct {
+	at   float64
+	user int
+}
+
+// userHeap is a typed binary min-heap of users keyed by (ready time, user
+// index) — a total order, so the pop sequence exactly matches the linear
+// earliest-ready scan (lowest index wins ties) it replaces.
+type userHeap []userReady
+
+func (h userHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].user < h[j].user
+}
+
+func (h userHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// replaceMin swaps the root for e and restores heap order: the closed loop
+// always reinserts the user it just popped, so pop+push fuse into one
+// sift-down with no slice traffic.
+func (h userHeap) replaceMin(e userReady) {
+	h[0] = e
+	h.down(0)
+}
+
+func (h userHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		child := left
+		if right := left + 1; right < n && h.less(right, left) {
+			child = right
+		}
+		if !h.less(child, i) {
+			return
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
 }
 
 // Reset rewinds all chunkserver hardware and availability state.

@@ -139,6 +139,16 @@ func (m *Model) Synthesize(n int, r *rand.Rand) (*trace.Trace, error) {
 	}
 	st := newWalker(m, r)
 	tr := &trace.Trace{Requests: make([]trace.Request, 0, n)}
+	// The per-request span counts are a model constant, so the span slices
+	// can be carved from an arena instead of growing one heap slice per
+	// request.
+	counts := make([]int, len(assumedOrder))
+	var total int
+	for j, sub := range assumedOrder {
+		counts[j] = int(m.SpansPerRequest[sub] + 0.5)
+		total += counts[j]
+	}
+	var arena trace.SpanArena
 	var now float64
 	for i := 0; i < n; i++ {
 		gap := m.Interarrival.Rand(r)
@@ -147,9 +157,9 @@ func (m *Model) Synthesize(n int, r *rand.Rand) (*trace.Trace, error) {
 		}
 		now += gap
 		req := trace.Request{ID: int64(i), Class: "all", Arrival: now}
-		for _, sub := range assumedOrder {
-			count := int(m.SpansPerRequest[sub] + 0.5)
-			for k := 0; k < count; k++ {
+		req.Spans = arena.Take(total)
+		for j, sub := range assumedOrder {
+			for k := 0; k < counts[j]; k++ {
 				req.Spans = append(req.Spans, st.span(sub, now, r))
 			}
 		}

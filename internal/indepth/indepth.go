@@ -167,16 +167,21 @@ func (m *Model) Synthesize(n int, r *rand.Rand) (*trace.Trace, error) {
 	if len(m.Classes) == 0 {
 		return nil, fmt.Errorf("indepth: model has no classes")
 	}
-	cum := make([]float64, len(m.Classes))
+	weights := make([]float64, len(m.Classes))
 	var wsum float64
 	for i, c := range m.Classes {
+		weights[i] = c.Weight
 		wsum += c.Weight
-		cum[i] = wsum
 	}
 	if wsum <= 0 {
 		return nil, fmt.Errorf("indepth: class weights sum to zero")
 	}
+	classAlias, err := stats.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("indepth: class weights: %w", err)
+	}
 	tr := &trace.Trace{Requests: make([]trace.Request, 0, n)}
+	var arena trace.SpanArena
 	var now float64
 	var freeAt [4]float64 // per-subsystem FIFO stations
 	for i := 0; i < n; i++ {
@@ -185,13 +190,9 @@ func (m *Model) Synthesize(n int, r *rand.Rand) (*trace.Trace, error) {
 			gap = 0
 		}
 		now += gap
-		u := r.Float64() * wsum
-		ci := sort.SearchFloat64s(cum, u)
-		if ci >= len(m.Classes) {
-			ci = len(m.Classes) - 1
-		}
-		c := m.Classes[ci]
+		c := m.Classes[classAlias.Draw(r)]
 		req := trace.Request{ID: int64(i), Class: c.Name, Arrival: now}
+		req.Spans = arena.Take(len(c.Phases))
 		t := now
 		for p, sub := range c.Phases {
 			dur := c.Service[p].Rand(r)

@@ -100,7 +100,28 @@ func Load(r io.Reader) (*Model, error) {
 	if err := m.validateLoaded(); err != nil {
 		return nil, err
 	}
+	m.freezeChains()
 	return m, nil
+}
+
+// freezeChains rebuilds the O(1) alias tables of every Markov chain in the
+// model. JSON only carries the exported probability matrices, so a loaded
+// chain arrives unfrozen; freezing here makes synthesis from a loaded model
+// bit-identical to synthesis from the freshly trained one.
+func (m *Model) freezeChains() {
+	if m.Network.GapChain != nil {
+		m.Network.GapChain.Freeze()
+	}
+	for _, c := range m.Classes {
+		if c.Storage.Chain != nil {
+			c.Storage.Chain.Freeze()
+		}
+		if c.Storage.Hier != nil {
+			c.Storage.Hier.Freeze()
+		}
+		c.CPU.Chain.Freeze()
+		c.Memory.Chain.Freeze()
+	}
 }
 
 // validateLoaded checks the structural invariants a loaded model needs for

@@ -28,15 +28,19 @@ func (m *Model) Synthesize(n int, r *rand.Rand) (*trace.Trace, error) {
 	if len(m.Classes) == 0 {
 		return nil, fmt.Errorf("kooza: model has no classes")
 	}
-	// Class picker.
-	cum := make([]float64, len(m.Classes))
+	// Class picker: one alias build per call, then O(1) per request.
+	weights := make([]float64, len(m.Classes))
 	var wsum float64
 	for i, c := range m.Classes {
+		weights[i] = c.Weight
 		wsum += c.Weight
-		cum[i] = wsum
 	}
 	if wsum <= 0 {
 		return nil, fmt.Errorf("kooza: class weights sum to zero")
+	}
+	classAlias, err := stats.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("kooza: class weights: %w", err)
 	}
 	// Per-class walker state.
 	walkers := make([]*classWalker, len(m.Classes))
@@ -44,6 +48,7 @@ func (m *Model) Synthesize(n int, r *rand.Rand) (*trace.Trace, error) {
 		walkers[i] = newClassWalker(c, r)
 	}
 	tr := &trace.Trace{Requests: make([]trace.Request, 0, n)}
+	var arena trace.SpanArena
 	var now float64
 	gapState := -1
 	if m.Network.GapChain != nil {
@@ -62,12 +67,8 @@ func (m *Model) Synthesize(n int, r *rand.Rand) (*trace.Trace, error) {
 			gap = 0
 		}
 		now += gap
-		u := r.Float64() * wsum
-		ci := sort.SearchFloat64s(cum, u)
-		if ci >= len(m.Classes) {
-			ci = len(m.Classes) - 1
-		}
-		req := walkers[ci].next(int64(i), now, r)
+		ci := classAlias.Draw(r)
+		req := walkers[ci].next(int64(i), now, r, &arena)
 		tr.Requests = append(tr.Requests, req)
 	}
 	return tr, nil
@@ -86,11 +87,11 @@ type classWalker struct {
 	// continuation).
 	lastEnd int64
 	hasLast bool
-	// servers and serverCum implement the server-instancing draw.
-	servers   []int
-	serverCum []float64
-	// queueCum implements the per-request control-flow-path draw.
-	queueCum []float64
+	// servers and serverAlias implement the server-instancing draw.
+	servers     []int
+	serverAlias stats.Alias
+	// queueAlias implements the per-request control-flow-path draw.
+	queueAlias stats.Alias
 }
 
 func newClassWalker(c *ClassModel, r *rand.Rand) *classWalker {
@@ -105,45 +106,39 @@ func newClassWalker(c *ClassModel, r *rand.Rand) *classWalker {
 		w.servers = append(w.servers, s)
 	}
 	sort.Ints(w.servers)
-	var cumW float64
-	for _, s := range w.servers {
-		cumW += c.ServerWeights[s]
-		w.serverCum = append(w.serverCum, cumW)
+	if len(w.servers) > 0 {
+		sw := make([]float64, len(w.servers))
+		for i, s := range w.servers {
+			sw[i] = c.ServerWeights[s]
+		}
+		w.serverAlias = stats.MustAlias(sw)
 	}
-	var cumQ float64
-	for _, q := range c.Queues {
-		cumQ += q.Weight
-		w.queueCum = append(w.queueCum, cumQ)
+	if len(c.Queues) > 0 {
+		qw := make([]float64, len(c.Queues))
+		for i, q := range c.Queues {
+			qw[i] = q.Weight
+		}
+		w.queueAlias = stats.MustAlias(qw)
 	}
 	return w
 }
 
 func (w *classWalker) pickQueue(r *rand.Rand) *PhaseQueue {
-	if len(w.queueCum) == 0 {
+	if w.queueAlias.Empty() {
 		return nil
 	}
-	u := r.Float64() * w.queueCum[len(w.queueCum)-1]
-	i := sort.SearchFloat64s(w.queueCum, u)
-	if i >= len(w.c.Queues) {
-		i = len(w.c.Queues) - 1
-	}
-	return &w.c.Queues[i]
+	return &w.c.Queues[w.queueAlias.Draw(r)]
 }
 
 func (w *classWalker) pickServer(r *rand.Rand) int {
-	if len(w.servers) == 0 {
+	if w.serverAlias.Empty() {
 		return 0
 	}
-	u := r.Float64() * w.serverCum[len(w.serverCum)-1]
-	i := sort.SearchFloat64s(w.serverCum, u)
-	if i >= len(w.servers) {
-		i = len(w.servers) - 1
-	}
-	return w.servers[i]
+	return w.servers[w.serverAlias.Draw(r)]
 }
 
-// next synthesizes one request.
-func (w *classWalker) next(id int64, arrival float64, r *rand.Rand) trace.Request {
+// next synthesizes one request, carving its span slice from the arena.
+func (w *classWalker) next(id int64, arrival float64, r *rand.Rand, arena *trace.SpanArena) trace.Request {
 	c := w.c
 	req := trace.Request{
 		ID:      id,
@@ -158,6 +153,7 @@ func (w *classWalker) next(id int64, arrival float64, r *rand.Rand) trace.Reques
 		phases = queue.Phases
 		queueCPUBytes = queue.CPUBytes
 	}
+	req.Spans = arena.Take(len(phases))
 	var (
 		sawNetwork int
 		sawCPU     int

@@ -117,7 +117,18 @@ func uniformChain(n int) *Chain {
 		}
 		c.Initial[i] = 1 / float64(n)
 	}
+	c.Freeze()
 	return c
+}
+
+// Freeze rebuilds the alias tables of the top chain and every sub-chain.
+// TrainHierarchical produces frozen chains already; this exists for models
+// reconstructed from serialized form.
+func (h *Hierarchical) Freeze() {
+	h.Top.Freeze()
+	for _, s := range h.Sub {
+		s.Freeze()
+	}
 }
 
 // Simulate generates a state sequence of the given length: the top chain

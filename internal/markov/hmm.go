@@ -27,6 +27,21 @@ type GaussianHMM struct {
 	LogLik float64
 	// Iters is the number of Baum-Welch iterations performed.
 	Iters int
+
+	// rowAlias and initAlias are the frozen alias tables for the hidden
+	// transitions, built by Freeze once Fit converges (EM rewrites Trans
+	// every iteration, so they cannot be built earlier).
+	rowAlias  stats.AliasMatrix
+	initAlias stats.Alias
+}
+
+// Freeze builds the alias tables that make Sample's hidden-state draws
+// O(1). Fit calls it after the final EM iteration; models reconstructed
+// from serialized parameters must call it again. The model must be treated
+// as read-only afterwards.
+func (h *GaussianHMM) Freeze() {
+	h.rowAlias = stats.MustAliasMatrix(h.Trans.Data, h.N, h.N)
+	h.initAlias = stats.MustAlias(h.Initial)
 }
 
 const sigmaFloor = 1e-6
@@ -236,6 +251,7 @@ func (h *GaussianHMM) Fit(obs []float64, maxIter int) error {
 		}
 		prevLL = h.LogLik
 	}
+	h.Freeze()
 	return nil
 }
 
@@ -330,10 +346,20 @@ func (h *GaussianHMM) Sample(length int, r *rand.Rand) (obs []float64, states []
 	}
 	obs = make([]float64, length)
 	states = make([]int, length)
-	s := sampleIndex(h.Initial, r)
+	frozen := h.rowAlias.Rows() == h.N
+	var s int
+	if frozen {
+		s = h.initAlias.Draw(r)
+	} else {
+		s = sampleIndex(h.Initial, r)
+	}
 	for t := 0; t < length; t++ {
 		if t > 0 {
-			s = sampleIndex(h.Trans.Row(s), r)
+			if frozen {
+				s = h.rowAlias.Draw(s, r)
+			} else {
+				s = sampleIndex(h.Trans.Row(s), r)
+			}
 		}
 		states[t] = s
 		obs[t] = h.Mu[s] + h.Sigma[s]*r.NormFloat64()

@@ -33,6 +33,22 @@ type Chain struct {
 	// Visits[i] is the number of training observations of state i,
 	// retained for model-complexity reporting.
 	Visits []int64
+
+	// rowAlias holds the frozen per-row alias tables of Trans and
+	// initAlias the one for Initial, making Step and Start O(1) in N.
+	// They are built by Freeze (called from Train); chains deserialized
+	// or assembled by hand fall back to a linear scan until frozen.
+	rowAlias  stats.AliasMatrix
+	initAlias stats.Alias
+}
+
+// Freeze builds the per-row alias tables that make Step and Start O(1)
+// draws. Train calls it automatically; it must be re-invoked on chains
+// reconstructed from serialized form (the tables are derived state and are
+// not persisted). After Freeze the chain must be treated as read-only.
+func (c *Chain) Freeze() {
+	c.rowAlias = stats.MustAliasMatrix(c.Trans.Data, c.N, c.N)
+	c.initAlias = stats.MustAlias(c.Initial)
 }
 
 // Train estimates a Chain with n states from one or more state sequences.
@@ -103,16 +119,26 @@ func Train(seqs [][]int, n int, smoothing float64) (*Chain, error) {
 			out[j] = (row[j] + smoothing) / denom
 		}
 	}
+	c.Freeze()
 	return c, nil
 }
 
-// Step draws the successor of state using r.
+// Step draws the successor of state using r: O(1) via the frozen alias
+// table, or a linear scan over the row for unfrozen chains.
 func (c *Chain) Step(state int, r *rand.Rand) int {
+	if c.rowAlias.Rows() == c.N {
+		return c.rowAlias.Draw(state, r)
+	}
 	return sampleIndex(c.Trans.Row(state), r)
 }
 
 // Start draws an initial state using r.
-func (c *Chain) Start(r *rand.Rand) int { return sampleIndex(c.Initial, r) }
+func (c *Chain) Start(r *rand.Rand) int {
+	if !c.initAlias.Empty() {
+		return c.initAlias.Draw(r)
+	}
+	return sampleIndex(c.Initial, r)
+}
 
 // Simulate generates a state sequence of the given length starting from the
 // initial distribution.

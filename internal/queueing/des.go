@@ -1,7 +1,6 @@
 package queueing
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -131,23 +130,60 @@ type event struct {
 	seq     int // tie-breaker for determinism
 }
 
+// eventHeap is a typed binary min-heap ordered by (time, seq). Hand-rolled
+// instead of container/heap so push and pop move concrete events with no
+// interface{} boxing — the heap is the hottest structure in the simulator.
+// (time, seq) is a total order, so pop order is independent of the heap's
+// internal layout and matches any correct heap implementation.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	return top
 }
 
 type desJob struct {
@@ -191,20 +227,14 @@ func Simulate(cfg Config, r *rand.Rand) (Result, error) {
 		stations[i] = &desStation{cfg: sc}
 	}
 	weights := make([]float64, len(cfg.Classes))
-	var wsum float64
 	for i, c := range cfg.Classes {
-		wsum += c.Weight
-		weights[i] = wsum
+		weights[i] = c.Weight
 	}
-	pickClass := func() int {
-		u := r.Float64() * wsum
-		for i, w := range weights {
-			if u <= w {
-				return i
-			}
-		}
-		return len(weights) - 1
+	classAlias, err := stats.NewAlias(weights)
+	if err != nil {
+		return Result{}, fmt.Errorf("queueing: class weights: %w", err)
 	}
+	pickClass := func() int { return classAlias.Draw(r) }
 	serviceFor := func(class, step int) stats.Dist {
 		c := cfg.Classes[class]
 		if c.Service != nil && c.Service[step] != nil {
@@ -223,7 +253,7 @@ func Simulate(cfg Config, r *rand.Rand) (Result, error) {
 	push := func(e event) {
 		e.seq = seq
 		seq++
-		heap.Push(&h, e)
+		h.push(e)
 	}
 	scheduleArrival := func(now float64) {
 		class := pickClass()
@@ -253,7 +283,7 @@ func Simulate(cfg Config, r *rand.Rand) (Result, error) {
 
 	var now float64
 	for completed < cfg.NumJobs && h.Len() > 0 {
-		e := heap.Pop(&h).(event)
+		e := h.pop()
 		now = e.time
 		switch e.kind {
 		case evArrival:

@@ -1,0 +1,41 @@
+package queueing
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcmodel/internal/stats"
+)
+
+// benchDESConfig is a small 3-tier open network, the shape the in-depth
+// baseline and the SQS evaluation loop simulate.
+func benchDESConfig(jobs int) Config {
+	return Config{
+		Stations: []Station{
+			{Name: "web", Servers: 2, Service: stats.Exponential{Rate: 200}},
+			{Name: "app", Servers: 2, Service: stats.Exponential{Rate: 150}},
+			{Name: "db", Servers: 1, Service: stats.Exponential{Rate: 120}},
+		},
+		Classes: []Class{
+			{Name: "read", Weight: 0.7, Path: []int{0, 1, 2}},
+			{Name: "write", Weight: 0.3, Path: []int{0, 1, 2, 1, 0}},
+		},
+		Interarrival: stats.Exponential{Rate: 40},
+		NumJobs:      jobs,
+		Warmup:       jobs / 10,
+	}
+}
+
+// BenchmarkDESSimulate times the discrete-event core: the typed event heap
+// (no interface{} boxing per push/pop) is the hot structure.
+func BenchmarkDESSimulate(b *testing.B) {
+	cfg := benchDESConfig(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(int64(i)))
+		if _, err := Simulate(cfg, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

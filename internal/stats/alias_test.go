@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// aliasPMF reconstructs the exact category probabilities encoded by the
+// table: slot i contributes prob[i]/n to category i and (1-prob[i])/n to
+// category alias[i].
+func aliasPMF(a Alias) []float64 {
+	n := a.N()
+	pmf := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pmf[i] += a.prob[i] / float64(n)
+		pmf[a.alias[i]] += (1 - a.prob[i]) / float64(n)
+	}
+	return pmf
+}
+
+// TestAliasExactReconstruction checks — without any sampling noise — that
+// the table encodes exactly the normalized input weights.
+func TestAliasExactReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(64)
+		weights := make([]float64, n)
+		var sum float64
+		for i := range weights {
+			if r.Float64() < 0.2 {
+				weights[i] = 0 // exercise zero-weight slots
+			} else {
+				weights[i] = r.ExpFloat64()
+			}
+			sum += weights[i]
+		}
+		if sum == 0 {
+			weights[0] = 1
+			sum = 1
+		}
+		a, err := NewAlias(weights)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		pmf := aliasPMF(a)
+		for i, w := range weights {
+			want := w / sum
+			if math.Abs(pmf[i]-want) > 1e-12 {
+				t.Fatalf("trial %d: category %d has mass %g, want %g", trial, i, pmf[i], want)
+			}
+		}
+	}
+}
+
+// TestAliasChiSquare draws from a skewed table and performs a chi-square
+// goodness-of-fit test against the exact weights.
+func TestAliasChiSquare(t *testing.T) {
+	weights := []float64{0.5, 0.2, 0.15, 0.1, 0.04, 0.01}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 200000
+	r := rand.New(rand.NewSource(7))
+	counts := make([]float64, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(r)]++
+	}
+	var chi2 float64
+	for i, w := range weights {
+		expected := w * draws
+		d := counts[i] - expected
+		chi2 += d * d / expected
+	}
+	// 5 degrees of freedom; critical value at alpha = 0.001 is 20.52. A
+	// correct sampler fails this about once per thousand seeds; the seed is
+	// fixed, so the test is deterministic.
+	if chi2 > 20.52 {
+		t.Fatalf("chi-square %g exceeds 20.52: draws do not match weights %v (counts %v)", chi2, weights, counts)
+	}
+}
+
+func TestAliasDegenerate(t *testing.T) {
+	// One-weight table: every draw returns index 0.
+	one, err := NewAlias([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		if got := one.Draw(r); got != 0 {
+			t.Fatalf("one-weight table drew %d", got)
+		}
+	}
+	// Single non-zero weight among zeros: only that index is drawn, ever.
+	spike, err := NewAlias([]float64{0, 0, 0, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if got := spike.Draw(r); got != 3 {
+			t.Fatalf("spike table drew %d, want 3", got)
+		}
+	}
+	for u := 0.0; u < 1; u += 1e-3 {
+		if got := spike.Sample(u); got != 3 {
+			t.Fatalf("spike.Sample(%g) = %d, want 3", u, got)
+		}
+	}
+	// Boundary variate u -> 1 must stay in range.
+	if got := one.Sample(math.Nextafter(1, 0)); got != 0 {
+		t.Fatalf("Sample(1-eps) = %d", got)
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{1, -0.5},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for _, weights := range cases {
+		if _, err := NewAlias(weights); err == nil {
+			t.Errorf("NewAlias(%v) succeeded, want error", weights)
+		}
+	}
+}
+
+// TestAliasDeterministicBuild demands bit-identical tables — and therefore
+// bit-identical draw sequences — across repeated builds from equal weights.
+func TestAliasDeterministicBuild(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	weights := make([]float64, 97)
+	for i := range weights {
+		weights[i] = r.ExpFloat64()
+	}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("repeated builds from equal weights produced different tables")
+	}
+	for u := 0.0; u < 1; u += 1e-4 {
+		if a.Sample(u) != b.Sample(u) {
+			t.Fatalf("tables disagree at u=%g", u)
+		}
+	}
+}
+
+// TestAliasConcurrentDraws stress-tests one frozen table under concurrent
+// draws (run with -race): the table is read-only, so goroutines sharing it
+// must never conflict as long as each has its own rand source.
+func TestAliasConcurrentDraws(t *testing.T) {
+	weights := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const draws = 50000
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < draws; i++ {
+				if got := a.Draw(r); got < 0 || got >= len(weights) {
+					errs <- errOutOfRange(got)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errOutOfRange int
+
+func (e errOutOfRange) Error() string { return "alias draw out of range" }
+
+// TestAliasMatrixMatchesPerRowTables demands that a packed matrix samples
+// exactly like independent per-row Alias tables built from the same rows.
+func TestAliasMatrixMatchesPerRowTables(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const rows, cols = 7, 13
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = r.ExpFloat64()
+	}
+	m, err := NewAliasMatrix(data, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != rows {
+		t.Fatalf("Rows() = %d, want %d", m.Rows(), rows)
+	}
+	for i := 0; i < rows; i++ {
+		row, err := NewAlias(data[i*cols : (i+1)*cols])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0.0; u < 1; u += 1e-3 {
+			if got, want := m.Sample(i, u), row.Sample(u); got != want {
+				t.Fatalf("row %d u=%g: matrix drew %d, per-row table drew %d", i, u, got, want)
+			}
+		}
+	}
+}
+
+func TestAliasMatrixErrors(t *testing.T) {
+	if _, err := NewAliasMatrix([]float64{1, 2, 3}, 2, 2); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := NewAliasMatrix(nil, 1, 0); err == nil {
+		t.Error("zero-width rows accepted")
+	}
+	if _, err := NewAliasMatrix([]float64{1, 0, 0, 0}, 2, 2); err == nil {
+		t.Error("zero-sum row accepted")
+	}
+	var zero AliasMatrix
+	if zero.Rows() != 0 {
+		t.Errorf("zero matrix Rows() = %d", zero.Rows())
+	}
+}

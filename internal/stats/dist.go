@@ -530,12 +530,25 @@ type Zipf struct {
 	// memoize into the struct, so a NewZipf-constructed Zipf is read-only
 	// and safe for concurrent Rand/CDF/Quantile use.
 	cdf []float64
+	// alias is the frozen O(1) rank sampler, also built by NewZipf; a zero
+	// Zipf falls back to binary search over the CDF table.
+	alias Alias
 }
 
-// NewZipf returns a Zipf distribution with a precomputed CDF table.
+// NewZipf returns a Zipf distribution with a precomputed CDF table and a
+// frozen alias table, making Rand an O(1) draw.
 func NewZipf(s float64, n int) *Zipf {
 	z := &Zipf{S: s, N: n}
 	z.cdf = z.table()
+	if len(z.cdf) > 0 {
+		pmf := make([]float64, len(z.cdf))
+		prev := 0.0
+		for i, c := range z.cdf {
+			pmf[i] = c - prev
+			prev = c
+		}
+		z.alias = MustAlias(pmf)
+	}
 	return z
 }
 
@@ -624,8 +637,13 @@ func (z *Zipf) Quantile(p float64) float64 {
 	return float64(i + 1)
 }
 
-// Rand implements Dist via inversion of the precomputed CDF table.
+// Rand implements Dist: an O(1) alias draw when the table was frozen by
+// NewZipf, otherwise inversion of the CDF table by binary search. Either
+// path consumes exactly one uniform variate.
 func (z *Zipf) Rand(r *rand.Rand) float64 {
+	if !z.alias.Empty() {
+		return float64(z.alias.Draw(r) + 1)
+	}
 	cdf := z.table()
 	u := r.Float64()
 	i := sort.SearchFloat64s(cdf, u)
@@ -639,6 +657,38 @@ func (z *Zipf) Rand(r *rand.Rand) float64 {
 // Rand resamples (with interpolation between order statistics).
 type Empirical struct {
 	sorted []float64
+	// grid is the frozen inverse-CDF table Rand draws from. For samples up
+	// to empiricalGridCells+1 observations it aliases sorted (draws are
+	// bit-identical to interpolating the full sample); above that it is the
+	// interpolated ECDF tabulated on a uniform grid, which keeps the
+	// random-access working set of a hot synthesis loop at 8 KB per
+	// distribution no matter how large the training sample was.
+	grid []float64
+	// constant holds the single sample value when every observation is
+	// identical (common for workloads with deterministic request sizes);
+	// Rand then skips the grid loads entirely. constOK marks it valid.
+	constant float64
+	constOK  bool
+}
+
+// empiricalGridCells is the resolution of the frozen inverse-CDF grid; the
+// piecewise-linear tabulation error is bounded by the probability mass of
+// one cell, 1/1024.
+const empiricalGridCells = 1024
+
+// freeze builds the inverse-CDF grid; sorted must already be sorted.
+func (e *Empirical) freeze() {
+	e.constOK = e.sorted[0] == e.sorted[len(e.sorted)-1]
+	e.constant = e.sorted[0]
+	if len(e.sorted) <= empiricalGridCells+1 {
+		e.grid = e.sorted
+		return
+	}
+	g := make([]float64, empiricalGridCells+1)
+	for k := range g {
+		g[k] = quantileSorted(e.sorted, float64(k)/empiricalGridCells)
+	}
+	e.grid = g
 }
 
 // NewEmpirical returns the empirical distribution of xs. It copies xs.
@@ -649,7 +699,9 @@ func NewEmpirical(xs []float64) (*Empirical, error) {
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
-	return &Empirical{sorted: s}, nil
+	e := &Empirical{sorted: s}
+	e.freeze()
+	return e, nil
 }
 
 // Name implements Dist.
@@ -685,13 +737,24 @@ func (e *Empirical) CDF(x float64) float64 {
 // Quantile implements Dist with linear interpolation.
 func (e *Empirical) Quantile(p float64) float64 { return quantileSorted(e.sorted, clamp01(p)) }
 
-// Rand implements Dist by inverse-transform sampling of the interpolated
-// ECDF.
-func (e *Empirical) Rand(r *rand.Rand) float64 { return quantileSorted(e.sorted, r.Float64()) }
+// Rand implements Dist by inverse-transform sampling of the frozen
+// inverse-CDF grid (the interpolated ECDF itself for small samples; see
+// Empirical.grid). One uniform variate per draw.
+func (e *Empirical) Rand(r *rand.Rand) float64 {
+	u := r.Float64() // always consume one variate, constant sample or not
+	if e.constOK {
+		return e.constant
+	}
+	return quantileSorted(e.grid, u)
+}
 
-// Sample returns the underlying sorted sample (not a copy; treat as
-// read-only).
-func (e *Empirical) Sample() []float64 { return e.sorted }
+// Sample returns a copy of the sorted sample, so callers can never corrupt
+// a trained model by mutating the returned slice.
+func (e *Empirical) Sample() []float64 {
+	out := make([]float64, len(e.sorted))
+	copy(out, e.sorted)
+	return out
+}
 
 // empiricalJSON is the serialized form of an Empirical distribution.
 type empiricalJSON struct {
@@ -716,6 +779,7 @@ func (e *Empirical) UnmarshalJSON(data []byte) error {
 	copy(s, raw.Sample)
 	sort.Float64s(s)
 	e.sorted = s
+	e.freeze()
 	return nil
 }
 

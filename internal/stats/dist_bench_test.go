@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkZipfRand times one popularity draw — the per-request file and
+// segment choice of the GFS simulator. With the frozen alias table this is
+// O(1) and 0 allocs/op at any rank count.
+func BenchmarkZipfRand(b *testing.B) {
+	for _, n := range []int{1024, 65536} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			z := NewZipf(0.8, n)
+			r := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink = z.Rand(r)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkEmpiricalRand(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = r.ExpFloat64()
+	}
+	e, err := NewEmpirical(xs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = e.Rand(r)
+	}
+	_ = sink
+}

@@ -25,23 +25,32 @@ func WriteCSV(w io.Writer, t *Trace) error {
 		return fmt.Errorf("trace: write csv header: %w", err)
 	}
 	fl := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	// One row buffer for the whole trace: csv.Writer does not retain the
+	// slice, so refilling it per span avoids two slice allocations per row.
+	row := make([]string, len(csvHeader))
 	for _, r := range t.Requests {
-		base := []string{
-			strconv.FormatInt(r.ID, 10), r.Class, strconv.Itoa(r.Server), fl(r.Arrival),
-		}
+		row[0] = strconv.FormatInt(r.ID, 10)
+		row[1] = r.Class
+		row[2] = strconv.Itoa(r.Server)
+		row[3] = fl(r.Arrival)
 		if len(r.Spans) == 0 {
-			row := append(append([]string{}, base...), "", "", "", "", "", "", "", "")
-			if err := cw.Write(row[:len(csvHeader)]); err != nil {
+			for i := 4; i < len(row); i++ {
+				row[i] = ""
+			}
+			if err := cw.Write(row); err != nil {
 				return fmt.Errorf("trace: write csv row: %w", err)
 			}
 			continue
 		}
 		for _, s := range r.Spans {
-			row := append(append([]string{}, base...),
-				s.Subsystem.String(), fl(s.Start), fl(s.Duration), s.Op.String(),
-				strconv.FormatInt(s.Bytes, 10), strconv.FormatInt(s.LBN, 10),
-				strconv.Itoa(s.Bank), fl(s.Util),
-			)
+			row[4] = s.Subsystem.String()
+			row[5] = fl(s.Start)
+			row[6] = fl(s.Duration)
+			row[7] = s.Op.String()
+			row[8] = strconv.FormatInt(s.Bytes, 10)
+			row[9] = strconv.FormatInt(s.LBN, 10)
+			row[10] = strconv.Itoa(s.Bank)
+			row[11] = fl(s.Util)
 			if err := cw.Write(row); err != nil {
 				return fmt.Errorf("trace: write csv row: %w", err)
 			}
@@ -56,6 +65,10 @@ func WriteCSV(w io.Writer, t *Trace) error {
 // request (as WriteCSV emits them).
 func ReadCSV(r io.Reader) (*Trace, error) {
 	cr := csv.NewReader(r)
+	// Reuse the record slice across rows. Safe even though row[1] (the
+	// class) is retained: encoding/csv backs each record's fields with a
+	// fresh string per row, ReuseRecord only recycles the []string header.
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("trace: read csv header: %w", err)

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// benchCodecTrace builds a 1000-request trace with the Figure 1 span
+// structure, the shape the CSV codec serializes in the CLI pipelines.
+func benchCodecTrace() *Trace {
+	r := rand.New(rand.NewSource(1))
+	t := &Trace{Requests: make([]Request, 1000)}
+	subs := []Subsystem{Network, CPU, Memory, Storage, CPU, Network}
+	now := 0.0
+	for i := range t.Requests {
+		now += r.ExpFloat64() / 50
+		req := Request{ID: int64(i), Class: "read64K", Server: i % 4, Arrival: now}
+		start := now
+		for _, sub := range subs {
+			d := r.Float64() * 1e-3
+			req.Spans = append(req.Spans, Span{
+				Subsystem: sub, Start: start, Duration: d,
+				Op: OpRead, Bytes: 64 << 10, LBN: int64(r.Intn(1 << 20)), Bank: i % 8,
+				Util: r.Float64(),
+			})
+			start += d
+		}
+		t.Requests[i] = req
+	}
+	return t
+}
+
+func BenchmarkWriteCSV(b *testing.B) {
+	tr := benchCodecTrace()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteCSV(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadCSV(b *testing.B) {
+	tr := benchCodecTrace()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCSV(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

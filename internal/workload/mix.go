@@ -28,7 +28,8 @@ type ClassSpec struct {
 type Mix struct {
 	Classes []ClassSpec
 
-	cum []float64
+	cum   []float64
+	alias stats.Alias
 }
 
 // NewMix validates the classes and returns a Mix.
@@ -57,11 +58,19 @@ func NewMix(classes []ClassSpec) (*Mix, error) {
 	if sum <= 0 {
 		return nil, fmt.Errorf("workload: mix weights must sum to a positive value")
 	}
-	return &Mix{Classes: classes, cum: cum}, nil
+	weights := make([]float64, len(classes))
+	for i, c := range classes {
+		weights[i] = c.Weight
+	}
+	return &Mix{Classes: classes, cum: cum, alias: stats.MustAlias(weights)}, nil
 }
 
-// Pick draws a class index according to the weights.
+// Pick draws a class index according to the weights: O(1) via the alias
+// table frozen by NewMix, with a linear scan for hand-assembled mixes.
 func (m *Mix) Pick(r *rand.Rand) int {
+	if !m.alias.Empty() {
+		return m.alias.Draw(r)
+	}
 	u := r.Float64() * m.cum[len(m.cum)-1]
 	for i, c := range m.cum {
 		if u <= c {

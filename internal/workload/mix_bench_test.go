@@ -1,0 +1,18 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMixPick(b *testing.B) {
+	m := OLTPMix()
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = m.Pick(r)
+	}
+	_ = sink
+}
