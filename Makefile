@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race cover bench bench-json fuzz examples artifacts clean help
+.PHONY: all build vet test test-race race cover bench bench-json fuzz examples artifacts serve loadtest clean help
 
 all: build vet test
 
@@ -21,6 +21,9 @@ help:
 	@echo "  fuzz       run the codec and sharded-simulator fuzz targets (30s each)"
 	@echo "  examples   run every example program"
 	@echo "  artifacts  record test + bench output to *_output.txt"
+	@echo "  serve      run the dcmodeld model-serving daemon on :8080"
+	@echo "  loadtest   ingest a simulated trace into a running daemon and"
+	@echo "             fire 64 concurrent synthesize requests at it"
 	@echo "  clean      remove build cache and recorded artifacts"
 
 build:
@@ -63,6 +66,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzReadJSON -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzShardedCodecRoundTrip -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz=FuzzSpanReader -fuzztime=30s ./internal/trace/
 
 examples:
 	@for ex in quickstart storagestudy webtier selfsimilar serverconfig incast tracing memorymodel; do \
@@ -74,6 +78,27 @@ examples:
 artifacts:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Runs the model-serving daemon in the foreground (Ctrl-C / SIGTERM
+# drains gracefully). Override flags with SERVE_FLAGS.
+SERVE_ADDR ?= :8080
+serve:
+	$(GO) run ./cmd/dcmodeld -addr $(SERVE_ADDR) $(SERVE_FLAGS)
+
+# Exercises a running daemon (start one with `make serve` first): streams
+# a 4000-request simulated GFS trace into the window, then fires 64
+# concurrent synthesize requests and prints the status-code tally — 200s
+# are served syntheses, 429s are the bounded queue pushing back.
+LOADTEST_URL ?= http://localhost:8080
+loadtest:
+	$(GO) run ./cmd/gfstrace -requests 4000 -rate 200 -o /tmp/dcmodeld_load.csv
+	curl -s --data-binary @/tmp/dcmodeld_load.csv $(LOADTEST_URL)/v1/ingest; echo
+	@rm -f /tmp/dcmodeld_codes.txt; \
+	for i in $$(seq 1 64); do \
+		curl -s -o /dev/null -w "%{http_code}\n" \
+			"$(LOADTEST_URL)/v1/synthesize?n=2000&seed=$$i" >> /tmp/dcmodeld_codes.txt & \
+	done; wait; sort /tmp/dcmodeld_codes.txt | uniq -c
+	curl -s $(LOADTEST_URL)/metrics | grep -E 'dcmodeld_(queue_rejected_total|retrain_total|window_requests)'
 
 clean:
 	$(GO) clean ./...

@@ -20,6 +20,7 @@ import (
 	"dcmodel/internal/trace"
 
 	"dcmodel"
+	"dcmodel/internal/cliflag"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 		window = flag.Float64("window", 0.5, "counting window for burstiness analysis (seconds)")
 	)
 	flag.Parse()
+	cliflag.Check(cliflag.PositiveFloat("window", *window))
 
 	var (
 		tr  *dcmodel.Trace

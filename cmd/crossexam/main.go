@@ -7,15 +7,18 @@
 //	crossexam -requests 3000 -rate 20
 //	crossexam -in trace.csv
 //	crossexam -requests 3000 -workers 4   # parallel approach chains
+//	crossexam -requests 3000 -json        # machine-readable scorecard
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"dcmodel"
+	"dcmodel/internal/cliflag"
 )
 
 func main() {
@@ -28,8 +31,16 @@ func main() {
 		n        = flag.Int("n", 0, "synthetic requests per approach (0 = trace size)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "concurrent approach chains (0 = GOMAXPROCS, 1 = serial)")
+		asJSON   = flag.Bool("json", false, "emit the scorecard as JSON instead of the rendered table")
 	)
 	flag.Parse()
+	cliflag.Check(
+		cliflag.Workers(*workers),
+		cliflag.Seed(*seed),
+		cliflag.Min("requests", *requests, 1),
+		cliflag.Min("n", *n, 0),
+		cliflag.PositiveFloat("rate", *rate),
+	)
 
 	var (
 		tr  *dcmodel.Trace
@@ -60,6 +71,14 @@ func main() {
 		dcmodel.CrossExamOptions{Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(scores); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	fmt.Print(dcmodel.RenderScores(scores))
 }

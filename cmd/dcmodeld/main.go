@@ -1,0 +1,94 @@
+// Command dcmodeld is the model-serving daemon: a long-running HTTP
+// service that streams trace spans into a sliding window, keeps the
+// KOOZA / in-breadth / in-depth workload models warm with an online
+// training loop (chi-square drift detection forces retrains), and serves
+// synthesis, characterization and replay queries from a bounded work
+// queue with explicit backpressure.
+//
+// Usage:
+//
+//	dcmodeld -addr :8080
+//	curl --data-binary @trace.csv http://localhost:8080/v1/ingest
+//	curl 'http://localhost:8080/v1/synthesize?n=4000&seed=2' > synth.csv
+//	curl http://localhost:8080/v1/characterize | jq .scores
+//	curl http://localhost:8080/metrics
+//
+// SIGTERM or SIGINT drains gracefully: the listener stops accepting,
+// in-flight requests finish, the work queue runs dry, then the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dcmodel/internal/cliflag"
+	"dcmodel/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dcmodeld: ")
+	def := serve.DefaultConfig()
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		window     = flag.Int("window", def.Window, "sliding-window capacity (requests)")
+		queue      = flag.Int("queue", def.QueueDepth, "bounded work-queue depth (full queue returns 429)")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		maxSynth   = flag.Int("max-synth", def.MaxSynth, "largest n one synthesize request may ask for")
+		deadline   = flag.Duration("deadline", def.RequestTimeout, "per-request deadline for queued work")
+		retrainMin = flag.Int("retrain-min", def.RetrainMin, "new requests needed before a retrain is considered")
+		stale      = flag.Duration("stale", def.RetrainInterval, "model age that forces a retrain once fresh data arrived")
+		driftP     = flag.Float64("drift-p", def.DriftP, "chi-square p-value below which drift forces a retrain")
+		driftMin   = flag.Int64("drift-min", def.DriftMinTransitions, "observed storage transitions before the drift test is consulted")
+		regions    = flag.Int("regions", def.StorageRegions, "storage Markov states (shared by trainer and drift quantization)")
+		diskBlocks = flag.Int64("disk-blocks", def.DiskBlocks, "fixed LBN address-space size for region quantization")
+	)
+	flag.Parse()
+	cliflag.Check(
+		cliflag.Workers(*workers),
+		cliflag.Min("window", *window, 3),
+		cliflag.Min("queue", *queue, 1),
+		cliflag.Min("max-synth", *maxSynth, 1),
+		cliflag.Min("retrain-min", *retrainMin, 1),
+		cliflag.Min("regions", *regions, 2),
+		cliflag.PositiveFloat("drift-p", *driftP),
+		cliflag.PositiveFloat("deadline", deadline.Seconds()),
+		cliflag.PositiveFloat("stale", stale.Seconds()),
+	)
+	if *driftP >= 1 {
+		cliflag.Check("-drift-p must be < 1")
+	}
+
+	cfg := serve.DefaultConfig()
+	cfg.Window = *window
+	cfg.QueueDepth = *queue
+	cfg.Workers = *workers
+	cfg.MaxSynth = *maxSynth
+	cfg.RequestTimeout = *deadline
+	cfg.RetrainMin = *retrainMin
+	cfg.RetrainInterval = *stale
+	cfg.DriftP = *driftP
+	cfg.DriftMinTransitions = *driftMin
+	cfg.StorageRegions = *regions
+	cfg.DiskBlocks = *diskBlocks
+
+	s, err := serve.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	log.Printf("listening on %s (window %d, queue %d, drift-p %g, stale %s)",
+		*addr, *window, *queue, *driftP, *stale)
+	start := time.Now()
+	if err := s.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("drained cleanly after %s", time.Since(start).Round(time.Millisecond))
+}

@@ -17,6 +17,7 @@ import (
 	"dcmodel/internal/workload"
 
 	"dcmodel"
+	"dcmodel/internal/cliflag"
 )
 
 func main() {
@@ -37,6 +38,16 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent shards (0 = GOMAXPROCS, 1 = serial); needs -shards > 1")
 	)
 	flag.Parse()
+	cliflag.Check(
+		cliflag.Workers(*workers),
+		cliflag.Shards(*shards),
+		cliflag.Seed(*seed),
+		cliflag.Min("requests", *requests, 1),
+		cliflag.Min("servers", *servers, 1),
+		cliflag.Min("files", *files, 1),
+		cliflag.Min("replication", *replication, 1),
+		cliflag.PositiveFloat("rate", *rate),
+	)
 
 	var mix *dcmodel.Mix
 	switch *mixName {

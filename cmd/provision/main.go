@@ -19,6 +19,7 @@ import (
 	"dcmodel/internal/sqs"
 
 	"dcmodel"
+	"dcmodel/internal/cliflag"
 )
 
 func main() {
@@ -33,6 +34,13 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
+	cliflag.Check(
+		cliflag.Seed(*seed),
+		cliflag.Min("max", *maxSrv, 1),
+		cliflag.Min("tasks", *tasks, 1),
+		cliflag.Min("samples", *samples, 1),
+		cliflag.PositiveFloat("target", *target),
+	)
 
 	var (
 		tr  *dcmodel.Trace

@@ -19,6 +19,7 @@ import (
 	"dcmodel/internal/kooza"
 
 	"dcmodel"
+	"dcmodel/internal/cliflag"
 )
 
 func main() {
@@ -36,6 +37,12 @@ func main() {
 		workers   = flag.Int("workers", 0, "concurrent shards (0 = GOMAXPROCS, 1 = serial); needs -shards > 1")
 	)
 	flag.Parse()
+	cliflag.Check(
+		cliflag.Workers(*workers),
+		cliflag.Shards(*shards),
+		cliflag.Seed(*seed),
+		cliflag.Min("n", *n, 1),
+	)
 
 	var (
 		synthesize func(int, *rand.Rand) (*dcmodel.Trace, error)

@@ -17,6 +17,7 @@ import (
 	"dcmodel/internal/kooza"
 
 	"dcmodel"
+	"dcmodel/internal/cliflag"
 )
 
 func main() {
@@ -32,6 +33,10 @@ func main() {
 		out       = flag.String("o", "", "save the trained KOOZA model as JSON to this path")
 	)
 	flag.Parse()
+	cliflag.Check(
+		cliflag.Min("regions", *regions, 2),
+		cliflag.Min("cpustates", *cpuStates, 2),
+	)
 
 	tr, err := readTrace(*in)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"dcmodel"
+	"dcmodel/internal/cliflag"
 )
 
 func main() {
@@ -31,6 +32,12 @@ func main() {
 		describe = flag.Bool("describe", false, "also print the trained model structure (Figure 2)")
 	)
 	flag.Parse()
+	cliflag.Check(
+		cliflag.Seed(*seed),
+		cliflag.Min("requests", *requests, 1),
+		cliflag.Min("n", *n, 0),
+		cliflag.PositiveFloat("rate", *rate),
+	)
 
 	var (
 		tr  *dcmodel.Trace

@@ -42,6 +42,7 @@ import (
 	"dcmodel/internal/par"
 	"dcmodel/internal/prand"
 	"dcmodel/internal/replay"
+	"dcmodel/internal/serve"
 	"dcmodel/internal/trace"
 	"dcmodel/internal/workload"
 )
@@ -381,3 +382,23 @@ func SynthesizeSharded(synthesize func(n int, r *rand.Rand) (*Trace, error), n, 
 // RenderScores renders the Table 1 regeneration (qualitative matrix plus
 // the measured scorecard).
 func RenderScores(scores []Scores) string { return crossexam.Render(scores) }
+
+// Model-serving daemon re-exports (cmd/dcmodeld is a thin wrapper over
+// these; embedders can run the same server in-process).
+type (
+	// ModelServer is the long-running serving engine behind dcmodeld: a
+	// sliding ingest window, online-trained warm models with chi-square
+	// drift detection, and a bounded work queue with backpressure.
+	ModelServer = serve.Server
+	// ServeConfig tunes a ModelServer.
+	ServeConfig = serve.Config
+)
+
+// DefaultServeConfig returns the daemon defaults (8192-request window,
+// 64-deep work queue, 30 s staleness retrain, p < 0.001 drift trigger).
+func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
+
+// NewServer builds a ModelServer from cfg; zero-valued fields take the
+// DefaultServeConfig values. Callers must Close it (or drive it through
+// Serve/ListenAndServe, which close on context cancellation).
+func NewServer(cfg ServeConfig) (*ModelServer, error) { return serve.New(cfg) }

@@ -1,0 +1,76 @@
+package dcmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestServerFacade smoke-tests the embeddable daemon through the public
+// API: build a server, ingest a simulated trace programmatically, and
+// query it over HTTP exactly as cmd/dcmodeld clients would.
+func TestServerFacade(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.PollInterval = time.Hour
+	cfg.RetrainInterval = time.Hour
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	tr, err := SimulateGFS(DefaultGFSConfig(), GFSRun{
+		Mix:      Table2Mix(),
+		Rate:     100,
+		Requests: 200,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retrained, reason, err := s.Ingest(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !retrained || reason == "" {
+		t.Fatalf("ingest: retrained=%v reason=%q, want a cold retrain", retrained, reason)
+	}
+	kz, ib, id, trainedOn := s.Models()
+	if kz == nil || ib == nil || id == nil || trainedOn != 200 {
+		t.Fatalf("Models() = (%v,%v,%v,%d), want three warm models trained on 200", kz, ib, id, trainedOn)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/synthesize?n=50&seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize status = %d: %s", resp.StatusCode, body)
+	}
+	synth, err := ReadTraceCSV(bytes.NewReader(body))
+	if err != nil || synth.Len() != 50 {
+		t.Fatalf("synthesize body: err=%v len=%d, want 50", err, synth.Len())
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Warm bool `json:"warm"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !hz.Warm {
+		t.Fatal("healthz reports a cold daemon after ingest")
+	}
+}

@@ -1,0 +1,80 @@
+// Package cliflag is the shared post-flag.Parse validation layer of the
+// cmd/* tools. Every command rejects nonsensical flag values — negative
+// worker counts, zero shards, non-positive seeds — with a non-zero exit
+// and a one-line usage hint, instead of silently clamping or failing deep
+// inside an engine with an unrelated error.
+package cliflag
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Problem describes one invalid flag value; an empty string means valid.
+type Problem = string
+
+// Workers validates a -workers value: 0 selects GOMAXPROCS, >= 1 is a
+// bound, negative is rejected.
+func Workers(v int) Problem {
+	if v < 0 {
+		return fmt.Sprintf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", v)
+	}
+	return ""
+}
+
+// Shards validates a -shards value: at least one shard.
+func Shards(v int) Problem {
+	if v < 1 {
+		return fmt.Sprintf("-shards must be >= 1, got %d", v)
+	}
+	return ""
+}
+
+// Seed validates a -seed value: seeds are positive so every documented
+// reproduction command has a meaningful SplitMix64-derived stream family.
+func Seed(v int64) Problem {
+	if v < 1 {
+		return fmt.Sprintf("-seed must be a positive integer, got %d", v)
+	}
+	return ""
+}
+
+// Min validates an integer flag against an inclusive lower bound.
+func Min(name string, v, min int) Problem {
+	if v < min {
+		return fmt.Sprintf("-%s must be >= %d, got %d", name, min, v)
+	}
+	return ""
+}
+
+// PositiveFloat validates a float flag that must be strictly positive.
+func PositiveFloat(name string, v float64) Problem {
+	if !(v > 0) { // rejects NaN too
+		return fmt.Sprintf("-%s must be > 0, got %g", name, v)
+	}
+	return ""
+}
+
+// exit is swapped out by tests.
+var exit = os.Exit
+
+// Check aggregates validations: if any problem is non-empty it prints
+// each to stderr, prints the one-line usage hint, and exits 2.
+func Check(problems ...Problem) {
+	var bad []string
+	for _, p := range problems {
+		if p != "" {
+			bad = append(bad, p)
+		}
+	}
+	if len(bad) == 0 {
+		return
+	}
+	prog := filepath.Base(os.Args[0])
+	for _, p := range bad {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", prog, p)
+	}
+	fmt.Fprintf(os.Stderr, "usage: run '%s -h' for the flag summary\n", prog)
+	exit(2)
+}

@@ -1,0 +1,55 @@
+package cliflag
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidators(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Problem
+		ok   bool
+	}{
+		{"workers 0", Workers(0), true},
+		{"workers 8", Workers(8), true},
+		{"workers -1", Workers(-1), false},
+		{"shards 1", Shards(1), true},
+		{"shards 0", Shards(0), false},
+		{"shards -3", Shards(-3), false},
+		{"seed 1", Seed(1), true},
+		{"seed max", Seed(math.MaxInt64), true},
+		{"seed 0", Seed(0), false},
+		{"seed -5", Seed(-5), false},
+		{"min ok", Min("n", 4, 1), true},
+		{"min bad", Min("n", 0, 1), false},
+		{"posfloat ok", PositiveFloat("rate", 0.5), true},
+		{"posfloat zero", PositiveFloat("rate", 0), false},
+		{"posfloat neg", PositiveFloat("rate", -2), false},
+		{"posfloat nan", PositiveFloat("rate", math.NaN()), false},
+	}
+	for _, c := range cases {
+		if c.ok && c.got != "" {
+			t.Errorf("%s: unexpected problem %q", c.name, c.got)
+		}
+		if !c.ok && c.got == "" {
+			t.Errorf("%s: invalid value accepted", c.name)
+		}
+	}
+}
+
+func TestCheckExitsOnlyOnProblems(t *testing.T) {
+	exited := -1
+	orig := exit
+	exit = func(code int) { exited = code }
+	defer func() { exit = orig }()
+
+	Check("", "", "")
+	if exited != -1 {
+		t.Fatalf("Check exited (%d) on all-valid input", exited)
+	}
+	Check("", Workers(-1))
+	if exited != 2 {
+		t.Fatalf("Check exit code = %d, want 2", exited)
+	}
+}

@@ -59,30 +59,33 @@ type Options struct {
 	SkipThroughput bool
 }
 
-// Scores is the measured scorecard of one approach.
+// Scores is the measured scorecard of one approach. The JSON field tags
+// are a stable wire contract: the dcmodeld /v1/characterize response, the
+// crossexam -json output and any recorded scorecard artifacts (in the
+// snake_case style of the bench2json records) all share this one encoding.
 type Scores struct {
-	Name string
+	Name string `json:"name"`
 	// RequestFeatures is 1 - mean two-sample-KS distance over the
 	// subsystem feature distributions (1 = perfect).
-	RequestFeatures float64
+	RequestFeatures float64 `json:"request_features"`
 	// TimeDependencies is the fraction of synthetic requests whose phase
 	// order matches the original class's order.
-	TimeDependencies float64
+	TimeDependencies float64 `json:"time_dependencies"`
 	// Configurability is the detail-knob count.
-	Configurability int
+	Configurability int `json:"configurability"`
 	// FineGranularity is the per-class feature fidelity (1 - mean KS of
 	// per-class storage sizes).
-	FineGranularity float64
+	FineGranularity float64 `json:"fine_granularity"`
 	// Scalability is the synthesis throughput in requests/second.
-	Scalability float64
+	Scalability float64 `json:"scalability_req_per_s"`
 	// EaseOfUse is the model parameter count (lower = simpler).
-	EaseOfUse int
+	EaseOfUse int `json:"ease_of_use_params"`
 	// LatencyFidelity is 1 - mean per-class relative latency error
 	// (clamped at 0).
-	LatencyFidelity float64
+	LatencyFidelity float64 `json:"latency_fidelity"`
 	// Completeness is the geometric mean of RequestFeatures,
 	// TimeDependencies and LatencyFidelity.
-	Completeness float64
+	Completeness float64 `json:"completeness"`
 }
 
 // Evaluate scores every approach against the original trace. n synthetic

@@ -1,0 +1,57 @@
+package crossexam
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestScoresJSONTagsStable pins the wire contract of Scores: the field
+// tags are shared by /v1/characterize, crossexam -json and any recorded
+// artifacts, so a renamed tag is a breaking change this test must catch.
+func TestScoresJSONTagsStable(t *testing.T) {
+	want := []string{
+		"completeness",
+		"configurability",
+		"ease_of_use_params",
+		"fine_granularity",
+		"latency_fidelity",
+		"name",
+		"request_features",
+		"scalability_req_per_s",
+		"time_dependencies",
+	}
+	typ := reflect.TypeOf(Scores{})
+	var got []string
+	for i := 0; i < typ.NumField(); i++ {
+		tag := typ.Field(i).Tag.Get("json")
+		if tag == "" || tag == "-" {
+			t.Errorf("field %s has no stable json tag", typ.Field(i).Name)
+			continue
+		}
+		got = append(got, tag)
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Scores json tags = %v, want %v", got, want)
+	}
+
+	// Round trip preserves every value exactly.
+	in := Scores{
+		Name: "KOOZA", RequestFeatures: 0.9, TimeDependencies: 0.8,
+		Configurability: 5, FineGranularity: 0.7, Scalability: 12345,
+		EaseOfUse: 42, LatencyFidelity: 0.6, Completeness: 0.75,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Scores
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+}

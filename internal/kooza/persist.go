@@ -104,6 +104,13 @@ func Load(r io.Reader) (*Model, error) {
 	return m, nil
 }
 
+// Refreeze rebuilds the O(1) alias tables of every Markov chain in the
+// model. Load calls it automatically; long-running servers that assemble or
+// mutate a model's transition matrices out-of-band (e.g. the online
+// training loop swapping in updated chains) call it before serving the
+// model, after which the model must be treated as read-only.
+func (m *Model) Refreeze() { m.freezeChains() }
+
 // freezeChains rebuilds the O(1) alias tables of every Markov chain in the
 // model. JSON only carries the exported probability matrices, so a loaded
 // chain arrives unfrozen; freezing here makes synthesis from a loaded model

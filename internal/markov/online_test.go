@@ -1,0 +1,183 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAccumulatorMatchesTrain checks that incremental accumulation
+// normalizes to exactly the chain batch Train produces from the same
+// sequences.
+func TestAccumulatorMatchesTrain(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 5
+	seqs := make([][]int, 20)
+	for i := range seqs {
+		seq := make([]int, 3+r.Intn(40))
+		for j := range seq {
+			seq[j] = r.Intn(n)
+		}
+		seqs[i] = seq
+	}
+	for _, smoothing := range []float64{0, 0.01, 1} {
+		batch, err := Train(seqs, n, smoothing)
+		if err != nil {
+			t.Fatalf("Train: %v", err)
+		}
+		acc, err := NewAccumulator(n, smoothing)
+		if err != nil {
+			t.Fatalf("NewAccumulator: %v", err)
+		}
+		for _, seq := range seqs {
+			if err := acc.Observe(seq); err != nil {
+				t.Fatalf("Observe: %v", err)
+			}
+		}
+		online, err := acc.Chain()
+		if err != nil {
+			t.Fatalf("Chain: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			if d := math.Abs(online.Initial[i] - batch.Initial[i]); d > 1e-12 {
+				t.Fatalf("smoothing=%g initial[%d]: online %g vs batch %g", smoothing, i, online.Initial[i], batch.Initial[i])
+			}
+			for j := 0; j < n; j++ {
+				if d := math.Abs(online.Trans.At(i, j) - batch.Trans.At(i, j)); d > 1e-12 {
+					t.Fatalf("smoothing=%g trans[%d,%d]: online %g vs batch %g", smoothing, i, j, online.Trans.At(i, j), batch.Trans.At(i, j))
+				}
+			}
+			if online.Visits[i] != batch.Visits[i] {
+				t.Fatalf("visits[%d]: online %d vs batch %d", i, online.Visits[i], batch.Visits[i])
+			}
+		}
+		// The online chain must be frozen: Step must agree with the batch
+		// chain under the same rand stream.
+		ra, rb := rand.New(rand.NewSource(3)), rand.New(rand.NewSource(3))
+		for k := 0; k < 200; k++ {
+			s := k % n
+			if got, want := online.Step(s, ra), batch.Step(s, rb); got != want {
+				t.Fatalf("Step(%d) diverged: %d vs %d", s, got, want)
+			}
+		}
+	}
+}
+
+func TestAccumulatorRejectsBadStates(t *testing.T) {
+	acc, err := NewAccumulator(3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Observe([]int{0, 3}); err == nil {
+		t.Fatal("out-of-range state accepted")
+	}
+	if acc.Transitions() != 0 {
+		t.Fatalf("rejected sequence mutated counts: %d transitions", acc.Transitions())
+	}
+	if _, err := acc.Chain(); err != ErrNoData {
+		t.Fatalf("empty accumulator Chain() = %v, want ErrNoData", err)
+	}
+	if _, err := NewAccumulator(0, 0); err == nil {
+		t.Fatal("NewAccumulator(0) accepted")
+	}
+	if _, err := NewAccumulator(2, -1); err == nil {
+		t.Fatal("negative smoothing accepted")
+	}
+}
+
+// simulateInto feeds sequences drawn from chain into the accumulator.
+func simulateInto(t *testing.T, acc *Accumulator, c *Chain, seqs, length int, r *rand.Rand) {
+	t.Helper()
+	for i := 0; i < seqs; i++ {
+		if err := acc.Observe(c.Simulate(length, r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDrift checks the chi-square drift trigger: a stream drawn from the
+// served chain itself must not trip it, while a distribution-shifted
+// stream must.
+func TestDrift(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const n = 4
+	// Served regime: strong 0->1->2->3->0 cycle.
+	cycle := make([][]int, 50)
+	for i := range cycle {
+		seq := make([]int, 60)
+		for j := range seq {
+			seq[j] = j % n
+		}
+		cycle[i] = seq
+	}
+	served, err := Train(cycle, n, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	same, err := NewAccumulator(n, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulateInto(t, same, served, 40, 80, r)
+	res, err := Drift(served, same, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.001 {
+		t.Fatalf("in-distribution stream flagged as drift: p=%g stat=%g df=%d", res.P, res.Statistic, res.DF)
+	}
+
+	// Shifted regime: reversed cycle 3->2->1->0.
+	shifted, err := NewAccumulator(n, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		seq := make([]int, 80)
+		for j := range seq {
+			seq[j] = (n - 1) - j%n
+		}
+		if err := shifted.Observe(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err = Drift(served, shifted, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Fatalf("shifted stream not flagged: p=%g stat=%g df=%d", res.P, res.Statistic, res.DF)
+	}
+
+	// Mismatched state counts are an error, not a panic.
+	wrong, _ := NewAccumulator(n+1, 0.01)
+	if _, err := Drift(served, wrong, 5); err == nil {
+		t.Fatal("state-count mismatch accepted")
+	}
+	if _, err := Drift(nil, same, 5); err == nil {
+		t.Fatal("nil served chain accepted")
+	}
+}
+
+// TestDriftResetClearsWindow verifies Reset starts a fresh observation
+// window (the post-retrain state of the serving loop).
+func TestDriftResetClearsWindow(t *testing.T) {
+	acc, err := NewAccumulator(3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Observe([]int{0, 1, 2, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if acc.Transitions() != 4 || acc.Sequences() != 1 {
+		t.Fatalf("got %d transitions / %d sequences, want 4 / 1", acc.Transitions(), acc.Sequences())
+	}
+	acc.Reset()
+	if acc.Transitions() != 0 || acc.Sequences() != 0 {
+		t.Fatal("Reset left counts behind")
+	}
+	if _, err := acc.Chain(); err != ErrNoData {
+		t.Fatalf("post-Reset Chain() = %v, want ErrNoData", err)
+	}
+}

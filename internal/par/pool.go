@@ -1,0 +1,89 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the long-lived counterpart of Do: a fixed set of worker
+// goroutines draining a bounded job queue. It is the admission-control
+// primitive of the serving daemon — TrySubmit never blocks, so a caller
+// holding an HTTP request can translate a full queue directly into
+// backpressure (429) instead of queueing unboundedly.
+type Pool struct {
+	jobs    chan func()
+	wg      sync.WaitGroup
+	mu      sync.RWMutex
+	closed  bool
+	queued  atomic.Int64
+	running atomic.Int64
+	done    atomic.Int64
+}
+
+// NewPool starts a pool with the given worker count and queue depth.
+// workers <= 0 selects runtime.GOMAXPROCS(0); depth < 0 is treated as 0
+// (jobs are admitted only when a worker is free to take them).
+func NewPool(workers, depth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	p := &Pool{jobs: make(chan func(), depth)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				p.queued.Add(-1)
+				p.running.Add(1)
+				job()
+				p.running.Add(-1)
+				p.done.Add(1)
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues job if the queue has room and the pool is still open,
+// reporting whether the job was admitted. It never blocks.
+func (p *Pool) TrySubmit(job func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- job:
+		p.queued.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Depth returns the number of admitted jobs not yet picked up by a worker.
+func (p *Pool) Depth() int { return int(p.queued.Load()) }
+
+// Running returns the number of jobs currently executing.
+func (p *Pool) Running() int { return int(p.running.Load()) }
+
+// Completed returns the number of jobs that have finished.
+func (p *Pool) Completed() int64 { return p.done.Load() }
+
+// Close drains the pool: it stops admitting new jobs, runs everything
+// already queued, and returns once the last job has finished. Close is
+// idempotent and safe to race with TrySubmit — a submit that loses the
+// race is simply rejected.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

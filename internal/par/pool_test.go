@@ -1,0 +1,98 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsEverythingAdmitted checks every admitted job runs exactly
+// once and Close waits for all of them.
+func TestPoolRunsEverythingAdmitted(t *testing.T) {
+	p := NewPool(4, 64)
+	var ran atomic.Int64
+	admitted := 0
+	for i := 0; i < 200; i++ {
+		if p.TrySubmit(func() { ran.Add(1) }) {
+			admitted++
+		} else {
+			// Full queue is legitimate; retry until admitted so the count
+			// assertion below stays exact.
+			for !p.TrySubmit(func() { ran.Add(1) }) {
+				time.Sleep(time.Millisecond)
+			}
+			admitted++
+		}
+	}
+	p.Close()
+	if got := ran.Load(); got != int64(admitted) {
+		t.Fatalf("ran %d of %d admitted jobs", got, admitted)
+	}
+	if p.Completed() != int64(admitted) {
+		t.Fatalf("Completed() = %d, want %d", p.Completed(), admitted)
+	}
+}
+
+// TestPoolBackpressure checks the queue bound is enforced: with all
+// workers blocked and the queue full, TrySubmit must refuse.
+func TestPoolBackpressure(t *testing.T) {
+	const workers, depth = 2, 3
+	p := NewPool(workers, depth)
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(workers)
+	for i := 0; i < workers; i++ {
+		if !p.TrySubmit(func() { started.Done(); <-release }) {
+			t.Fatal("initial blocking job rejected")
+		}
+	}
+	started.Wait() // both workers now blocked
+	for i := 0; i < depth; i++ {
+		if !p.TrySubmit(func() {}) {
+			t.Fatalf("queue slot %d rejected while under depth", i)
+		}
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("submit admitted beyond queue depth")
+	}
+	if got := p.Depth(); got != depth {
+		t.Fatalf("Depth() = %d, want %d", got, depth)
+	}
+	if got := p.Running(); got != workers {
+		t.Fatalf("Running() = %d, want %d", got, workers)
+	}
+	close(release)
+	p.Close()
+}
+
+// TestPoolCloseRejectsAndIsIdempotent checks post-Close submits are
+// refused (not panicking) and double Close is safe, including when racing
+// submitters.
+func TestPoolCloseRejectsAndIsIdempotent(t *testing.T) {
+	p := NewPool(2, 8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					p.TrySubmit(func() {})
+				}
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	p.Close()
+	p.Close() // idempotent
+	close(stop)
+	wg.Wait()
+	if p.TrySubmit(func() { t.Error("job ran after Close") }) {
+		t.Fatal("TrySubmit accepted after Close")
+	}
+}

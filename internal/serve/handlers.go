@@ -1,0 +1,429 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dcmodel/internal/crossexam"
+	"dcmodel/internal/replay"
+	"dcmodel/internal/trace"
+)
+
+// Handler returns the daemon's HTTP handler (also used directly by the
+// lifecycle tests via httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", s.timed("ingest", s.handleIngest))
+	mux.HandleFunc("/v1/synthesize", s.timed("synthesize", s.handleSynthesize))
+	mux.HandleFunc("/v1/characterize", s.timed("characterize", s.handleCharacterize))
+	mux.HandleFunc("/v1/replay", s.timed("replay", s.handleReplay))
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// statusWriter captures the status code for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// timed wraps a handler with latency/status accounting.
+func (s *Server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		s.metrics.observe(name, sw.code, time.Since(start).Seconds())
+	}
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// queryInt parses an integer query parameter with a default.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return n, nil
+}
+
+// querySeed parses the seed parameter; seeds must be positive, matching
+// the CLI flag contract.
+func querySeed(r *http.Request) (int64, error) {
+	v := r.URL.Query().Get("seed")
+	if v == "" {
+		return 1, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad seed %q: need a positive integer", v)
+	}
+	return n, nil
+}
+
+// enqueue admits job to the bounded work queue and waits for it under the
+// per-request deadline. It owns the full backpressure contract: 429 +
+// Retry-After on a full queue, 503 while draining, 504 on deadline.
+// The job must send exactly one func on done (its response writer).
+func (s *Server) enqueue(w http.ResponseWriter, r *http.Request, job func(ctx context.Context) func(http.ResponseWriter)) bool {
+	if s.closed.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return false
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	done := make(chan func(http.ResponseWriter), 1)
+	admitted := s.pool.TrySubmit(func() {
+		if ctx.Err() != nil {
+			// The client gave up (or the deadline passed) while the job
+			// was queued; skip the work.
+			done <- nil
+			return
+		}
+		done <- job(ctx)
+	})
+	if !admitted {
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "work queue full (%d deep)", s.cfg.QueueDepth)
+		return false
+	}
+	select {
+	case respond := <-done:
+		if respond == nil {
+			s.metrics.deadline.Add(1)
+			httpError(w, http.StatusGatewayTimeout, "deadline exceeded while queued")
+			return false
+		}
+		respond(w)
+		return true
+	case <-ctx.Done():
+		s.metrics.deadline.Add(1)
+		httpError(w, http.StatusGatewayTimeout, "deadline exceeded")
+		return false
+	}
+}
+
+// handleIngest streams trace spans from the request body into the sliding
+// window, running the online-training decision once the batch is in.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.closed.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes)
+	dec := trace.NewSpanReader(body)
+	var ingested int
+	var decodeErr error
+	s.ingestMu.Lock()
+	for {
+		req, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			decodeErr = err
+			break
+		}
+		s.ingestOne(req)
+		ingested++
+	}
+	retrained, reason, trainErr := false, "", error(nil)
+	if ingested > 0 {
+		retrained, reason, trainErr = s.maybeRetrainLocked()
+	}
+	s.ingestMu.Unlock()
+
+	n, capacity, total, _ := s.win.stats()
+	resp := map[string]any{
+		"ingested":  ingested,
+		"window":    n,
+		"capacity":  capacity,
+		"total":     total,
+		"retrained": retrained,
+	}
+	if reason != "" {
+		resp["retrain_reason"] = reason
+	}
+	if trainErr != nil {
+		resp["train_error"] = trainErr.Error()
+	}
+	code := http.StatusOK
+	if decodeErr != nil {
+		// Everything decoded before the defect was kept; report both.
+		resp["error"] = decodeErr.Error()
+		code = http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleSynthesize generates a synthetic workload from a warm model.
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST")
+		return
+	}
+	n, err := queryInt(r, "n", 1000)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if n < 1 || n > s.cfg.MaxSynth {
+		httpError(w, http.StatusBadRequest, "n must be in [1, %d], got %d", s.cfg.MaxSynth, n)
+		return
+	}
+	seed, err := querySeed(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	modelName := r.URL.Query().Get("model")
+	if modelName == "" {
+		modelName = "kooza"
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "csv"
+	}
+	if format != "csv" && format != "json" {
+		httpError(w, http.StatusBadRequest, "format must be csv or json, got %q", format)
+		return
+	}
+	doReplay := r.URL.Query().Get("replay") == "1"
+
+	ms := s.model.Load()
+	if ms == nil {
+		httpError(w, http.StatusServiceUnavailable, "no model trained yet: ingest a trace first")
+		return
+	}
+	var synthesize func(int, *rand.Rand) (*trace.Trace, error)
+	switch modelName {
+	case "kooza":
+		synthesize = ms.Kooza.Synthesize
+	case "inbreadth":
+		synthesize = ms.InBreadth.Synthesize
+	case "indepth":
+		synthesize = ms.InDepth.Synthesize
+	default:
+		httpError(w, http.StatusBadRequest, "model must be kooza, inbreadth or indepth, got %q", modelName)
+		return
+	}
+
+	s.enqueue(w, r, func(ctx context.Context) func(http.ResponseWriter) {
+		synth, err := synthesize(n, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return func(w http.ResponseWriter) {
+				httpError(w, http.StatusInternalServerError, "synthesize: %v", err)
+			}
+		}
+		if doReplay && ctx.Err() == nil {
+			synth, err = replay.Run(synth, s.cfg.Platform)
+			if err != nil {
+				return func(w http.ResponseWriter) {
+					httpError(w, http.StatusInternalServerError, "replay: %v", err)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if format == "json" {
+			err = trace.WriteJSON(&buf, synth)
+		} else {
+			err = trace.WriteCSV(&buf, synth)
+		}
+		if err != nil {
+			return func(w http.ResponseWriter) {
+				httpError(w, http.StatusInternalServerError, "encode: %v", err)
+			}
+		}
+		return func(w http.ResponseWriter) {
+			if format == "json" {
+				w.Header().Set("Content-Type", "application/json")
+			} else {
+				w.Header().Set("Content-Type", "text/csv")
+			}
+			w.Write(buf.Bytes())
+		}
+	})
+}
+
+// characterizeResponse is the JSON shape of /v1/characterize; the Scores
+// entries use the stable field tags shared with RenderScores consumers.
+type characterizeResponse struct {
+	TrainedOn int                `json:"trained_on"`
+	Window    int                `json:"window"`
+	N         int                `json:"n"`
+	Seed      int64              `json:"seed"`
+	Scores    []crossexam.Scores `json:"scores"`
+}
+
+// handleCharacterize runs the Table 1 cross-examination of the warm
+// models against the current window.
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	seed, err := querySeed(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ms := s.model.Load()
+	if ms == nil {
+		httpError(w, http.StatusServiceUnavailable, "no model trained yet: ingest a trace first")
+		return
+	}
+	winN, _, _, _ := s.win.stats()
+	def := winN
+	if def > 2000 {
+		def = 2000
+	}
+	n, err := queryInt(r, "n", def)
+	if err != nil || n < 1 || n > s.cfg.MaxSynth {
+		httpError(w, http.StatusBadRequest, "n must be in [1, %d]", s.cfg.MaxSynth)
+		return
+	}
+	s.enqueue(w, r, func(ctx context.Context) func(http.ResponseWriter) {
+		snap := s.win.snapshot()
+		approaches := []crossexam.Approach{
+			{Name: "in-breadth", Knobs: 3, Synthesize: ms.InBreadth.Synthesize, NumParams: ms.InBreadth.NumParams()},
+			{Name: "in-depth", Knobs: 1, SelfTimed: true, Synthesize: ms.InDepth.Synthesize, NumParams: ms.InDepth.NumParams()},
+			{Name: "KOOZA", Knobs: 5, Synthesize: ms.Kooza.Synthesize, NumParams: ms.Kooza.NumParams()},
+		}
+		// Workers=1: the daemon's parallelism budget belongs to the pool,
+		// not to nested fan-outs inside one job.
+		scores, err := crossexam.Evaluate(snap, approaches, n, s.cfg.Platform, crossexam.Options{
+			Seed: seed, Workers: 1,
+		})
+		if err != nil {
+			return func(w http.ResponseWriter) {
+				httpError(w, http.StatusInternalServerError, "characterize: %v", err)
+			}
+		}
+		resp := characterizeResponse{
+			TrainedOn: ms.TrainedOn,
+			Window:    snap.Len(),
+			N:         n,
+			Seed:      seed,
+			Scores:    scores,
+		}
+		return func(w http.ResponseWriter) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(resp)
+		}
+	})
+}
+
+// handleReplay replays a streamed trace on the simulated platform and
+// returns the re-timed trace.
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes)
+	tr, err := trace.ReadCSV(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	if tr.Len() == 0 {
+		httpError(w, http.StatusBadRequest, "empty trace")
+		return
+	}
+	s.enqueue(w, r, func(ctx context.Context) func(http.ResponseWriter) {
+		timed, err := replay.Run(tr, s.cfg.Platform)
+		if err != nil {
+			return func(w http.ResponseWriter) {
+				httpError(w, http.StatusInternalServerError, "replay: %v", err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteCSV(&buf, timed); err != nil {
+			return func(w http.ResponseWriter) {
+				httpError(w, http.StatusInternalServerError, "encode: %v", err)
+			}
+		}
+		return func(w http.ResponseWriter) {
+			w.Header().Set("Content-Type", "text/csv")
+			w.Write(buf.Bytes())
+		}
+	})
+}
+
+// handleMetrics renders the plain-text metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	n, capacity, total, spans := s.win.stats()
+	s.ingestMu.Lock()
+	driftTrans := s.drift.Transitions()
+	s.ingestMu.Unlock()
+	gauges := map[string]float64{
+		"dcmodeld_queue_depth":       float64(s.pool.Depth()),
+		"dcmodeld_queue_running":     float64(s.pool.Running()),
+		"dcmodeld_window_requests":   float64(n),
+		"dcmodeld_window_capacity":   float64(capacity),
+		"dcmodeld_window_total":      float64(total),
+		"dcmodeld_window_occupancy":  float64(n) / float64(capacity),
+		"dcmodeld_drift_transitions": float64(driftTrans),
+	}
+	for i, sub := range trace.Subsystems() {
+		gauges[fmt.Sprintf("dcmodeld_window_spans{subsystem=%q}", sub.String())] = float64(spans[i])
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.write(w, gauges)
+}
+
+// handleHealthz reports liveness and model warmth.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ms := s.model.Load()
+	resp := map[string]any{"ok": true, "warm": ms != nil}
+	if ms != nil {
+		resp["trained_on"] = ms.TrainedOn
+		resp["trained_at"] = ms.TrainedAt.UTC().Format(time.RFC3339Nano)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,300 @@
+// Package serve is the model-serving daemon behind cmd/dcmodeld: a
+// stdlib-only HTTP service that keeps the paper's workload models warm
+// under live traffic. It ingests trace spans over a streaming POST
+// endpoint into a sliding window, maintains the KOOZA / in-breadth /
+// in-depth models with an online-training loop (incremental Markov
+// transition counts, periodic alias-table refreeze, and a chi-square
+// drift trigger that forces retrains), and answers synthesis,
+// characterization and replay queries from a bounded work queue with
+// explicit backpressure: a full queue is a 429 with Retry-After, never an
+// unbounded buffer.
+//
+// Endpoints:
+//
+//	POST /v1/ingest       stream trace spans (WriteCSV format) into the window
+//	GET  /v1/synthesize   generate a synthetic workload from a warm model
+//	GET  /v1/characterize cross-examination scorecard of the warm models
+//	POST /v1/replay       replay a streamed trace on the simulated platform
+//	GET  /metrics         plain-text counters, gauges and latency histograms
+//	GET  /healthz         liveness + model warmth
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcmodel/internal/gfs"
+	"dcmodel/internal/inbreadth"
+	"dcmodel/internal/indepth"
+	"dcmodel/internal/kooza"
+	"dcmodel/internal/markov"
+	"dcmodel/internal/par"
+	"dcmodel/internal/replay"
+	"dcmodel/internal/trace"
+)
+
+// Config tunes the daemon. DefaultConfig returns the production defaults;
+// zero fields of a hand-built Config are filled with the same defaults by
+// New.
+type Config struct {
+	// Window is the sliding-window capacity in requests.
+	Window int
+	// QueueDepth bounds the pending work queue; a full queue returns 429.
+	QueueDepth int
+	// Workers is the worker-goroutine count (0 = GOMAXPROCS).
+	Workers int
+	// MaxSynth caps the n of one synthesize request.
+	MaxSynth int
+	// MaxIngestBytes caps one ingest request body.
+	MaxIngestBytes int64
+	// RequestTimeout is the per-request deadline for queued work.
+	RequestTimeout time.Duration
+	// RetrainMin is the minimum number of newly ingested requests before
+	// a retrain is considered.
+	RetrainMin int
+	// RetrainInterval is the staleness bound: once the served model is
+	// older than this and RetrainMin new requests arrived, a retrain fires
+	// even without drift.
+	RetrainInterval time.Duration
+	// PollInterval is the background staleness-check cadence.
+	PollInterval time.Duration
+	// DriftP is the chi-square p-value below which the ingested stream is
+	// declared drifted from the served model, forcing a retrain.
+	DriftP float64
+	// DriftMinTransitions is the minimum observed storage transitions
+	// before the drift test is consulted.
+	DriftMinTransitions int64
+	// StorageRegions is the storage Markov state count (shared by the
+	// KOOZA trainer and the drift quantization).
+	StorageRegions int
+	// DiskBlocks is the fixed LBN address-space size used to map LBNs to
+	// regions. It must be fixed (not inferred per batch) so the drift
+	// accumulator and every retrained model share one quantization.
+	DiskBlocks int64
+	// Smoothing is the Laplace smoothing of the trained chains.
+	Smoothing float64
+	// Platform is the replay hardware; nil NewServer selects the default
+	// GFS chunkserver.
+	Platform replay.Platform
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		Window:              8192,
+		QueueDepth:          64,
+		Workers:             0,
+		MaxSynth:            200_000,
+		MaxIngestBytes:      256 << 20,
+		RequestTimeout:      30 * time.Second,
+		RetrainMin:          64,
+		RetrainInterval:     30 * time.Second,
+		PollInterval:        time.Second,
+		DriftP:              0.001,
+		DriftMinTransitions: 512,
+		StorageRegions:      32,
+		DiskBlocks:          128 << 20,
+		Smoothing:           0.01,
+	}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.MaxSynth <= 0 {
+		c.MaxSynth = d.MaxSynth
+	}
+	if c.MaxIngestBytes <= 0 {
+		c.MaxIngestBytes = d.MaxIngestBytes
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = d.RequestTimeout
+	}
+	if c.RetrainMin <= 0 {
+		c.RetrainMin = d.RetrainMin
+	}
+	if c.RetrainInterval <= 0 {
+		c.RetrainInterval = d.RetrainInterval
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = d.PollInterval
+	}
+	if c.DriftP <= 0 {
+		c.DriftP = d.DriftP
+	}
+	if c.DriftMinTransitions <= 0 {
+		c.DriftMinTransitions = d.DriftMinTransitions
+	}
+	if c.StorageRegions <= 0 {
+		c.StorageRegions = d.StorageRegions
+	}
+	if c.DiskBlocks <= 0 {
+		c.DiskBlocks = d.DiskBlocks
+	}
+	if c.Smoothing <= 0 {
+		c.Smoothing = d.Smoothing
+	}
+	if c.Platform.NewServer == nil {
+		c.Platform = replay.Platform{NewServer: gfs.DefaultServerHW}
+	}
+	return c
+}
+
+// modelSet is one atomically swapped generation of warm models.
+type modelSet struct {
+	Kooza     *kooza.Model
+	InBreadth *inbreadth.Model
+	InDepth   *indepth.Model
+	// RefStorage is the pooled storage-region chain the drift test
+	// compares freshly ingested transitions against.
+	RefStorage *markov.Chain
+	TrainedAt  time.Time
+	TrainedOn  int   // window requests trained on
+	TotalAt    int64 // window.total at training time
+}
+
+// Server is the daemon: sliding window, warm models, bounded work queue.
+type Server struct {
+	cfg             Config
+	blocksPerRegion int64
+
+	win     *window
+	pool    *par.Pool
+	metrics *metrics
+	model   atomic.Pointer[modelSet]
+
+	// ingestMu serializes ingestion and retraining, keeping the drift
+	// accumulator consistent with the window contents.
+	ingestMu sync.Mutex
+	drift    *markov.Accumulator
+
+	mux      *http.ServeMux
+	closed   atomic.Bool
+	stopPoll chan struct{}
+	pollWG   sync.WaitGroup
+}
+
+// New builds a Server from cfg (zero fields defaulted) and starts its
+// worker pool and background staleness poller. Callers must Close it.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DriftP >= 1 {
+		return nil, fmt.Errorf("serve: DriftP must be in (0,1), got %g", cfg.DriftP)
+	}
+	if cfg.Window < 3 {
+		return nil, fmt.Errorf("serve: window must hold >= 3 requests, got %d", cfg.Window)
+	}
+	bpr := cfg.DiskBlocks / int64(cfg.StorageRegions)
+	if bpr < 1 {
+		bpr = 1
+	}
+	acc, err := markov.NewAccumulator(cfg.StorageRegions, cfg.Smoothing)
+	if err != nil {
+		return nil, fmt.Errorf("serve: drift accumulator: %w", err)
+	}
+	s := &Server{
+		cfg:             cfg,
+		blocksPerRegion: bpr,
+		win:             newWindow(cfg.Window),
+		pool:            par.NewPool(cfg.Workers, cfg.QueueDepth),
+		metrics:         newMetrics(),
+		drift:           acc,
+		stopPoll:        make(chan struct{}),
+	}
+	s.mux = s.buildMux()
+	s.pollWG.Add(1)
+	go s.pollLoop()
+	return s, nil
+}
+
+// pollLoop is the background staleness ticker: it fires retrains that
+// ingestion alone would not (e.g. a quiet stream that drifted earlier).
+func (s *Server) pollLoop() {
+	defer s.pollWG.Done()
+	t := time.NewTicker(s.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopPoll:
+			return
+		case <-t.C:
+			s.ingestMu.Lock()
+			s.maybeRetrainLocked()
+			s.ingestMu.Unlock()
+		}
+	}
+}
+
+// Close drains the daemon: stops the poller, stops admitting queued work
+// and waits for in-flight jobs. It does not wait for HTTP connections —
+// pair it with http.Server.Shutdown (Serve does both).
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.stopPoll)
+	s.pollWG.Wait()
+	s.pool.Close()
+}
+
+// Models returns the currently served model generation (nil while cold).
+func (s *Server) Models() (kz *kooza.Model, ib *inbreadth.Model, id *indepth.Model, trainedOn int) {
+	ms := s.model.Load()
+	if ms == nil {
+		return nil, nil, nil, 0
+	}
+	return ms.Kooza, ms.InBreadth, ms.InDepth, ms.TrainedOn
+}
+
+// regionOf maps an LBN into the fixed drift/storage quantization.
+func (s *Server) regionOf(lbn int64) int {
+	if lbn < 0 {
+		return 0
+	}
+	st := int(lbn / s.blocksPerRegion)
+	if st >= s.cfg.StorageRegions {
+		return s.cfg.StorageRegions - 1
+	}
+	return st
+}
+
+// ingestOne folds one decoded request into the window and the drift
+// accumulator. Callers hold ingestMu.
+func (s *Server) ingestOne(req trace.Request) {
+	var seq []int
+	for _, sp := range req.Spans {
+		if sp.Subsystem == trace.Storage {
+			seq = append(seq, s.regionOf(sp.LBN))
+		}
+	}
+	if len(seq) > 0 {
+		// States are in range by construction, so Observe cannot fail.
+		_ = s.drift.Observe(seq)
+	}
+	s.win.add(req)
+	s.metrics.ingested.Add(1)
+}
+
+// Ingest folds a whole trace into the window (the programmatic sibling of
+// POST /v1/ingest, used by tests and embedders), then runs the online
+// training decision once.
+func (s *Server) Ingest(tr *trace.Trace) (retrained bool, reason string, err error) {
+	if tr == nil || tr.Len() == 0 {
+		return false, "", trace.ErrEmptyTrace
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	for _, r := range tr.Requests {
+		s.ingestOne(r)
+	}
+	return s.maybeRetrainLocked()
+}

@@ -62,88 +62,21 @@ func WriteCSV(w io.Writer, t *Trace) error {
 
 // ReadCSV reads a trace from the CSV format written by WriteCSV. Rows
 // sharing a req_id are folded into one request; rows must be grouped by
-// request (as WriteCSV emits them).
+// request (as WriteCSV emits them). It is the batch wrapper around the
+// streaming SpanReader, so both share one parsing path.
 func ReadCSV(r io.Reader) (*Trace, error) {
-	cr := csv.NewReader(r)
-	// Reuse the record slice across rows. Safe even though row[1] (the
-	// class) is retained: encoding/csv backs each record's fields with a
-	// fresh string per row, ReuseRecord only recycles the []string header.
-	cr.ReuseRecord = true
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("trace: read csv header: %w", err)
-	}
-	if len(header) != len(csvHeader) {
-		return nil, fmt.Errorf("trace: csv header has %d columns, want %d", len(header), len(csvHeader))
-	}
-	for i, h := range header {
-		if h != csvHeader[i] {
-			return nil, fmt.Errorf("trace: csv column %d is %q, want %q", i, h, csvHeader[i])
-		}
-	}
+	d := NewSpanReader(r)
 	t := &Trace{}
-	var cur *Request
-	line := 1
 	for {
-		row, err := cr.Read()
+		req, err := d.Next()
 		if err == io.EOF {
-			break
+			return t, nil
 		}
-		line++
 		if err != nil {
-			return nil, fmt.Errorf("trace: read csv line %d: %w", line, err)
+			return nil, err
 		}
-		id, err := strconv.ParseInt(row[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: csv line %d req_id: %w", line, err)
-		}
-		if cur == nil || cur.ID != id {
-			server, err := strconv.Atoi(row[2])
-			if err != nil {
-				return nil, fmt.Errorf("trace: csv line %d server: %w", line, err)
-			}
-			arrival, err := strconv.ParseFloat(row[3], 64)
-			if err != nil {
-				return nil, fmt.Errorf("trace: csv line %d arrival: %w", line, err)
-			}
-			t.Requests = append(t.Requests, Request{ID: id, Class: row[1], Server: server, Arrival: arrival})
-			cur = &t.Requests[len(t.Requests)-1]
-		}
-		if row[4] == "" {
-			continue // span-less request marker
-		}
-		sub, err := ParseSubsystem(row[4])
-		if err != nil {
-			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
-		}
-		op, err := ParseOp(row[7])
-		if err != nil {
-			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
-		}
-		var span Span
-		span.Subsystem = sub
-		span.Op = op
-		if span.Start, err = strconv.ParseFloat(row[5], 64); err != nil {
-			return nil, fmt.Errorf("trace: csv line %d start: %w", line, err)
-		}
-		if span.Duration, err = strconv.ParseFloat(row[6], 64); err != nil {
-			return nil, fmt.Errorf("trace: csv line %d duration: %w", line, err)
-		}
-		if span.Bytes, err = strconv.ParseInt(row[8], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: csv line %d bytes: %w", line, err)
-		}
-		if span.LBN, err = strconv.ParseInt(row[9], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: csv line %d lbn: %w", line, err)
-		}
-		if span.Bank, err = strconv.Atoi(row[10]); err != nil {
-			return nil, fmt.Errorf("trace: csv line %d bank: %w", line, err)
-		}
-		if span.Util, err = strconv.ParseFloat(row[11], 64); err != nil {
-			return nil, fmt.Errorf("trace: csv line %d util: %w", line, err)
-		}
-		cur.Spans = append(cur.Spans, span)
+		t.Requests = append(t.Requests, req)
 	}
-	return t, nil
 }
 
 // WriteJSON writes the trace as JSON (lossless round trip).

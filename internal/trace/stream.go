@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Streaming span decoder: the incremental counterpart of ReadCSV, built
+// for long-running ingestion endpoints that must not buffer a whole trace
+// before acting on it. SpanReader consumes the WriteCSV span-per-row
+// format one request at a time, reusing the csv.Reader's record buffer
+// (ReuseRecord) so steady-state decoding allocates only the spans of the
+// request being assembled.
+
+const (
+	// maxCSVFieldBytes bounds a single CSV field; no legitimate column
+	// (numbers, subsystem names, class labels) comes anywhere close, so
+	// larger fields are treated as malformed input rather than buffered.
+	maxCSVFieldBytes = 1 << 16
+	// maxSpansPerRequest bounds the spans folded into one request, so a
+	// stream repeating one req_id forever cannot grow a request without
+	// bound.
+	maxSpansPerRequest = 1 << 20
+)
+
+// SpanReader incrementally decodes the flat span-per-row CSV trace format.
+// Rows sharing a req_id are folded into one Request (rows must be grouped
+// by request, as WriteCSV emits them); each completed request is handed to
+// the caller as soon as its last row has been read. A SpanReader never
+// panics on malformed input and spawns no goroutines; every defect is
+// reported as an error from Next, after which the reader is exhausted.
+type SpanReader struct {
+	cr      *csv.Reader
+	line    int
+	started bool
+	cur     Request
+	curSet  bool
+	err     error
+}
+
+// NewSpanReader returns a streaming decoder reading from r. The header row
+// is consumed and checked on the first call to Next.
+func NewSpanReader(r io.Reader) *SpanReader {
+	cr := csv.NewReader(r)
+	// Reuse the record slice across rows. Safe even though the class field
+	// is retained: encoding/csv backs each record's fields with a fresh
+	// string per row, ReuseRecord only recycles the []string header.
+	cr.ReuseRecord = true
+	return &SpanReader{cr: cr}
+}
+
+// fail records the first error and makes it sticky.
+func (d *SpanReader) fail(err error) (Request, error) {
+	d.err = err
+	d.curSet = false
+	return Request{}, err
+}
+
+// readHeader consumes and validates the header row.
+func (d *SpanReader) readHeader() error {
+	header, err := d.cr.Read()
+	if err != nil {
+		return fmt.Errorf("trace: read csv header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return fmt.Errorf("trace: csv header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, h := range header {
+		if h != csvHeader[i] {
+			return fmt.Errorf("trace: csv column %d is %q, want %q", i, h, csvHeader[i])
+		}
+	}
+	d.line = 1
+	d.started = true
+	return nil
+}
+
+// Next returns the next complete request, or io.EOF when the stream ends
+// cleanly. Any other error is sticky: the reader returns it on every
+// subsequent call.
+func (d *SpanReader) Next() (Request, error) {
+	if d.err != nil {
+		return Request{}, d.err
+	}
+	if !d.started {
+		if err := d.readHeader(); err != nil {
+			return d.fail(err)
+		}
+	}
+	for {
+		row, err := d.cr.Read()
+		if err == io.EOF {
+			if d.curSet {
+				out := d.cur
+				d.cur, d.curSet = Request{}, false
+				d.err = io.EOF
+				return out, nil
+			}
+			return d.fail(io.EOF)
+		}
+		d.line++
+		if err != nil {
+			return d.fail(fmt.Errorf("trace: read csv line %d: %w", d.line, err))
+		}
+		for i, f := range row {
+			if len(f) > maxCSVFieldBytes {
+				return d.fail(fmt.Errorf("trace: csv line %d field %d: %d bytes exceeds the %d-byte field limit", d.line, i, len(f), maxCSVFieldBytes))
+			}
+		}
+		id, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return d.fail(fmt.Errorf("trace: csv line %d req_id: %w", d.line, err))
+		}
+		var done Request
+		var emit bool
+		if !d.curSet || d.cur.ID != id {
+			if d.curSet {
+				done, emit = d.cur, true
+			}
+			server, err := strconv.Atoi(row[2])
+			if err != nil {
+				return d.fail(fmt.Errorf("trace: csv line %d server: %w", d.line, err))
+			}
+			arrival, err := strconv.ParseFloat(row[3], 64)
+			if err != nil {
+				return d.fail(fmt.Errorf("trace: csv line %d arrival: %w", d.line, err))
+			}
+			d.cur = Request{ID: id, Class: row[1], Server: server, Arrival: arrival}
+			d.curSet = true
+		}
+		if row[4] != "" { // non-empty subsystem: the row carries a span
+			span, err := parseSpanColumns(row, d.line)
+			if err != nil {
+				return d.fail(err)
+			}
+			if len(d.cur.Spans) >= maxSpansPerRequest {
+				return d.fail(fmt.Errorf("trace: csv line %d: request %d exceeds %d spans", d.line, id, maxSpansPerRequest))
+			}
+			d.cur.Spans = append(d.cur.Spans, span)
+		}
+		if emit {
+			return done, nil
+		}
+	}
+}
+
+// parseSpanColumns decodes columns 4..11 of a data row into a Span.
+func parseSpanColumns(row []string, line int) (Span, error) {
+	var span Span
+	sub, err := ParseSubsystem(row[4])
+	if err != nil {
+		return span, fmt.Errorf("trace: csv line %d: %w", line, err)
+	}
+	op, err := ParseOp(row[7])
+	if err != nil {
+		return span, fmt.Errorf("trace: csv line %d: %w", line, err)
+	}
+	span.Subsystem = sub
+	span.Op = op
+	if span.Start, err = strconv.ParseFloat(row[5], 64); err != nil {
+		return span, fmt.Errorf("trace: csv line %d start: %w", line, err)
+	}
+	if span.Duration, err = strconv.ParseFloat(row[6], 64); err != nil {
+		return span, fmt.Errorf("trace: csv line %d duration: %w", line, err)
+	}
+	if span.Bytes, err = strconv.ParseInt(row[8], 10, 64); err != nil {
+		return span, fmt.Errorf("trace: csv line %d bytes: %w", line, err)
+	}
+	if span.LBN, err = strconv.ParseInt(row[9], 10, 64); err != nil {
+		return span, fmt.Errorf("trace: csv line %d lbn: %w", line, err)
+	}
+	if span.Bank, err = strconv.Atoi(row[10]); err != nil {
+		return span, fmt.Errorf("trace: csv line %d bank: %w", line, err)
+	}
+	if span.Util, err = strconv.ParseFloat(row[11], 64); err != nil {
+		return span, fmt.Errorf("trace: csv line %d util: %w", line, err)
+	}
+	return span, nil
+}
