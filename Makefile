@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race cover bench bench-json fuzz examples artifacts serve loadtest clean help
+.PHONY: all build vet test test-race race chaos cover bench bench-json fuzz examples artifacts serve loadtest clean help
 
 all: build vet test
 
@@ -15,6 +15,8 @@ help:
 	@echo "  test-race  go test -race ./... — the concurrency gate for the"
 	@echo "             parallel cross-examination engine and sharded simulator"
 	@echo "  race       alias for test-race"
+	@echo "  chaos      fault-armed acceptance run under -race: fault engine,"
+	@echo "             degraded simulation/replay, breaker + armed-drain daemon"
 	@echo "  cover      go test -cover ./..."
 	@echo "  bench      regenerate every table/figure + ablations (-bench=. -benchmem)"
 	@echo "  bench-json rerun the hot-path benchmarks and refresh BENCH_PR2.json"
@@ -42,6 +44,15 @@ test-race:
 	$(GO) test -race ./...
 
 race: test-race
+
+# Chaos gate: every fault-injection and failure-recovery test under the
+# race detector — the deterministic fault engine, degraded GFS simulation
+# and replay, the facade's faulty sharded run, and the daemon's breaker +
+# fault-armed drain lifecycle (zero dropped in-flight requests).
+chaos:
+	$(GO) test -race -count=1 ./internal/fault/
+	$(GO) test -race -count=1 -run 'Fault|Degraded|Breaker|Faulty|HealthyReplay' \
+		. ./internal/gfs/ ./internal/replay/ ./internal/serve/ ./internal/crossexam/
 
 cover:
 	$(GO) test -cover ./...

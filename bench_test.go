@@ -37,11 +37,10 @@ import (
 // benchTrace lazily builds the shared training trace (4000 requests of the
 // paper's two validation classes on one chunkserver).
 var benchTrace = sync.OnceValue(func() *Trace {
-	tr, err := SimulateGFS(DefaultGFSConfig(), GFSRun{
-		Mix:      Table2Mix(),
-		Rate:     20,
-		Requests: 4000,
-	}, 42)
+	tr, err := Simulate(DefaultGFSConfig(), GFSRun{
+		RunConfig: RunConfig{Mix: Table2Mix(), Requests: 4000, Seed: 42},
+		Rate:      20,
+	})
 	if err != nil {
 		panic(err)
 	}
@@ -86,7 +85,7 @@ func BenchmarkTable1CrossExamination(b *testing.B) {
 	tr := benchTrace()
 	var kz Scores
 	for i := 0; i < b.N; i++ {
-		scores, err := CrossExamine(tr, tr.Len(), DefaultPlatform(), int64(200+i))
+		scores, err := CrossExamine(tr, DefaultPlatform(), CrossExamOptions{Requests: tr.Len(), Seed: int64(200 + i)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,9 +107,10 @@ func BenchmarkFigure1RequestFlow(b *testing.B) {
 	var rendered string
 	var phases int
 	for i := 0; i < b.N; i++ {
-		tr, err := SimulateGFS(DefaultGFSConfig(), GFSRun{
-			Mix: Table2Mix(), Rate: 20, Requests: 50,
-		}, int64(300+i))
+		tr, err := Simulate(DefaultGFSConfig(), GFSRun{
+			RunConfig: RunConfig{Mix: Table2Mix(), Requests: 50, Seed: int64(300 + i)},
+			Rate:      20,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -326,9 +326,10 @@ func BenchmarkAblationArrivalProcess(b *testing.B) {
 				name = tc.name + "/semi-markov"
 			}
 			b.Run(name, func(b *testing.B) {
-				tr, err := SimulateGFS(DefaultGFSConfig(), GFSRun{
-					Mix: Table2Mix(), Arrivals: tc.arr, Requests: 4000,
-				}, 800)
+				tr, err := Simulate(DefaultGFSConfig(), GFSRun{
+					RunConfig: RunConfig{Mix: Table2Mix(), Requests: 4000, Seed: 800},
+					Arrivals:  tc.arr,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -382,7 +383,7 @@ func BenchmarkAblationMarkovOrder(b *testing.B) {
 		return seq
 	}
 	trainSeq := regionSeq(tr)
-	held, err := SimulateGFS(DefaultGFSConfig(), GFSRun{Mix: Table2Mix(), Rate: 20, Requests: 1000}, 43)
+	held, err := Simulate(DefaultGFSConfig(), GFSRun{RunConfig: RunConfig{Mix: Table2Mix(), Requests: 1000, Seed: 43}, Rate: 20})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -469,9 +470,10 @@ func BenchmarkScalingServers(b *testing.B) {
 			cfg := DefaultGFSConfig()
 			cfg.Chunkservers = servers
 			cfg.PopularitySkew = 0
-			tr, err := SimulateGFS(cfg, GFSRun{
-				Mix: Table2Mix(), Rate: 20 * float64(servers), Requests: 2000,
-			}, int64(900+servers))
+			tr, err := Simulate(cfg, GFSRun{
+				RunConfig: RunConfig{Mix: Table2Mix(), Requests: 2000, Seed: int64(900 + servers)},
+				Rate:      20 * float64(servers),
+			})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -507,9 +509,10 @@ func BenchmarkGFSSimulator(b *testing.B) {
 	// Raw substrate throughput: requests simulated per second.
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := SimulateGFS(DefaultGFSConfig(), GFSRun{
-			Mix: Table2Mix(), Rate: 20, Requests: 1000,
-		}, int64(i)); err != nil {
+		if _, err := Simulate(DefaultGFSConfig(), GFSRun{
+			RunConfig: RunConfig{Mix: Table2Mix(), Requests: 1000, Seed: int64(i)},
+			Rate:      20,
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -571,8 +574,8 @@ func BenchmarkParallelCrossExamination(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := CrossExamineOpts(tr, tr.Len(), DefaultPlatform(), int64(1000+i),
-					CrossExamOptions{Workers: workers, SkipThroughput: true}); err != nil {
+				if _, err := CrossExamine(tr, DefaultPlatform(), CrossExamOptions{Requests: tr.Len(), Seed: int64(1000 + i),
+					Workers: workers, SkipThroughput: true}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -588,10 +591,11 @@ func BenchmarkShardedGFS(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := SimulateGFS(DefaultGFSConfig(), GFSRun{
-					Mix: Table2Mix(), Rate: 20, Requests: 8000,
-					Shards: 8, Workers: workers,
-				}, int64(1100+i)); err != nil {
+				if _, err := Simulate(DefaultGFSConfig(), GFSRun{
+					RunConfig: RunConfig{Mix: Table2Mix(), Requests: 8000,
+						Seed: int64(1100 + i), Shards: 8, Workers: workers},
+					Rate: 20,
+				}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -8,6 +8,13 @@
 //	crossexam -in trace.csv
 //	crossexam -requests 3000 -workers 4   # parallel approach chains
 //	crossexam -requests 3000 -json        # machine-readable scorecard
+//	crossexam -requests 3000 -faults '{"mtbf":2,"mttr":0.5}'
+//
+// With -faults, a second cross-examination runs in the degraded regime:
+// the workload is re-simulated with the scenario armed (or, with -in, the
+// loaded trace is kept) and every approach's synthetic workload is
+// replayed on the degraded platform. The healthy Table 1 output is
+// unchanged; the regime comparison is appended after it.
 package main
 
 import (
@@ -32,6 +39,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "concurrent approach chains (0 = GOMAXPROCS, 1 = serial)")
 		asJSON   = flag.Bool("json", false, "emit the scorecard as JSON instead of the rendered table")
+		faults   = flag.String("faults", "", "fault scenario JSON (e.g. '{\"mtbf\":2,\"mttr\":0.5}'); adds a degraded-regime cross-examination")
 	)
 	flag.Parse()
 	cliflag.Check(
@@ -47,11 +55,14 @@ func main() {
 		err error
 	)
 	if *in == "" {
-		tr, err = dcmodel.SimulateGFS(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
-			Mix:      dcmodel.Table2Mix(),
-			Rate:     *rate,
-			Requests: *requests,
-		}, *seed)
+		tr, err = dcmodel.Simulate(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
+			RunConfig: dcmodel.RunConfig{
+				Mix:      dcmodel.Table2Mix(),
+				Requests: *requests,
+				Seed:     *seed,
+			},
+			Rate: *rate,
+		})
 	} else {
 		var f *os.File
 		f, err = os.Open(*in)
@@ -67,18 +78,62 @@ func main() {
 	if count == 0 {
 		count = tr.Len()
 	}
-	scores, err := dcmodel.CrossExamineOpts(tr, count, dcmodel.DefaultPlatform(), *seed+1,
-		dcmodel.CrossExamOptions{Workers: *workers})
+	opts := dcmodel.CrossExamOptions{
+		Requests: count,
+		Seed:     *seed + 1,
+		Workers:  *workers,
+	}
+	scores, err := dcmodel.CrossExamine(tr, dcmodel.DefaultPlatform(), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Optional degraded regime: re-simulate the workload with the scenario
+	// armed (a loaded trace is kept as-is) and replay on a degraded platform.
+	var degraded []dcmodel.Scores
+	if *faults != "" {
+		var fc dcmodel.FaultConfig
+		if err := json.Unmarshal([]byte(*faults), &fc); err != nil {
+			cliflag.Fatal(fmt.Errorf("crossexam: -faults: %w", err))
+		}
+		faultyTr := tr
+		if *in == "" {
+			faultyTr, err = dcmodel.Simulate(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
+				RunConfig: dcmodel.RunConfig{
+					Mix:      dcmodel.Table2Mix(),
+					Requests: *requests,
+					Seed:     *seed,
+					Faults:   &fc,
+				},
+				Rate: *rate,
+			})
+			if err != nil {
+				cliflag.Fatal(err)
+			}
+		}
+		p := dcmodel.DefaultPlatform()
+		p.Faults = &fc
+		degraded, err = dcmodel.CrossExamine(faultyTr, p, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(scores); err != nil {
+		var v any = scores
+		if degraded != nil {
+			v = map[string][]dcmodel.Scores{"healthy": scores, "degraded": degraded}
+		}
+		if err := enc.Encode(v); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 	fmt.Print(dcmodel.RenderScores(scores))
+	if degraded != nil {
+		fmt.Println()
+		fmt.Print(dcmodel.RenderScoresComparison(scores, degraded))
+	}
 }

@@ -11,7 +11,12 @@
 //	curl --data-binary @trace.csv http://localhost:8080/v1/ingest
 //	curl 'http://localhost:8080/v1/synthesize?n=4000&seed=2' > synth.csv
 //	curl http://localhost:8080/v1/characterize | jq .scores
+//	curl -X POST -d '{"mtbf":2,"mttr":0.5}' http://localhost:8080/v1/faults
 //	curl http://localhost:8080/metrics
+//
+// A fault scenario can also be armed at boot with -faults (the same JSON
+// the /v1/faults endpoint accepts); replay queries then run on the
+// degraded platform until a DELETE /v1/faults disarms it.
 //
 // SIGTERM or SIGINT drains gracefully: the listener stops accepting,
 // in-flight requests finish, the work queue runs dry, then the process
@@ -20,13 +25,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"dcmodel/internal/cliflag"
+	"dcmodel/internal/fault"
 	"dcmodel/internal/serve"
 )
 
@@ -47,6 +55,7 @@ func main() {
 		driftMin   = flag.Int64("drift-min", def.DriftMinTransitions, "observed storage transitions before the drift test is consulted")
 		regions    = flag.Int("regions", def.StorageRegions, "storage Markov states (shared by trainer and drift quantization)")
 		diskBlocks = flag.Int64("disk-blocks", def.DiskBlocks, "fixed LBN address-space size for region quantization")
+		faultsJSON = flag.String("faults", "", "fault scenario to arm at boot, as /v1/faults JSON (e.g. '{\"mtbf\":2,\"mttr\":0.5}')")
 	)
 	flag.Parse()
 	cliflag.Check(
@@ -76,6 +85,13 @@ func main() {
 	cfg.DriftMinTransitions = *driftMin
 	cfg.StorageRegions = *regions
 	cfg.DiskBlocks = *diskBlocks
+	if *faultsJSON != "" {
+		var fc fault.Config
+		if err := json.Unmarshal([]byte(*faultsJSON), &fc); err != nil {
+			cliflag.Fatal(fmt.Errorf("dcmodeld: -faults: %w", err))
+		}
+		cfg.Platform.Faults = &fc
+	}
 
 	s, err := serve.New(cfg)
 	if err != nil {

@@ -81,13 +81,16 @@ func main() {
 	cfg.Chunkservers = *servers
 	cfg.Files = *files
 	cfg.Replication = *replication
-	tr, err := dcmodel.SimulateGFS(cfg, dcmodel.GFSRun{
-		Mix:      mix,
+	tr, err := dcmodel.Simulate(cfg, dcmodel.GFSRun{
+		RunConfig: dcmodel.RunConfig{
+			Mix:      mix,
+			Requests: *requests,
+			Seed:     *seed,
+			Shards:   *shards,
+			Workers:  *workers,
+		},
 		Arrivals: arr,
-		Requests: *requests,
-		Shards:   *shards,
-		Workers:  *workers,
-	}, *seed)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,10 @@
 // Command synth trains a workload model on a trace (or loads a saved
-// KOOZA model) and emits a synthetic workload generated from it.
+// model) and emits a synthetic workload generated from it.
 //
 // Usage:
 //
 //	synth -in trace.csv -model kooza -n 10000 > synthetic.csv
-//	synth -model-file model.json -n 10000 > synthetic.csv
+//	synth -model-file model.json -model in-depth -n 10000 > synthetic.csv
 //	synth -in trace.csv -n 10000 -shards 8 -workers 4 > synthetic.csv
 package main
 
@@ -16,8 +16,6 @@ import (
 	"math/rand"
 	"os"
 
-	"dcmodel/internal/kooza"
-
 	"dcmodel"
 	"dcmodel/internal/cliflag"
 )
@@ -27,8 +25,8 @@ func main() {
 	log.SetPrefix("synth: ")
 	var (
 		in        = flag.String("in", "-", "input trace (CSV; '-' for stdin)")
-		modelFile = flag.String("model-file", "", "load a saved KOOZA model instead of training (skips -in)")
-		modelName = flag.String("model", "kooza", "model: kooza, inbreadth or indepth")
+		modelFile = flag.String("model-file", "", "load a saved model instead of training (skips -in; -model selects the decoder)")
+		modelName = flag.String("model", "kooza", "model: kooza, in-breadth or in-depth")
 		n         = flag.Int("n", 4000, "number of synthetic requests")
 		seed      = flag.Int64("seed", 1, "random seed")
 		out       = flag.String("o", "-", "output path ('-' for stdout)")
@@ -43,63 +41,45 @@ func main() {
 		cliflag.Seed(*seed),
 		cliflag.Min("n", *n, 1),
 	)
+	approach, err := dcmodel.ParseApproach(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	var (
-		synthesize func(int, *rand.Rand) (*dcmodel.Trace, error)
-		label      string
-	)
+	var m dcmodel.Model
 	if *modelFile != "" {
 		f, err := os.Open(*modelFile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := kooza.Load(f)
+		m, err = dcmodel.LoadModel(f, approach)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			cliflag.Fatal(err)
 		}
-		synthesize, label = m.Synthesize, "kooza (loaded)"
 	} else {
 		tr, err := readTrace(*in)
 		if err != nil {
 			log.Fatal(err)
 		}
-		switch *modelName {
-		case "kooza":
-			m, err := dcmodel.TrainKooza(tr, dcmodel.KoozaOptions{})
-			if err != nil {
-				log.Fatal(err)
-			}
-			synthesize = m.Synthesize
-		case "inbreadth":
-			m, err := dcmodel.TrainInBreadth(tr, dcmodel.InBreadthOptions{})
-			if err != nil {
-				log.Fatal(err)
-			}
-			synthesize = m.Synthesize
-		case "indepth":
-			m, err := dcmodel.TrainInDepth(tr)
-			if err != nil {
-				log.Fatal(err)
-			}
-			synthesize = m.Synthesize
-		default:
-			log.Fatalf("unknown model %q (want kooza, inbreadth or indepth)", *modelName)
+		m, err = dcmodel.Train(tr, approach)
+		if err != nil {
+			cliflag.Fatal(err)
 		}
-		label = *modelName
 	}
 
-	var (
-		synth *dcmodel.Trace
-		err   error
-	)
+	var synth *dcmodel.Trace
 	if *shards > 1 {
-		synth, err = dcmodel.SynthesizeSharded(synthesize, *n, *shards, *workers, *seed)
+		synth, err = dcmodel.SynthesizeSharded(m.Synthesize, *n, *shards, *workers, *seed)
 	} else {
-		synth, err = synthesize(*n, rand.New(rand.NewSource(*seed)))
+		synth, err = m.Synthesize(*n, rand.New(rand.NewSource(*seed)))
 	}
 	if err != nil {
-		log.Fatal(err)
+		cliflag.Fatal(err)
+	}
+	label := m.Approach().String()
+	if *modelFile != "" {
+		label += " (loaded)"
 	}
 	writeOut(synth, *out, label, *replayIt)
 }

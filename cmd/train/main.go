@@ -6,6 +6,7 @@
 // Usage:
 //
 //	train -in trace.csv -model kooza
+//	train -in trace.csv -model in-depth -o model.json
 package main
 
 import (
@@ -25,18 +26,22 @@ func main() {
 	log.SetPrefix("train: ")
 	var (
 		in        = flag.String("in", "-", "input trace (CSV; '-' for stdin)")
-		modelName = flag.String("model", "kooza", "model: kooza, inbreadth or indepth")
-		regions   = flag.Int("regions", 32, "storage LBN-region states (kooza/inbreadth)")
-		cpuStates = flag.Int("cpustates", 8, "CPU utilization-level states (kooza/inbreadth)")
+		modelName = flag.String("model", "kooza", "model: kooza, in-breadth or in-depth")
+		regions   = flag.Int("regions", 32, "storage LBN-region states (kooza/in-breadth)")
+		cpuStates = flag.Int("cpustates", 8, "CPU utilization-level states (kooza/in-breadth)")
 		hier      = flag.Bool("hier", false, "hierarchical storage model (kooza)")
 		pca       = flag.Bool("pca", false, "also print the PCA feature-space analysis")
-		out       = flag.String("o", "", "save the trained KOOZA model as JSON to this path")
+		out       = flag.String("o", "", "save the trained model as JSON to this path")
 	)
 	flag.Parse()
 	cliflag.Check(
 		cliflag.Min("regions", *regions, 2),
 		cliflag.Min("cpustates", *cpuStates, 2),
 	)
+	approach, err := dcmodel.ParseApproach(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	tr, err := readTrace(*in)
 	if err != nil {
@@ -45,61 +50,38 @@ func main() {
 	if *pca {
 		rep, err := kooza.FeatureAnalysis(tr)
 		if err != nil {
-			log.Fatal(err)
+			cliflag.Fatal(err)
 		}
 		fmt.Print(rep.Render())
 		fmt.Println()
 	}
-	switch *modelName {
-	case "kooza":
-		m, err := dcmodel.TrainKooza(tr, dcmodel.KoozaOptions{
+
+	opts := []dcmodel.TrainOption{
+		dcmodel.WithStorageRegions(*regions),
+		dcmodel.WithCPUStates(*cpuStates),
+	}
+	if *hier {
+		opts = append(opts, dcmodel.WithKoozaOptions(dcmodel.KoozaOptions{
 			StorageRegions: *regions,
 			CPUStates:      *cpuStates,
-			Hierarchical:   *hier,
-		})
+			Hierarchical:   true,
+		}))
+	}
+	m, err := dcmodel.Train(tr, approach, opts...)
+	if err != nil {
+		cliflag.Fatal(err)
+	}
+	fmt.Print(m.Characterize())
+	if *out != "" {
+		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(m.Describe())
-		if *out != "" {
-			f, err := os.Create(*out)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer f.Close()
-			if err := kooza.Save(f, m); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "train: saved model to %s\n", *out)
+		defer f.Close()
+		if err := m.Save(f); err != nil {
+			cliflag.Fatal(err)
 		}
-	case "inbreadth":
-		m, err := dcmodel.TrainInBreadth(tr, dcmodel.InBreadthOptions{
-			StorageRegions: *regions,
-			CPUStates:      *cpuStates,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("in-breadth model: %d parameters, trained on %d requests\n", m.NumParams(), m.TrainedOn)
-		fmt.Printf("  storage: %d regions, seq=%.2f, read=%.2f\n", m.Storage.Regions, m.Storage.SeqProb, m.Storage.ReadProb)
-		fmt.Printf("  cpu: %d levels over [%.4f, %.4f]\n", m.CPU.Chain.N, m.CPU.Lo, m.CPU.Hi)
-		fmt.Printf("  memory: %d banks, read=%.2f\n", m.Memory.Banks, m.Memory.ReadProb)
-		fmt.Printf("  spans/request: %v\n", m.SpansPerRequest)
-	case "indepth":
-		m, err := dcmodel.TrainInDepth(tr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("in-depth model: %d parameters, trained on %d requests\n", m.NumParams(), m.TrainedOn)
-		for _, c := range m.Classes {
-			fmt.Printf("  class %q (weight %.3f): %d phases\n", c.Name, c.Weight, len(c.Phases))
-			pred, err := m.PredictMeanLatency(c.Name)
-			if err == nil {
-				fmt.Printf("    predicted no-contention latency: %.3f ms\n", 1000*pred)
-			}
-		}
-	default:
-		log.Fatalf("unknown model %q (want kooza, inbreadth or indepth)", *modelName)
+		fmt.Fprintf(os.Stderr, "train: saved %s model to %s\n", m.Approach(), *out)
 	}
 }
 

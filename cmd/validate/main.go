@@ -44,11 +44,14 @@ func main() {
 		err error
 	)
 	if *in == "" {
-		tr, err = dcmodel.SimulateGFS(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
-			Mix:      dcmodel.Table2Mix(),
-			Rate:     *rate,
-			Requests: *requests,
-		}, *seed)
+		tr, err = dcmodel.Simulate(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
+			RunConfig: dcmodel.RunConfig{
+				Mix:      dcmodel.Table2Mix(),
+				Requests: *requests,
+				Seed:     *seed,
+			},
+			Rate: *rate,
+		})
 	} else {
 		var f *os.File
 		f, err = os.Open(*in)

@@ -20,12 +20,20 @@
 //
 // Quick start:
 //
-//	tr, _ := dcmodel.SimulateGFS(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
-//		Mix: dcmodel.Table2Mix(), Rate: 20, Requests: 4000,
-//	}, 1)
-//	model, _ := dcmodel.TrainKooza(tr, dcmodel.KoozaOptions{})
+//	tr, _ := dcmodel.Simulate(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
+//		RunConfig: dcmodel.RunConfig{Mix: dcmodel.Table2Mix(), Requests: 4000, Seed: 1},
+//		Rate:      20,
+//	})
+//	model, _ := dcmodel.Train(tr, dcmodel.Kooza)
 //	synth, _ := model.Synthesize(4000, rand.New(rand.NewSource(2)))
 //	timed, _ := dcmodel.Replay(synth, dcmodel.DefaultPlatform())
+//
+// To study the workload under failures, arm a fault scenario on the run:
+//
+//	run.Faults = &dcmodel.FaultConfig{MTBF: 3600, MTTR: 120, Seed: 7}
+//
+// and the simulator injects chunkserver/rack outages, with per-request
+// retry and failover annotations in the resulting trace.
 package dcmodel
 
 import (
@@ -34,6 +42,7 @@ import (
 	"sort"
 
 	"dcmodel/internal/crossexam"
+	"dcmodel/internal/fault"
 	"dcmodel/internal/gfs"
 	"dcmodel/internal/hw"
 	"dcmodel/internal/inbreadth"
@@ -115,11 +124,29 @@ type (
 
 // Cross-examination re-exports.
 type (
-	// Approach wraps one modeling approach for cross-examination.
-	Approach = crossexam.Approach
 	// Scores is the measured Table 1 scorecard of one approach.
 	Scores = crossexam.Scores
 )
+
+// Fault-injection re-exports.
+type (
+	// FaultConfig describes a deterministic failure/repair scenario:
+	// per-chunkserver MTBF/MTTR, optional correlated rack failures, and
+	// the client-side timeout/backoff recovery parameters. Arm it via
+	// RunConfig.Faults or Platform.Faults.
+	FaultConfig = fault.Config
+	// FaultSchedule is a realized, seed-stable failure history (advanced
+	// use: inspecting or pre-computing outage intervals).
+	FaultSchedule = fault.Schedule
+)
+
+// NewFaultSchedule realizes cfg into the deterministic failure history for
+// servers chunkservers on SplitMix64 sub-stream stream. The simulator and
+// replay engine construct their own schedules internally; this constructor
+// is for tools that want to inspect the same timelines.
+func NewFaultSchedule(cfg FaultConfig, servers int, stream uint64) (*FaultSchedule, error) {
+	return fault.NewSchedule(cfg, servers, stream)
+}
 
 // Table2Mix returns the paper's two validation request classes (64 KB
 // read, 4 MB write).
@@ -138,39 +165,59 @@ func DefaultPlatform() Platform {
 	return Platform{NewServer: gfs.DefaultServerHW}
 }
 
-// GFSRun drives a GFS simulation.
-type GFSRun struct {
+// RunConfig holds the knobs every simulation run shares — open or closed
+// loop. GFSRun and GFSClosedRun embed it, so the common fields read and
+// write identically on both.
+type RunConfig struct {
 	// Mix is the request-class mix (required).
 	Mix *Mix
-	// Rate is the Poisson arrival rate in requests/second; ignored when
-	// Arrivals is set.
-	Rate float64
-	// Arrivals optionally overrides the arrival process.
-	Arrivals Arrivals
 	// Requests is the number of requests to simulate (required). In
 	// sharded mode this is the total across all shards.
 	Requests int
+	// Seed makes the run reproducible: it drives the workload rand
+	// stream. An armed fault scenario has its own Seed, kept separate so
+	// the same workload can be rerun under different failure histories.
+	Seed int64
 	// Shards, when > 1, partitions the client population into that many
 	// independent cluster partitions, each with its own SplitMix64-derived
 	// rand stream (see gfs.SimulateSharded). The merged trace depends only
-	// on (cfg, run, Shards, seed) — never on Workers.
+	// on (cfg, run, Shards, Seed) — never on Workers.
 	Shards int
 	// Workers bounds how many shards simulate concurrently: 0 selects
 	// runtime.GOMAXPROCS(0), 1 is the serial fallback. Only consulted
 	// when Shards > 1.
 	Workers int
+	// Faults, when non-nil, arms a deterministic failure/repair scenario:
+	// chunkservers (and optionally whole racks) go down and come back per
+	// the scenario's MTBF/MTTR, and clients recover by timeout, backoff
+	// and replica failover. The trace's Retries/FailedOver annotations
+	// record the recovery work. Nil reproduces the fault-free simulation
+	// byte for byte.
+	Faults *FaultConfig
 }
 
-// SimulateGFS builds a cluster from cfg, runs the workload and returns the
-// resulting trace. The seed makes the run reproducible: with Shards <= 1
-// the run is the classic single-threaded simulation; with Shards > 1 the
-// sharded engine partitions clients across cluster partitions and the
-// output is byte-identical for any Workers value.
-func SimulateGFS(cfg GFSConfig, run GFSRun, seed int64) (*Trace, error) {
+// GFSRun drives an open-loop GFS simulation: requests arrive per Rate (or
+// the explicit Arrivals process) regardless of completions.
+type GFSRun struct {
+	RunConfig
+	// Rate is the Poisson arrival rate in requests/second; ignored when
+	// Arrivals is set.
+	Rate float64
+	// Arrivals optionally overrides the arrival process.
+	Arrivals Arrivals
+}
+
+// Simulate builds a cluster from cfg, runs the open-loop workload and
+// returns the resulting trace. run.Seed makes the run reproducible: with
+// Shards <= 1 the run is the classic single-threaded simulation; with
+// Shards > 1 the sharded engine partitions clients across cluster
+// partitions and the output is byte-identical for any Workers value —
+// with or without run.Faults armed.
+func Simulate(cfg GFSConfig, run GFSRun) (*Trace, error) {
 	arrivals := run.Arrivals
 	if arrivals == nil {
 		if run.Rate <= 0 {
-			return nil, fmt.Errorf("dcmodel: run needs a positive Rate or an Arrivals process")
+			return nil, fmt.Errorf("dcmodel: run needs a positive Rate or an Arrivals process: %w", ErrBadConfig)
 		}
 		arrivals = workload.Poisson{Rate: run.Rate}
 	}
@@ -178,69 +225,88 @@ func SimulateGFS(cfg GFSConfig, run GFSRun, seed int64) (*Trace, error) {
 		Mix:      run.Mix,
 		Arrivals: arrivals,
 		Requests: run.Requests,
+		Faults:   run.Faults,
 	}
 	if run.Shards > 1 {
-		return gfs.SimulateSharded(cfg, rc, run.Shards, run.Workers, seed)
+		return gfs.SimulateSharded(cfg, rc, run.Shards, run.Workers, run.Seed)
 	}
 	cluster, err := gfs.NewCluster(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return cluster.Run(rc, rand.New(rand.NewSource(seed)))
+	return cluster.Run(rc, rand.New(rand.NewSource(run.Seed)))
 }
 
-// GFSClosedRun drives a closed-loop (interactive) GFS simulation.
+// SimulateGFS is the pre-RunConfig spelling of Simulate.
+//
+// Deprecated: use Simulate and set run.Seed instead of passing seed
+// positionally.
+func SimulateGFS(cfg GFSConfig, run GFSRun, seed int64) (*Trace, error) {
+	run.Seed = seed
+	return Simulate(cfg, run)
+}
+
+// GFSClosedRun drives a closed-loop (interactive) GFS simulation: Users
+// concurrent users issue a request, wait for it, think, and reissue.
 type GFSClosedRun struct {
-	// Mix is the request-class mix (required).
-	Mix *Mix
+	RunConfig
 	// Users is the closed population size (total across shards).
 	Users int
 	// MeanThink is the mean exponential think time (seconds).
 	MeanThink float64
-	// Requests is the number of requests to complete (total across
-	// shards).
-	Requests int
-	// Shards, when > 1, partitions the user population across that many
-	// independent cluster partitions (see gfs.SimulateShardedClosed).
-	Shards int
-	// Workers bounds shard concurrency (0 = GOMAXPROCS, 1 = serial); only
-	// consulted when Shards > 1.
-	Workers int
 }
 
-// SimulateGFSClosed builds a cluster from cfg and runs a closed-loop
-// workload: Users concurrent users issuing, thinking and reissuing — the
-// interactive-population shape of closed queueing analyses. With Shards >
-// 1 the users are partitioned across independent cluster partitions and
-// the merged trace is byte-identical for any Workers value.
-func SimulateGFSClosed(cfg GFSConfig, run GFSClosedRun, seed int64) (*Trace, error) {
+// SimulateClosed builds a cluster from cfg and runs a closed-loop
+// workload — the interactive-population shape of closed queueing analyses.
+// With Shards > 1 the users are partitioned across independent cluster
+// partitions and the merged trace is byte-identical for any Workers value,
+// with or without run.Faults armed.
+func SimulateClosed(cfg GFSConfig, run GFSClosedRun) (*Trace, error) {
 	rc := gfs.ClosedRunConfig{
 		Mix:       run.Mix,
 		Users:     run.Users,
 		MeanThink: run.MeanThink,
 		Requests:  run.Requests,
+		Faults:    run.Faults,
 	}
 	if run.Shards > 1 {
-		return gfs.SimulateShardedClosed(cfg, rc, run.Shards, run.Workers, seed)
+		return gfs.SimulateShardedClosed(cfg, rc, run.Shards, run.Workers, run.Seed)
 	}
 	cluster, err := gfs.NewCluster(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return cluster.RunClosed(rc, rand.New(rand.NewSource(seed)))
+	return cluster.RunClosed(rc, rand.New(rand.NewSource(run.Seed)))
 }
 
-// TrainKooza fits the paper's combined model to a trace.
+// SimulateGFSClosed is the pre-RunConfig spelling of SimulateClosed.
+//
+// Deprecated: use SimulateClosed and set run.Seed instead of passing seed
+// positionally.
+func SimulateGFSClosed(cfg GFSConfig, run GFSClosedRun, seed int64) (*Trace, error) {
+	run.Seed = seed
+	return SimulateClosed(cfg, run)
+}
+
+// TrainKooza fits the paper's combined model to a trace and returns the
+// concrete model type.
+//
+// Deprecated: use Train(tr, Kooza, ...) for the common Model interface;
+// keep TrainKooza only when KOOZA-specific surface is needed.
 func TrainKooza(tr *Trace, opts KoozaOptions) (*KoozaModel, error) {
 	return kooza.Train(tr, opts)
 }
 
 // TrainInBreadth fits the per-subsystem baseline to a trace.
+//
+// Deprecated: use Train(tr, InBreadth, ...) for the common Model interface.
 func TrainInBreadth(tr *Trace, opts InBreadthOptions) (*InBreadthModel, error) {
 	return inbreadth.Train(tr, opts)
 }
 
 // TrainInDepth fits the request-flow baseline to a trace.
+//
+// Deprecated: use Train(tr, InDepth) for the common Model interface.
 func TrainInDepth(tr *Trace) (*InDepthModel, error) {
 	return indepth.Train(tr)
 }
@@ -251,8 +317,14 @@ func Replay(tr *Trace, p Platform) (*Trace, error) {
 	return replay.Run(tr, p)
 }
 
-// CrossExamOptions configures the parallel cross-examination.
+// CrossExamOptions configures a cross-examination run.
 type CrossExamOptions struct {
+	// Requests is how many synthetic requests each approach synthesizes
+	// and replays (required).
+	Requests int
+	// Seed makes the run reproducible; each approach chain gets its own
+	// SplitMix64-derived rand stream.
+	Seed int64
 	// Workers bounds how many approach chains (train → synthesize →
 	// replay → score) run concurrently: 0 selects runtime.GOMAXPROCS(0),
 	// 1 is the serial fallback. Every scorecard field except the
@@ -264,48 +336,52 @@ type CrossExamOptions struct {
 }
 
 // CrossExamine scores the three standard approaches (trained on tr) on the
-// Table 1 criteria using n synthetic requests each, running the approach
-// chains on up to GOMAXPROCS workers.
-func CrossExamine(tr *Trace, n int, p Platform, seed int64) ([]Scores, error) {
-	return CrossExamineOpts(tr, n, p, seed, CrossExamOptions{})
-}
-
-// CrossExamineOpts is CrossExamine with explicit parallelism options. Each
-// approach's whole chain — training included — runs as one task of the
-// worker pool, with per-approach rand streams derived from seed via
-// SplitMix64.
-func CrossExamineOpts(tr *Trace, n int, p Platform, seed int64, opts CrossExamOptions) ([]Scores, error) {
-	approaches := []Approach{
-		{Name: "in-breadth", Knobs: 3, Setup: func(a *Approach) error {
-			ib, err := inbreadth.Train(tr, inbreadth.Options{})
-			if err != nil {
-				return fmt.Errorf("dcmodel: in-breadth: %w", err)
-			}
-			a.Synthesize, a.NumParams = ib.Synthesize, ib.NumParams()
-			return nil
-		}},
-		{Name: "in-depth", Knobs: 1, SelfTimed: true, Setup: func(a *Approach) error {
-			id, err := indepth.Train(tr)
-			if err != nil {
-				return fmt.Errorf("dcmodel: in-depth: %w", err)
-			}
-			a.Synthesize, a.NumParams = id.Synthesize, id.NumParams()
-			return nil
-		}},
-		{Name: "KOOZA", Knobs: 5, Setup: func(a *Approach) error {
-			kz, err := kooza.Train(tr, kooza.Options{})
-			if err != nil {
-				return fmt.Errorf("dcmodel: kooza: %w", err)
-			}
-			a.Synthesize, a.NumParams = kz.Synthesize, kz.NumParams()
-			return nil
-		}},
+// Table 1 criteria, replaying each approach's synthetic workload on p.
+// Each approach's whole chain — training included — runs as one task of
+// the worker pool.
+func CrossExamine(tr *Trace, p Platform, opts CrossExamOptions) ([]Scores, error) {
+	if opts.Requests <= 0 {
+		return nil, fmt.Errorf("dcmodel: cross-examination needs a positive Requests count: %w", ErrBadConfig)
 	}
-	return crossexam.Evaluate(tr, approaches, n, p, crossexam.Options{
-		Seed:           seed,
+	approaches := make([]crossexam.Approach, 0, 3)
+	for _, a := range []Approach{InBreadth, InDepth, Kooza} {
+		approaches = append(approaches, crossexamApproach(tr, a))
+	}
+	return crossexam.Evaluate(tr, approaches, opts.Requests, p, crossexam.Options{
+		Seed:           opts.Seed,
 		Workers:        opts.Workers,
 		SkipThroughput: opts.SkipThroughput,
 	})
+}
+
+// crossexamApproach wraps one modeling approach — trained through the same
+// Train facade users call — as a cross-examination entrant. Knobs counts
+// the user-tunable training knobs of each approach (the paper's
+// "flexibility" axis); the in-depth model times its own arrivals.
+func crossexamApproach(tr *Trace, a Approach) crossexam.Approach {
+	knobs := map[Approach]int{InBreadth: 3, InDepth: 1, Kooza: 5}[a]
+	return crossexam.Approach{
+		Name:      a.String(),
+		Knobs:     knobs,
+		SelfTimed: a == InDepth,
+		Setup: func(ca *crossexam.Approach) error {
+			m, err := Train(tr, a)
+			if err != nil {
+				return fmt.Errorf("dcmodel: %s: %w", a, err)
+			}
+			ca.Synthesize, ca.NumParams = m.Synthesize, m.NumParams()
+			return nil
+		},
+	}
+}
+
+// CrossExamineOpts is the pre-options-struct spelling of CrossExamine.
+//
+// Deprecated: use CrossExamine with CrossExamOptions{Requests: n, Seed:
+// seed, ...}.
+func CrossExamineOpts(tr *Trace, n int, p Platform, seed int64, opts CrossExamOptions) ([]Scores, error) {
+	opts.Requests, opts.Seed = n, seed
+	return CrossExamine(tr, p, opts)
 }
 
 // SynthesizeSharded fans one model's synthesis across shards: shard s
@@ -382,6 +458,14 @@ func SynthesizeSharded(synthesize func(n int, r *rand.Rand) (*Trace, error), n, 
 // RenderScores renders the Table 1 regeneration (qualitative matrix plus
 // the measured scorecard).
 func RenderScores(scores []Scores) string { return crossexam.Render(scores) }
+
+// RenderScoresComparison renders the fault-regime cross-examination: the
+// healthy baseline scorecard next to a degraded regime's, one delta per
+// measured criterion (see CrossExamine with a Platform whose Faults field
+// is armed, and Simulate with RunConfig.Faults).
+func RenderScoresComparison(healthy, degraded []Scores) string {
+	return crossexam.RenderComparison(healthy, degraded)
+}
 
 // Model-serving daemon re-exports (cmd/dcmodeld is a thin wrapper over
 // these; embedders can run the same server in-process).

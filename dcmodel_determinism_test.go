@@ -11,13 +11,11 @@ import (
 
 func TestShardedSimulateGFSDeterministicAcrossWorkers(t *testing.T) {
 	run := func(workers int) *Trace {
-		tr, err := SimulateGFS(DefaultGFSConfig(), GFSRun{
-			Mix:      Table2Mix(),
-			Rate:     20,
-			Requests: 800,
-			Shards:   8,
-			Workers:  workers,
-		}, 21)
+		tr, err := Simulate(DefaultGFSConfig(), GFSRun{
+			RunConfig: RunConfig{Mix: Table2Mix(), Requests: 800,
+				Seed: 21, Shards: 8, Workers: workers},
+			Rate: 20,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,14 +36,12 @@ func TestShardedSimulateGFSDeterministicAcrossWorkers(t *testing.T) {
 
 func TestShardedSimulateGFSClosedDeterministicAcrossWorkers(t *testing.T) {
 	run := func(workers int) *Trace {
-		tr, err := SimulateGFSClosed(DefaultGFSConfig(), GFSClosedRun{
-			Mix:       Table2Mix(),
+		tr, err := SimulateClosed(DefaultGFSConfig(), GFSClosedRun{
+			RunConfig: RunConfig{Mix: Table2Mix(), Requests: 600,
+				Seed: 22, Shards: 4, Workers: workers},
 			Users:     8,
 			MeanThink: 0.02,
-			Requests:  600,
-			Shards:    4,
-			Workers:   workers,
-		}, 22)
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,7 +63,9 @@ func TestShardedSimulateGFSClosedDeterministicAcrossWorkers(t *testing.T) {
 func TestCrossExamineDeterministicAcrossWorkers(t *testing.T) {
 	tr := simulate(t, 1200, 20, 23)
 	run := func(workers int) []Scores {
-		scores, err := CrossExamineOpts(tr, 600, DefaultPlatform(), 24, CrossExamOptions{
+		scores, err := CrossExamine(tr, DefaultPlatform(), CrossExamOptions{
+			Requests:       600,
+			Seed:           24,
 			Workers:        workers,
 			SkipThroughput: true,
 		})
@@ -101,9 +99,11 @@ func TestSameSeedEndToEnd(t *testing.T) {
 		ib, id, kz *Trace
 	}
 	run := func() result {
-		tr, err := SimulateGFS(DefaultGFSConfig(), GFSRun{
-			Mix: Table2Mix(), Rate: 20, Requests: 1000, Shards: 4, Workers: 0,
-		}, 25)
+		tr, err := Simulate(DefaultGFSConfig(), GFSRun{
+			RunConfig: RunConfig{Mix: Table2Mix(), Requests: 1000,
+				Seed: 25, Shards: 4, Workers: 0},
+			Rate: 20,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}

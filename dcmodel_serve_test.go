@@ -23,11 +23,10 @@ func TestServerFacade(t *testing.T) {
 	}
 	defer s.Close()
 
-	tr, err := SimulateGFS(DefaultGFSConfig(), GFSRun{
-		Mix:      Table2Mix(),
-		Rate:     100,
-		Requests: 200,
-	}, 1)
+	tr, err := Simulate(DefaultGFSConfig(), GFSRun{
+		RunConfig: RunConfig{Mix: Table2Mix(), Requests: 200, Seed: 1},
+		Rate:      100,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

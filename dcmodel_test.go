@@ -14,11 +14,10 @@ import (
 
 func simulate(t *testing.T, n int, rate float64, seed int64) *Trace {
 	t.Helper()
-	tr, err := SimulateGFS(DefaultGFSConfig(), GFSRun{
-		Mix:      Table2Mix(),
-		Rate:     rate,
-		Requests: n,
-	}, seed)
+	tr, err := Simulate(DefaultGFSConfig(), GFSRun{
+		RunConfig: RunConfig{Mix: Table2Mix(), Requests: n, Seed: seed},
+		Rate:      rate,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,12 +38,12 @@ func TestSimulateGFSValidTrace(t *testing.T) {
 }
 
 func TestSimulateGFSErrors(t *testing.T) {
-	if _, err := SimulateGFS(DefaultGFSConfig(), GFSRun{Mix: Table2Mix(), Requests: 10}, 1); err == nil {
+	if _, err := Simulate(DefaultGFSConfig(), GFSRun{RunConfig: RunConfig{Mix: Table2Mix(), Requests: 10, Seed: 1}}); err == nil {
 		t.Error("missing rate should fail")
 	}
 	bad := DefaultGFSConfig()
 	bad.Chunkservers = 0
-	if _, err := SimulateGFS(bad, GFSRun{Mix: Table2Mix(), Rate: 1, Requests: 10}, 1); err == nil {
+	if _, err := Simulate(bad, GFSRun{RunConfig: RunConfig{Mix: Table2Mix(), Requests: 10, Seed: 1}, Rate: 1}); err == nil {
 		t.Error("invalid config should fail")
 	}
 }
@@ -85,9 +84,10 @@ func TestValidatePipelineMatchesTable2Bounds(t *testing.T) {
 }
 
 func TestSimulateGFSClosedFacade(t *testing.T) {
-	tr, err := SimulateGFSClosed(DefaultGFSConfig(), GFSClosedRun{
-		Mix: Table2Mix(), Users: 4, MeanThink: 0.05, Requests: 500,
-	}, 12)
+	tr, err := SimulateClosed(DefaultGFSConfig(), GFSClosedRun{
+		RunConfig: RunConfig{Mix: Table2Mix(), Requests: 500, Seed: 12},
+		Users:     4, MeanThink: 0.05,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,23 +97,24 @@ func TestSimulateGFSClosedFacade(t *testing.T) {
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := SimulateGFSClosed(DefaultGFSConfig(), GFSClosedRun{
-		Mix: Table2Mix(), Requests: 10,
-	}, 12); err == nil {
+	if _, err := SimulateClosed(DefaultGFSConfig(), GFSClosedRun{
+		RunConfig: RunConfig{Mix: Table2Mix(), Requests: 10, Seed: 12},
+	}); err == nil {
 		t.Error("zero users should fail")
 	}
 	bad := DefaultGFSConfig()
 	bad.Files = 0
-	if _, err := SimulateGFSClosed(bad, GFSClosedRun{
-		Mix: Table2Mix(), Users: 1, Requests: 10,
-	}, 12); err == nil {
+	if _, err := SimulateClosed(bad, GFSClosedRun{
+		RunConfig: RunConfig{Mix: Table2Mix(), Requests: 10, Seed: 12},
+		Users:     1,
+	}); err == nil {
 		t.Error("bad config should fail")
 	}
 }
 
 func TestCrossExaminePipeline(t *testing.T) {
 	tr := simulate(t, 2000, 20, 4)
-	scores, err := CrossExamine(tr, 2000, DefaultPlatform(), 5)
+	scores, err := CrossExamine(tr, DefaultPlatform(), CrossExamOptions{Requests: 2000, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

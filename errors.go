@@ -1,0 +1,26 @@
+package dcmodel
+
+import (
+	"dcmodel/internal/errs"
+	"dcmodel/internal/trace"
+)
+
+// Sentinel errors, for errors.Is branching instead of message matching.
+// Internal packages wrap these with %w-formatted context; the values here
+// are the same ones they wrap, so errors.Is works across the facade.
+var (
+	// ErrBadConfig marks a cluster, fault-scenario, platform or server
+	// configuration that fails validation before any work starts. CLI
+	// tools translate it into a usage-style exit (exit code 2).
+	ErrBadConfig = errs.ErrBadConfig
+
+	// ErrEmptyTrace marks an operation — training, replay, serving ingest
+	// — that needs a non-empty trace.
+	ErrEmptyTrace = trace.ErrEmptyTrace
+
+	// ErrModelNotTrained marks an operation that needs a trained model
+	// when none is available: saving an untrained model, or querying the
+	// serving daemon before the first ingest has warmed a generation.
+	// Servers translate it into 503 Service Unavailable.
+	ErrModelNotTrained = errs.ErrModelNotTrained
+)

@@ -22,11 +22,10 @@ func main() {
 	log.SetFlags(0)
 
 	// 1. Simulate the original workload.
-	tr, err := dcmodel.SimulateGFS(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
-		Mix:      dcmodel.Table2Mix(),
-		Rate:     20,
-		Requests: 4000,
-	}, 1)
+	tr, err := dcmodel.Simulate(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
+		RunConfig: dcmodel.RunConfig{Mix: dcmodel.Table2Mix(), Requests: 4000, Seed: 1},
+		Rate:      20,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

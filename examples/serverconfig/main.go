@@ -78,9 +78,10 @@ func main() {
 	const sloSeconds = 0.080 // p99 <= 80 ms
 
 	// The original application trace (this is all a model user has).
-	orig, err := dcmodel.SimulateGFS(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
-		Mix: dcmodel.Table2Mix(), Rate: 20, Requests: 6000,
-	}, 1)
+	orig, err := dcmodel.Simulate(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
+		RunConfig: dcmodel.RunConfig{Mix: dcmodel.Table2Mix(), Requests: 6000, Seed: 1},
+		Rate:      20,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -120,11 +120,10 @@ func main() {
 	cfg.PopularitySkew = 1.1
 	cfg.SegmentBytes = 256 << 10 // hot/cold 256 KiB segments
 	cfg.SegmentSkew = 1.0
-	tr, err := dcmodel.SimulateGFS(cfg, dcmodel.GFSRun{
-		Mix:      dcmodel.WebMix(),
-		Rate:     50,
-		Requests: 12000,
-	}, 1)
+	tr, err := dcmodel.Simulate(cfg, dcmodel.GFSRun{
+		RunConfig: dcmodel.RunConfig{Mix: dcmodel.WebMix(), Requests: 12000, Seed: 1},
+		Rate:      50,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

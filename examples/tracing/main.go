@@ -25,9 +25,10 @@ func main() {
 
 	cfg := dcmodel.DefaultGFSConfig()
 	cfg.Chunkservers = 4
-	tr, err := dcmodel.SimulateGFS(cfg, dcmodel.GFSRun{
-		Mix: dcmodel.Table2Mix(), Rate: 40, Requests: 5000,
-	}, 1)
+	tr, err := dcmodel.Simulate(cfg, dcmodel.GFSRun{
+		RunConfig: dcmodel.RunConfig{Mix: dcmodel.Table2Mix(), Requests: 5000, Seed: 1},
+		Rate:      40,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

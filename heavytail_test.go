@@ -16,7 +16,7 @@ import (
 func heavyTrace(t *testing.T, mix *Mix, n int, seed int64) *Trace {
 	t.Helper()
 	cfg := DefaultGFSConfig()
-	tr, err := SimulateGFS(cfg, GFSRun{Mix: mix, Rate: 25, Requests: n}, seed)
+	tr, err := Simulate(cfg, GFSRun{RunConfig: RunConfig{Mix: mix, Requests: n, Seed: seed}, Rate: 25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestKoozaOnOLTPMix(t *testing.T) {
 func TestCrossExamineOnWebMix(t *testing.T) {
 	// The Table 1 shape must hold on a heavy-tailed workload too.
 	tr := heavyTrace(t, WebMix(), 2500, 34)
-	scores, err := CrossExamine(tr, 2500, DefaultPlatform(), 35)
+	scores, err := CrossExamine(tr, DefaultPlatform(), CrossExamOptions{Requests: 2500, Seed: 35})
 	if err != nil {
 		t.Fatal(err)
 	}

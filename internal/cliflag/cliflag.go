@@ -6,9 +6,12 @@
 package cliflag
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"dcmodel/internal/errs"
 )
 
 // Problem describes one invalid flag value; an empty string means valid.
@@ -77,4 +80,19 @@ func Check(problems ...Problem) {
 	}
 	fmt.Fprintf(os.Stderr, "usage: run '%s -h' for the flag summary\n", prog)
 	exit(2)
+}
+
+// Fatal reports a runtime error and exits with a code chosen by error
+// class (via errors.Is on the toolkit's sentinel errors) rather than by
+// message matching: configuration mistakes exit 2 like flag errors, so
+// scripts can tell "fix your invocation" from "the run itself failed"
+// (exit 1).
+func Fatal(err error) {
+	prog := filepath.Base(os.Args[0])
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	if errors.Is(err, errs.ErrBadConfig) {
+		fmt.Fprintf(os.Stderr, "usage: run '%s -h' for the flag summary\n", prog)
+		exit(2)
+	}
+	exit(1)
 }

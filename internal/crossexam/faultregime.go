@@ -1,0 +1,54 @@
+package crossexam
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Comparison criteria: the measured proxies that can move between regimes.
+// The structural columns (knobs, parameter count) are fixed properties of
+// the approaches and the wall-clock throughput is non-deterministic, so
+// none of them belongs in a regime delta.
+var comparisonCriteria = []struct {
+	name string
+	get  func(Scores) float64
+}{
+	{"Features", func(s Scores) float64 { return s.RequestFeatures }},
+	{"TimeDeps", func(s Scores) float64 { return s.TimeDependencies }},
+	{"FineGran", func(s Scores) float64 { return s.FineGranularity }},
+	{"LatFid", func(s Scores) float64 { return s.LatencyFidelity }},
+	{"Complete", func(s Scores) float64 { return s.Completeness }},
+}
+
+// RenderComparison formats the fault-regime cross-examination: the measured
+// proxies of the healthy baseline next to the degraded regime's, with
+// deltas, one Table-1-style row per approach. Approaches are matched by
+// name; a baseline row with no degraded counterpart is skipped. Render (the
+// healthy Table 1 regeneration) is untouched — this is an additional report
+// for traces and platforms with a fault scenario armed.
+func RenderComparison(healthy, degraded []Scores) string {
+	byName := make(map[string]Scores, len(degraded))
+	for _, s := range degraded {
+		byName[s.Name] = s
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault-regime cross-examination (healthy -> degraded):\n")
+	fmt.Fprintf(&b, "%-12s", "Model")
+	for _, c := range comparisonCriteria {
+		fmt.Fprintf(&b, " | %-25s", c.name)
+	}
+	b.WriteByte('\n')
+	for _, h := range healthy {
+		d, ok := byName[h.Name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s", h.Name)
+		for _, c := range comparisonCriteria {
+			hv, dv := c.get(h), c.get(d)
+			fmt.Fprintf(&b, " | %6.3f -> %6.3f (%+.3f)", hv, dv, dv-hv)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package crossexam
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dcmodel/internal/fault"
+	"dcmodel/internal/gfs"
+	"dcmodel/internal/replay"
+	"dcmodel/internal/trace"
+)
+
+// TestEvaluateDegradedPlatform: an armed fault scenario on the replay
+// platform lowers latency fidelity (requeues stretch latencies) without
+// touching the synthesis-side criteria, and the degraded evaluation stays
+// deterministic across worker counts.
+func TestEvaluateDegradedPlatform(t *testing.T) {
+	tr := gfsTrace(t, 1500, 911)
+	// The identity approach replays the original requests, isolating the
+	// platform's contribution to the scorecard.
+	identity := func() []Approach {
+		return []Approach{{
+			Name:  "identity",
+			Knobs: 1,
+			Synthesize: func(n int, r *rand.Rand) (*trace.Trace, error) {
+				if n > tr.Len() {
+					n = tr.Len()
+				}
+				out := &trace.Trace{Requests: append([]trace.Request(nil), tr.Requests[:n]...)}
+				return out, nil
+			},
+			NumParams: 1,
+		}}
+	}
+	healthyPlatform := replay.Platform{NewServer: gfs.DefaultServerHW}
+	degradedPlatform := replay.Platform{
+		NewServer: gfs.DefaultServerHW,
+		Faults:    &fault.Config{MTBF: 2, MTTR: 0.5, Seed: 9},
+	}
+	opts := Options{Seed: 912, SkipThroughput: true}
+	healthy, err := Evaluate(tr, identity(), 1500, healthyPlatform, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := Evaluate(tr, identity(), 1500, degradedPlatform, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, d := healthy[0], degraded[0]
+	if d.RequestFeatures != h.RequestFeatures || d.TimeDependencies != h.TimeDependencies ||
+		d.FineGranularity != h.FineGranularity {
+		t.Errorf("degraded replay moved synthesis-side criteria: healthy %+v degraded %+v", h, d)
+	}
+	if d.LatencyFidelity >= h.LatencyFidelity {
+		t.Errorf("degraded latency fidelity %g not below healthy %g", d.LatencyFidelity, h.LatencyFidelity)
+	}
+
+	opts.Workers = 8
+	again, err := Evaluate(tr, identity(), 1500, degradedPlatform, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != d {
+		t.Errorf("degraded evaluation depends on worker count: %+v vs %+v", again[0], d)
+	}
+}
+
+func TestRenderComparison(t *testing.T) {
+	healthy := []Scores{
+		{Name: "in-breadth", RequestFeatures: 0.9, TimeDependencies: 0.0, FineGranularity: 0.8, LatencyFidelity: 0.7, Completeness: 0.0},
+		{Name: "KOOZA", RequestFeatures: 0.95, TimeDependencies: 1.0, FineGranularity: 0.9, LatencyFidelity: 0.9, Completeness: 0.95},
+		{Name: "orphan", RequestFeatures: 0.5},
+	}
+	degraded := []Scores{
+		{Name: "in-breadth", RequestFeatures: 0.9, TimeDependencies: 0.0, FineGranularity: 0.8, LatencyFidelity: 0.4, Completeness: 0.0},
+		{Name: "KOOZA", RequestFeatures: 0.95, TimeDependencies: 1.0, FineGranularity: 0.9, LatencyFidelity: 0.6, Completeness: 0.8},
+	}
+	out := RenderComparison(healthy, degraded)
+	for _, want := range []string{
+		"Fault-regime cross-examination",
+		"in-breadth", "KOOZA",
+		"LatFid", "Complete",
+		"0.700 ->  0.400 (-0.300)", // in-breadth latency fidelity delta
+		"0.950 ->  0.800 (-0.150)", // KOOZA completeness delta
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "orphan") {
+		t.Error("baseline row without a degraded counterpart was rendered")
+	}
+	if n := strings.Count(out, "\n"); n != 4 {
+		t.Errorf("comparison has %d lines, want 4 (title, header, 2 rows)", n)
+	}
+}

@@ -1,0 +1,19 @@
+// Package errs holds the sentinel error values shared across the toolkit,
+// so command-line tools and the serving daemon can branch on error class
+// with errors.Is instead of matching message strings. The facade package
+// dcmodel re-exports these values; internal packages wrap them with
+// %w-formatted context.
+package errs
+
+import "errors"
+
+// ErrBadConfig marks an invalid configuration: a cluster, fault scenario,
+// platform or server config that fails validation before any work starts.
+// CLI tools translate it into a usage-style exit (exit code 2).
+var ErrBadConfig = errors.New("invalid configuration")
+
+// ErrModelNotTrained marks an operation that needs a trained model when
+// none is available yet — e.g. querying the serving daemon before the
+// first ingest has warmed a model generation. Servers translate it into
+// 503 Service Unavailable.
+var ErrModelNotTrained = errors.New("model not trained")

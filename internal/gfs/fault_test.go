@@ -1,0 +1,191 @@
+package gfs
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dcmodel/internal/fault"
+	"dcmodel/internal/prand"
+	"dcmodel/internal/trace"
+	"dcmodel/internal/workload"
+)
+
+// faultScenario returns an aggressive scenario: outages are frequent and
+// long relative to the run, so retries and failovers are plentiful.
+func faultScenario() *fault.Config {
+	return &fault.Config{MTBF: 2, MTTR: 0.5, RackSize: 2, Seed: 13}
+}
+
+func faultyCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Chunkservers = 4
+	cfg.Replication = 3
+	cfg.Files = 8
+	return cfg
+}
+
+func faultyRC(n int) RunConfig {
+	rc := openRC(n)
+	rc.Faults = faultScenario()
+	return rc
+}
+
+// TestFaultyShardedByteIdentical is the acceptance determinism check:
+// with faults armed, SimulateSharded must be byte-identical across worker
+// counts — the failure histories are a function of the shard, never of
+// the goroutine that simulates it.
+func TestFaultyShardedByteIdentical(t *testing.T) {
+	encode := func(workers int) []byte {
+		tr, err := SimulateSharded(faultyCfg(), faultyRC(600), 6, workers, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteCSV(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	w1 := encode(1)
+	for _, workers := range []int{4, 16} {
+		if got := encode(workers); !bytes.Equal(w1, got) {
+			t.Fatalf("faulty sharded trace with %d workers differs from serial run", workers)
+		}
+	}
+}
+
+func TestFaultyShardedClosedByteIdentical(t *testing.T) {
+	rc := ClosedRunConfig{
+		Mix:       workload.Table2Mix(),
+		Users:     12,
+		MeanThink: 0.05,
+		Requests:  400,
+		Faults:    faultScenario(),
+	}
+	serial, err := SimulateShardedClosed(faultyCfg(), rc, 4, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SimulateShardedClosed(faultyCfg(), rc, 4, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("faulty sharded closed trace differs between worker counts")
+	}
+}
+
+// TestFaultAnnotations: an aggressive scenario produces retried and
+// failed-over requests, every request still completes, and the trace stays
+// structurally valid.
+func TestFaultAnnotations(t *testing.T) {
+	cluster, err := NewCluster(faultyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 800
+	tr, err := cluster.Run(faultyRC(n), prand.New(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("got %d requests, want %d: faults must delay requests, not drop them", tr.Len(), n)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("faulty trace fails validation: %v", err)
+	}
+	var retried, failedOver int
+	for _, r := range tr.Requests {
+		if r.Retries > 0 {
+			retried++
+		}
+		if r.FailedOver {
+			failedOver++
+		}
+		if r.FailedOver && r.Retries == 0 {
+			t.Fatalf("request %d failed over without a retry", r.ID)
+		}
+		if len(r.Spans) == 0 {
+			t.Fatalf("request %d completed without spans", r.ID)
+		}
+	}
+	if retried == 0 {
+		t.Fatal("no retries under MTBF 2s / MTTR 0.5s — fault injection is not firing")
+	}
+	if failedOver == 0 {
+		t.Fatal("no failovers with replication 3 under aggressive faults")
+	}
+}
+
+// TestFaultsOffMatchesLegacy: arming a nil scenario is exactly the healthy
+// simulator — same draws, same spans, no annotations.
+func TestFaultsOffMatchesLegacy(t *testing.T) {
+	run := func(rc RunConfig) *trace.Trace {
+		cluster, err := NewCluster(faultyCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := cluster.Run(rc, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	healthy := run(openRC(300))
+	for _, r := range healthy.Requests {
+		if r.Retries != 0 || r.FailedOver {
+			t.Fatalf("healthy run annotated request %d", r.ID)
+		}
+	}
+	// A fault scenario with astronomically rare failures must still leave
+	// the workload byte-identical: fault handling draws nothing from the
+	// workload stream.
+	quiet := openRC(300)
+	quiet.Faults = &fault.Config{MTBF: 1e12, MTTR: 1e-3, Seed: 1}
+	if !reflect.DeepEqual(run(quiet), healthy) {
+		t.Fatal("arming a quiescent fault scenario perturbed the workload")
+	}
+}
+
+// TestFaultLatencyInflation: the degraded regime must show the
+// timeout-inflated tail the healthy cluster never has.
+func TestFaultLatencyInflation(t *testing.T) {
+	run := func(faults *fault.Config) float64 {
+		cluster, err := NewCluster(faultyCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc := openRC(500)
+		rc.Faults = faults
+		tr, err := cluster.Run(rc, prand.New(11, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		for _, r := range tr.Requests {
+			if l := r.Latency(); l > worst {
+				worst = l
+			}
+		}
+		return worst
+	}
+	healthy := run(nil)
+	faulty := run(&fault.Config{MTBF: 1, MTTR: 0.8, Seed: 13})
+	if faulty <= healthy {
+		t.Fatalf("worst-case latency %.4fs with faults vs %.4fs healthy: no tail inflation", faulty, healthy)
+	}
+}
+
+func TestRunRejectsBadFaultConfig(t *testing.T) {
+	cluster, err := NewCluster(faultyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := openRC(10)
+	rc.Faults = &fault.Config{MTBF: -1, MTTR: 1}
+	if _, err := cluster.Run(rc, prand.New(1, 0)); err == nil {
+		t.Fatal("negative MTBF accepted")
+	}
+}

@@ -13,8 +13,10 @@ package gfs
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
+	"dcmodel/internal/fault"
 	"dcmodel/internal/hw"
 	"dcmodel/internal/trace"
 	"dcmodel/internal/workload"
@@ -264,6 +266,17 @@ type RunConfig struct {
 	Arrivals workload.Arrivals
 	// Requests is the number of requests to execute.
 	Requests int
+	// Faults, when non-nil, arms the fault-injection engine: chunkservers
+	// fail and recover on Markov-modulated timelines, clients time out,
+	// retry with exponential backoff and fail over to surviving replicas,
+	// and the master re-replicates chunks lost to down replicas. Nil keeps
+	// the healthy-cluster behavior bit for bit.
+	Faults *fault.Config
+	// FaultStream selects the failure-history sub-stream when Faults is
+	// armed. The sharded drivers set it to the shard index so every shard
+	// sees an independent failure history regardless of worker count;
+	// plain Run callers normally leave it zero.
+	FaultStream uint64
 }
 
 // classState tracks per-(class, server) sequential-I/O state.
@@ -286,13 +299,17 @@ func (c *Cluster) Run(rc RunConfig, r *rand.Rand) (*trace.Trace, error) {
 	if rc.Requests < 1 {
 		return nil, fmt.Errorf("gfs: run needs >= 1 request, got %d", rc.Requests)
 	}
+	sched, err := c.schedule(rc.Faults, rc.FaultStream)
+	if err != nil {
+		return nil, err
+	}
 	arrivals := rc.Arrivals.Times(rc.Requests, r)
 	tr := &trace.Trace{Requests: make([]trace.Request, 0, rc.Requests)}
 	states := make(map[[2]int]*classState)
 	for i := 0; i < rc.Requests; i++ {
 		classIdx := rc.Mix.Pick(r)
 		class := rc.Mix.Classes[classIdx]
-		req, err := c.execute(int64(i), arrivals[i], classIdx, class, states, r)
+		req, err := c.execute(int64(i), arrivals[i], classIdx, class, states, r, sched)
 		if err != nil {
 			return nil, err
 		}
@@ -301,9 +318,42 @@ func (c *Cluster) Run(rc RunConfig, r *rand.Rand) (*trace.Trace, error) {
 	return tr, nil
 }
 
-// execute runs one request through its primary chunkserver following the
-// Figure 1 phase structure.
-func (c *Cluster) execute(id int64, arrival float64, classIdx int, class workload.ClassSpec, states map[[2]int]*classState, r *rand.Rand) (trace.Request, error) {
+// schedule materializes the failure history for a run, or nil when faults
+// are disabled. The schedule depends only on (cfg, stream) — never on the
+// workload rand stream — so arming faults perturbs no workload draws.
+func (c *Cluster) schedule(cfg *fault.Config, stream uint64) (*fault.Schedule, error) {
+	if cfg == nil {
+		return nil, nil
+	}
+	sched, err := fault.NewSchedule(*cfg, len(c.servers), stream)
+	if err != nil {
+		return nil, fmt.Errorf("gfs: %w", err)
+	}
+	return sched, nil
+}
+
+// maxFaultAttempts bounds the retry loop of one request; past it the
+// client gives up on fault handling and executes against the current
+// replica regardless — a termination backstop far above any realistic
+// retry count.
+const maxFaultAttempts = 256
+
+// retryBackoff is the client's exponential backoff before attempt k+1,
+// with the exponent capped so pathological schedules cannot overflow.
+func retryBackoff(base float64, attempt int) float64 {
+	if attempt > 16 {
+		attempt = 16
+	}
+	return base * float64(int64(1)<<uint(attempt))
+}
+
+// execute runs one request through a chunkserver following the Figure 1
+// phase structure. With a fault schedule armed, the client times out on a
+// down replica, backs off exponentially and fails over to the next replica
+// of the chunk; a replica that dies before the data phases complete costs
+// the attempt. The healthy path (sched == nil) is bit-identical to the
+// fault-free simulator: fault handling draws nothing from r.
+func (c *Cluster) execute(id int64, arrival float64, classIdx int, class workload.ClassSpec, states map[[2]int]*classState, r *rand.Rand, sched *fault.Schedule) (trace.Request, error) {
 	size := int64(class.Size.Rand(r))
 	if size < 1 {
 		size = 1
@@ -335,142 +385,238 @@ func (c *Cluster) execute(id int64, arrival float64, classIdx int, class workloa
 	if err != nil {
 		return trace.Request{}, err
 	}
-	primary := servers[0]
-	srv := c.servers[primary]
-	key := [2]int{classIdx, primary}
-	st := states[key]
-	if st == nil {
-		st = &classState{}
-		states[key] = st
-	}
 	// Spatial locality: continue sequentially from this class's previous
-	// I/O on this server with probability SequentialProb.
-	lbn := lbns[0]
-	if st.valid && r.Float64() < class.SequentialProb {
-		lbn = st.lastEnd
-		if lbn >= srv.hw.Disk.NumBlocks {
-			lbn = lbns[0]
-		}
+	// I/O on this server with probability SequentialProb. The decision is
+	// drawn once per request against the primary's state, so the draw
+	// sequence matches the fault-free simulator exactly; on failover it is
+	// applied to the serving replica's own state.
+	seqWanted := false
+	if st := states[[2]int{classIdx, servers[0]}]; st != nil && st.valid {
+		seqWanted = r.Float64() < class.SequentialProb
 	}
-	blocks := (size + 4095) / 4096
-	st.lastLBN = lbn
-	st.lastEnd = lbn + blocks
-	st.valid = true
-
-	req := trace.Request{ID: id, Class: class.Name, Server: primary, Arrival: arrival}
-	now := arrival
-	var cpuBusy float64
-
 	// Page-cache hit: reads served from memory skip the storage phase.
 	hit := false
 	if class.Op == trace.OpRead && c.cfg.CacheHitProb > 0 {
 		hit = r.Float64() < c.cfg.CacheHitProb
 	}
 
-	// Phase 1: network in. Writes carry the payload in; reads carry a
-	// small header.
-	inBytes := int64(256)
-	if class.Op == trace.OpWrite {
-		inBytes = size
+	req := trace.Request{ID: id, Class: class.Name, Server: servers[0], Arrival: arrival}
+	var fcfg fault.Config
+	if sched != nil {
+		fcfg = sched.Config()
 	}
-	now = c.span(srv, &req, trace.Network, now, srv.hw.Net.TransferTime(inBytes), func(s *trace.Span) {
-		s.Bytes = inBytes
-	})
+	now := arrival
+	rep, attempt := 0, 0
+	for {
+		tgt := servers[rep]
+		if sched != nil && sched.DownAt(tgt, now) {
+			// Replica refused the connection: time out, back off, fail
+			// over to the next replica of the chunk.
+			now += fcfg.Timeout + retryBackoff(fcfg.Backoff, attempt)
+			attempt++
+			req.Retries++
+			rep = (rep + 1) % len(servers)
+			if attempt%len(servers) == 0 {
+				// Every replica was down at its attempt instant: jump to
+				// the earliest recovery instead of spinning on backoff.
+				up := math.Inf(1)
+				for _, s := range servers {
+					if u := sched.NextUp(s, now); u < up {
+						up = u
+					}
+				}
+				now = maxf(now, up)
+			}
+			if attempt >= maxFaultAttempts {
+				sched = nil
+			}
+			continue
+		}
 
-	// Phase 2: CPU verify (header-scale processing). CPU spans record the
-	// bytes processed so a replay engine can recompute their durations.
-	d := srv.hw.CPU.Time(256)
-	cpuBusy += d
-	now = c.span(srv, &req, trace.CPU, now, d, func(s *trace.Span) {
-		s.Bytes = 256
-	})
-
-	// Phase 3: memory metadata/buffer access. Access size scales with the
-	// request (buffer descriptors, checksum pages), capped at 256 KiB;
-	// a cache hit serves the whole payload from memory.
-	memBytes := size / 4
-	if memBytes < 4096 {
-		memBytes = 4096
-	}
-	if memBytes > 256<<10 {
-		memBytes = 256 << 10
-	}
-	bank := int(lbn) % srv.hw.Mem.Banks
-	row := (lbn * 4096) / srv.hw.Mem.RowBytes
-	if hit {
-		memBytes = size
-		// Cached data has no accompanying storage span; use the same row
-		// convention the replay engine applies to storage-less requests.
-		row = 0
-	}
-	d = srv.hw.Mem.Access(bank, row, memBytes)
-	memOp := class.Op
-	now = c.span(srv, &req, trace.Memory, now, d, func(s *trace.Span) {
-		s.Op = memOp
-		s.Bytes = memBytes
-		s.Bank = bank
-	})
-
-	// Phase 4: storage I/O on the primary (skipped on a cache hit).
-	if !hit {
-		d = srv.hw.Disk.Access(lbn, size)
-		now = c.span(srv, &req, trace.Storage, now, d, func(s *trace.Span) {
-			s.Op = class.Op
-			s.Bytes = size
-			s.LBN = lbn
-		})
-	}
-	// Writes propagate to replicas: their disks and networks are kept
-	// busy, delaying later requests there, but the client is acknowledged
-	// after the slowest replica write (series pipeline).
-	if class.Op == trace.OpWrite {
-		for rep := 1; rep < len(servers); rep++ {
-			rsrv := c.servers[servers[rep]]
-			net := rsrv.hw.Net.TransferTime(size)
-			disk := rsrv.hw.Disk.Access(lbns[rep], size)
-			start := maxf(now, rsrv.freeAt[trace.Network])
-			rsrv.freeAt[trace.Network] = start + net
-			dstart := maxf(start+net, rsrv.freeAt[trace.Storage])
-			rsrv.freeAt[trace.Storage] = dstart + disk
-			if end := dstart + disk; end > now {
-				now = end
+		srv := c.servers[tgt]
+		key := [2]int{classIdx, tgt}
+		st := states[key]
+		if st == nil {
+			st = &classState{}
+			states[key] = st
+		}
+		lbn := lbns[rep]
+		if seqWanted && st.valid {
+			lbn = st.lastEnd
+			if lbn >= srv.hw.Disk.NumBlocks {
+				lbn = lbns[rep]
 			}
 		}
-	}
+		blocks := (size + 4095) / 4096
+		st.lastLBN = lbn
+		st.lastEnd = lbn + blocks
+		st.valid = true
 
-	// Phase 5: CPU aggregate (checksum + copy of the payload).
-	d = srv.hw.CPU.Time(size)
-	cpuBusy += d
-	now = c.span(srv, &req, trace.CPU, now, d, func(s *trace.Span) {
-		s.Bytes = size
-	})
+		// Snapshot for mid-attempt failure rollback: a lost attempt's spans
+		// are discarded and the (down) server's queues rewound, so the work
+		// dissipates with the crash.
+		saved := srv.freeAt
+		spanBase := len(req.Spans)
+		tryStart := now
+		var cpuBusy float64
+		end := now
 
-	// Phase 6: network out. Reads return the payload; writes return an
-	// ack.
-	outBytes := int64(256)
-	if class.Op == trace.OpRead {
-		outBytes = size
-	}
-	now = c.span(srv, &req, trace.Network, now, srv.hw.Net.TransferTime(outBytes), func(s *trace.Span) {
-		s.Bytes = outBytes
-	})
-
-	// Per-request CPU utilization: busy CPU time over the request's
-	// residence time, the quantity the paper's processor model captures.
-	latency := now - arrival
-	util := 0.0
-	if latency > 0 {
-		util = cpuBusy / latency
-	}
-	if util > 1 {
-		util = 1
-	}
-	for i := range req.Spans {
-		if req.Spans[i].Subsystem == trace.CPU {
-			req.Spans[i].Util = util
+		// Phase 1: network in. Writes carry the payload in; reads carry a
+		// small header.
+		inBytes := int64(256)
+		if class.Op == trace.OpWrite {
+			inBytes = size
 		}
+		end = c.span(srv, &req, trace.Network, end, srv.hw.Net.TransferTime(inBytes), func(s *trace.Span) {
+			s.Bytes = inBytes
+		})
+
+		// Phase 2: CPU verify (header-scale processing). CPU spans record
+		// the bytes processed so a replay engine can recompute their
+		// durations.
+		d := srv.hw.CPU.Time(256)
+		cpuBusy += d
+		end = c.span(srv, &req, trace.CPU, end, d, func(s *trace.Span) {
+			s.Bytes = 256
+		})
+
+		// Phase 3: memory metadata/buffer access. Access size scales with
+		// the request (buffer descriptors, checksum pages), capped at
+		// 256 KiB; a cache hit serves the whole payload from memory.
+		memBytes := size / 4
+		if memBytes < 4096 {
+			memBytes = 4096
+		}
+		if memBytes > 256<<10 {
+			memBytes = 256 << 10
+		}
+		bank := int(lbn) % srv.hw.Mem.Banks
+		row := (lbn * 4096) / srv.hw.Mem.RowBytes
+		if hit {
+			memBytes = size
+			// Cached data has no accompanying storage span; use the same
+			// row convention the replay engine applies to storage-less
+			// requests.
+			row = 0
+		}
+		d = srv.hw.Mem.Access(bank, row, memBytes)
+		memOp := class.Op
+		end = c.span(srv, &req, trace.Memory, end, d, func(s *trace.Span) {
+			s.Op = memOp
+			s.Bytes = memBytes
+			s.Bank = bank
+		})
+
+		// Phase 4: storage I/O on the serving replica (skipped on a cache
+		// hit).
+		if !hit {
+			d = srv.hw.Disk.Access(lbn, size)
+			end = c.span(srv, &req, trace.Storage, end, d, func(s *trace.Span) {
+				s.Op = class.Op
+				s.Bytes = size
+				s.LBN = lbn
+			})
+		}
+
+		// Mid-attempt failure: the replica dying before the data phases
+		// complete loses the attempt. Once the payload is durably stored,
+		// the request is considered served — a crash during the final
+		// aggregate/ack phases does not cost a retry.
+		if sched != nil {
+			if fail := sched.NextFailure(tgt, tryStart); fail < end {
+				req.Spans = req.Spans[:spanBase]
+				srv.freeAt = saved
+				now = fail + fcfg.Timeout + retryBackoff(fcfg.Backoff, attempt)
+				attempt++
+				req.Retries++
+				rep = (rep + 1) % len(servers)
+				if attempt >= maxFaultAttempts {
+					sched = nil
+				}
+				continue
+			}
+		}
+		now = end
+
+		// Writes propagate to replicas: their disks and networks are kept
+		// busy, delaying later requests there, but the client is
+		// acknowledged after the slowest replica write (series pipeline).
+		// Down replicas are skipped; the master re-replicates their chunk
+		// from the serving copy afterwards.
+		var rereplBytes int64
+		if class.Op == trace.OpWrite {
+			for k := 1; k < len(servers); k++ {
+				ri := (rep + k) % len(servers)
+				if sched != nil && sched.DownAt(servers[ri], now) {
+					rereplBytes += fcfg.RereplBytes
+					continue
+				}
+				rsrv := c.servers[servers[ri]]
+				net := rsrv.hw.Net.TransferTime(size)
+				disk := rsrv.hw.Disk.Access(lbns[ri], size)
+				start := maxf(now, rsrv.freeAt[trace.Network])
+				rsrv.freeAt[trace.Network] = start + net
+				dstart := maxf(start+net, rsrv.freeAt[trace.Storage])
+				rsrv.freeAt[trace.Storage] = dstart + disk
+				if end := dstart + disk; end > now {
+					now = end
+				}
+			}
+		}
+
+		// Phase 5: CPU aggregate (checksum + copy of the payload).
+		d = srv.hw.CPU.Time(size)
+		cpuBusy += d
+		now = c.span(srv, &req, trace.CPU, now, d, func(s *trace.Span) {
+			s.Bytes = size
+		})
+
+		// Phase 6: network out. Reads return the payload; writes return an
+		// ack.
+		outBytes := int64(256)
+		if class.Op == trace.OpRead {
+			outBytes = size
+		}
+		now = c.span(srv, &req, trace.Network, now, srv.hw.Net.TransferTime(outBytes), func(s *trace.Span) {
+			s.Bytes = outBytes
+		})
+
+		req.Server = tgt
+		req.FailedOver = rep != 0
+		if req.FailedOver {
+			// A read or write served off-primary means the primary's copy
+			// is suspect: the master re-replicates the chunk too.
+			rereplBytes += fcfg.RereplBytes
+		}
+		if sched != nil && rereplBytes > 0 {
+			// Master-triggered re-replication: background chunk read and
+			// transfer queued on the serving replica behind this request.
+			// It emits no spans (it is master traffic, not client work) but
+			// delays later requests there — the degraded-mode load the
+			// healthy simulator never shows.
+			srv.freeAt[trace.Network] += srv.hw.Net.TransferTime(rereplBytes)
+			srv.freeAt[trace.Storage] += srv.hw.Disk.Access(lbn, rereplBytes)
+		}
+
+		// Per-request CPU utilization: busy CPU time over the request's
+		// residence time, the quantity the paper's processor model
+		// captures. Retry and timeout delays count toward residence, so
+		// faulty-regime CPU utilization sinks as tails inflate.
+		latency := now - arrival
+		util := 0.0
+		if latency > 0 {
+			util = cpuBusy / latency
+		}
+		if util > 1 {
+			util = 1
+		}
+		for i := range req.Spans {
+			if req.Spans[i].Subsystem == trace.CPU {
+				req.Spans[i].Util = util
+			}
+		}
+		return req, nil
 	}
-	return req, nil
 }
 
 // span appends a span in the given subsystem, applying FIFO contention on
@@ -500,6 +646,12 @@ type ClosedRunConfig struct {
 	MeanThink float64
 	// Requests is the total number of requests to complete.
 	Requests int
+	// Faults, when non-nil, arms the fault-injection engine (see
+	// RunConfig.Faults).
+	Faults *fault.Config
+	// FaultStream selects the failure-history sub-stream (see
+	// RunConfig.FaultStream).
+	FaultStream uint64
 }
 
 // RunClosed executes the closed-loop workload and returns the trace. The
@@ -516,6 +668,10 @@ func (c *Cluster) RunClosed(rc ClosedRunConfig, r *rand.Rand) (*trace.Trace, err
 	}
 	if rc.Requests < 1 {
 		return nil, fmt.Errorf("gfs: closed run needs >= 1 request, got %d", rc.Requests)
+	}
+	sched, err := c.schedule(rc.Faults, rc.FaultStream)
+	if err != nil {
+		return nil, err
 	}
 	think := func() float64 {
 		if rc.MeanThink == 0 {
@@ -539,7 +695,7 @@ func (c *Cluster) RunClosed(rc ClosedRunConfig, r *rand.Rand) (*trace.Trace, err
 		issue := next.at
 		classIdx := rc.Mix.Pick(r)
 		class := rc.Mix.Classes[classIdx]
-		req, err := c.execute(int64(i), issue, classIdx, class, states, r)
+		req, err := c.execute(int64(i), issue, classIdx, class, states, r, sched)
 		if err != nil {
 			return nil, err
 		}

@@ -90,6 +90,10 @@ func SimulateSharded(cfg Config, rc RunConfig, shards, workers int, seed int64) 
 		}
 		src := rc
 		src.Requests = quota[s]
+		// Each shard's failure history comes from its own sub-stream, so
+		// faulty output is a fixed function of (cfg, rc, shards, seed) —
+		// independent of the worker count, exactly like the workload draws.
+		src.FaultStream = uint64(s)
 		tr, err := cluster.Run(src, prand.New(seed, uint64(s)))
 		if err != nil {
 			return fmt.Errorf("gfs: shard %d: %w", s, err)
@@ -130,6 +134,7 @@ func SimulateShardedClosed(cfg Config, rc ClosedRunConfig, shards, workers int, 
 		src := rc
 		src.Users = users[s]
 		src.Requests = quota[s]
+		src.FaultStream = uint64(s)
 		tr, err := cluster.RunClosed(src, prand.New(seed, uint64(s)))
 		if err != nil {
 			return fmt.Errorf("gfs: shard %d: %w", s, err)

@@ -1,0 +1,145 @@
+package inbreadth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"dcmodel/internal/errs"
+	"dcmodel/internal/kooza"
+	"dcmodel/internal/stats"
+	"dcmodel/internal/trace"
+)
+
+// Model persistence, following the kooza pattern: everything is plain data
+// or an empirical distribution except the fitted interarrival Dist, which
+// is stored as a (family, parameters) spec.
+
+// distSpec is the serialized form of a parametric distribution.
+type distSpec struct {
+	Name   string    `json:"name"`
+	Params []float64 `json:"params"`
+}
+
+// modelJSON is the serialized model envelope.
+type modelJSON struct {
+	Version         int                         `json:"version"`
+	Storage         *kooza.StorageModel         `json:"storage"`
+	CPU             *kooza.CPUModel             `json:"cpu"`
+	Memory          *kooza.MemoryModel          `json:"memory"`
+	Interarrival    distSpec                    `json:"interarrival"`
+	NetBytes        *stats.Empirical            `json:"net_bytes"`
+	CPUBytes        *stats.Empirical            `json:"cpu_bytes"`
+	SpansPerRequest map[trace.Subsystem]float64 `json:"spans_per_request"`
+	TrainedOn       int                         `json:"trained_on"`
+	Opts            Options                     `json:"opts"`
+}
+
+// persistVersion guards against loading incompatible files.
+const persistVersion = 1
+
+// Save writes the model as JSON.
+func Save(w io.Writer, m *Model) error {
+	if m == nil || m.Storage == nil || m.Interarrival == nil {
+		return fmt.Errorf("inbreadth: cannot save model: %w", errs.ErrModelNotTrained)
+	}
+	env := modelJSON{
+		Version: persistVersion,
+		Storage: m.Storage,
+		CPU:     m.CPU,
+		Memory:  m.Memory,
+		Interarrival: distSpec{
+			Name:   m.Interarrival.Name(),
+			Params: m.Interarrival.Params(),
+		},
+		NetBytes:        m.NetBytes,
+		CPUBytes:        m.CPUBytes,
+		SpansPerRequest: m.SpansPerRequest,
+		TrainedOn:       m.TrainedOn,
+		Opts:            m.opts,
+	}
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		return fmt.Errorf("inbreadth: encode model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model written by Save and refreezes its Markov chains so
+// synthesis from the loaded model is bit-identical to the fresh one.
+func Load(r io.Reader) (*Model, error) {
+	var env modelJSON
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("inbreadth: decode model: %w", err)
+	}
+	if env.Version != persistVersion {
+		return nil, fmt.Errorf("inbreadth: model version %d, want %d", env.Version, persistVersion)
+	}
+	inter, err := stats.DistFromSpec(env.Interarrival.Name, env.Interarrival.Params)
+	if err != nil {
+		return nil, fmt.Errorf("inbreadth: interarrival spec: %w", err)
+	}
+	m := &Model{
+		Storage:         env.Storage,
+		CPU:             env.CPU,
+		Memory:          env.Memory,
+		Interarrival:    inter,
+		NetBytes:        env.NetBytes,
+		CPUBytes:        env.CPUBytes,
+		SpansPerRequest: env.SpansPerRequest,
+		TrainedOn:       env.TrainedOn,
+		opts:            env.Opts,
+	}
+	if err := m.validateLoaded(); err != nil {
+		return nil, err
+	}
+	if m.Storage.Chain != nil {
+		m.Storage.Chain.Freeze()
+	}
+	if m.Storage.Hier != nil {
+		m.Storage.Hier.Freeze()
+	}
+	m.CPU.Chain.Freeze()
+	m.Memory.Chain.Freeze()
+	return m, nil
+}
+
+// validateLoaded checks the structural invariants synthesis needs.
+func (m *Model) validateLoaded() error {
+	if m.Storage == nil || m.CPU == nil || m.Memory == nil {
+		return fmt.Errorf("inbreadth: loaded model missing subsystem models")
+	}
+	if m.Storage.Chain == nil && m.Storage.Hier == nil {
+		return fmt.Errorf("inbreadth: loaded storage model has no chain")
+	}
+	if m.CPU.Chain == nil || m.Memory.Chain == nil {
+		return fmt.Errorf("inbreadth: loaded model missing cpu/memory chain")
+	}
+	if m.NetBytes == nil || m.CPUBytes == nil || m.Storage.Sizes == nil {
+		return fmt.Errorf("inbreadth: loaded model missing feature distributions")
+	}
+	if len(m.SpansPerRequest) == 0 {
+		return fmt.Errorf("inbreadth: loaded model has no span-count statistics")
+	}
+	return nil
+}
+
+// Describe renders the trained model's structure: four independent
+// subsystem models and nothing else — no classes, no phase ordering.
+func (m *Model) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "in-breadth model (trained on %d requests, %d parameters)\n", m.TrainedOn, m.NumParams())
+	fmt.Fprintf(&b, "interarrival ~ %s\n", stats.DescribeDist(m.Interarrival))
+	fmt.Fprintf(&b, "storage Markov model: %d LBN regions, seq=%.2f, read=%.2f, mean I/O %.0f B\n",
+		m.Storage.Regions, m.Storage.SeqProb, m.Storage.ReadProb, m.Storage.Sizes.Mean())
+	fmt.Fprintf(&b, "cpu Markov model: %d utilization levels; mean processed %.0f B\n",
+		m.CPU.Chain.N, m.CPUBytes.Mean())
+	fmt.Fprintf(&b, "memory Markov model: %d banks\n", m.Memory.Chain.N)
+	fmt.Fprintf(&b, "network: mean transfer %.0f B\n", m.NetBytes.Mean())
+	fmt.Fprintf(&b, "mean spans/request:")
+	for _, sub := range trace.Subsystems() {
+		fmt.Fprintf(&b, " %s=%.2f", sub, m.SpansPerRequest[sub])
+	}
+	b.WriteString("\n(no cross-subsystem structure: phase order is assumed, not learned)\n")
+	return b.String()
+}

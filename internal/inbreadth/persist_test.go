@@ -1,0 +1,72 @@
+package inbreadth
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := gfsTrace(t, 1500, 910)
+	m, err := Train(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded model is behaviorally identical: same seed, same
+	// synthetic trace.
+	a, err := m.Synthesize(400, rand.New(rand.NewSource(911)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Synthesize(400, rand.New(rand.NewSource(911)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("loaded model synthesizes differently")
+	}
+	if loaded.NumParams() != m.NumParams() {
+		t.Errorf("params %d vs %d", loaded.NumParams(), m.NumParams())
+	}
+	if loaded.TrainedOn != m.TrainedOn || loaded.opts != m.opts {
+		t.Error("metadata lost")
+	}
+	if !strings.Contains(loaded.Describe(), "in-breadth model") {
+		t.Error("describe broken after load")
+	}
+}
+
+func TestSaveErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, nil); err == nil {
+		t.Error("nil model should fail")
+	}
+	if err := Save(&buf, &Model{}); err == nil {
+		t.Error("untrained model should fail")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Error("bad json should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("wrong version should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"interarrival":{"name":"bogus"}}`)); err == nil {
+		t.Error("unknown family should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"interarrival":{"name":"exponential","params":[2]}}`)); err == nil {
+		t.Error("missing subsystem models should fail")
+	}
+}

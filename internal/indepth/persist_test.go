@@ -1,0 +1,75 @@
+package indepth
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := gfsTrace(t, 1500, 920)
+	m, err := Train(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Synthesize(400, rand.New(rand.NewSource(921)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Synthesize(400, rand.New(rand.NewSource(921)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("loaded model synthesizes differently")
+	}
+	if loaded.NumParams() != m.NumParams() {
+		t.Errorf("params %d vs %d", loaded.NumParams(), m.NumParams())
+	}
+	if loaded.FitKS != m.FitKS || loaded.TrainedOn != m.TrainedOn {
+		t.Error("metadata lost")
+	}
+	if !strings.Contains(loaded.Describe(), "in-depth model") {
+		t.Error("describe broken after load")
+	}
+}
+
+func TestSaveErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, nil); err == nil {
+		t.Error("nil model should fail")
+	}
+	if err := Save(&buf, &Model{}); err == nil {
+		t.Error("untrained model should fail")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Error("bad json should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("wrong version should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"interarrival":{"name":"bogus"}}`)); err == nil {
+		t.Error("unknown family should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"interarrival":{"name":"exponential","params":[2]}}`)); err == nil {
+		t.Error("no classes should fail")
+	}
+	broken := `{"version":1,"interarrival":{"name":"exponential","params":[2]},` +
+		`"classes":[{"Name":"x","Phases":[0,1],"Service":[null]}]}`
+	if _, err := Load(strings.NewReader(broken)); err == nil {
+		t.Error("phase/service mismatch should fail")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"dcmodel/internal/errs"
 	"dcmodel/internal/markov"
 	"dcmodel/internal/stats"
 )
@@ -46,7 +47,7 @@ const persistVersion = 1
 // Save writes the model as JSON.
 func Save(w io.Writer, m *Model) error {
 	if m == nil || m.Network == nil {
-		return fmt.Errorf("kooza: cannot save a nil or untrained model")
+		return fmt.Errorf("kooza: cannot save model: %w", errs.ErrModelNotTrained)
 	}
 	env := modelJSON{
 		Version: persistVersion,

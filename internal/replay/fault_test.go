@@ -1,0 +1,105 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+
+	"dcmodel/internal/fault"
+	"dcmodel/internal/gfs"
+)
+
+// TestDegradedReplayRequeues: under an aggressive scenario, slots fail
+// mid-replay and their in-flight requests requeue — more retries, no
+// requests dropped, structurally valid output.
+func TestDegradedReplayRequeues(t *testing.T) {
+	tr := gfsTrace(t, 3, 600, 21)
+	p := Platform{
+		NewServer: gfs.DefaultServerHW,
+		Faults:    &fault.Config{MTBF: 2, MTTR: 0.5, Seed: 9},
+	}
+	re, err := Run(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != tr.Len() {
+		t.Fatalf("replayed %d requests, want %d: faults must delay work, not drop it", re.Len(), tr.Len())
+	}
+	if err := re.Validate(); err != nil {
+		t.Fatalf("degraded replay fails validation: %v", err)
+	}
+	retried := 0
+	for i, got := range re.Requests {
+		orig := tr.Requests[i]
+		if got.Retries > orig.Retries {
+			retried++
+			if got.Latency() <= orig.Latency() {
+				t.Fatalf("request %d requeued %d times but latency did not grow", got.ID, got.Retries-orig.Retries)
+			}
+		}
+		if len(got.Spans) != len(orig.Spans) {
+			t.Fatalf("request %d replayed %d spans, want %d", got.ID, len(got.Spans), len(orig.Spans))
+		}
+	}
+	if retried == 0 {
+		t.Fatal("no requeues under MTBF 2s / MTTR 0.5s — mid-replay faults are not firing")
+	}
+}
+
+// TestDegradedReplayDeterministic: two degraded replays of one trace are
+// identical — failure histories come from the platform's fault stream, not
+// from wall-clock or map order.
+func TestDegradedReplayDeterministic(t *testing.T) {
+	tr := gfsTrace(t, 2, 400, 77)
+	p := Platform{
+		NewServer:   gfs.DefaultServerHW,
+		Faults:      &fault.Config{MTBF: 1.5, MTTR: 0.4, RackSize: 2, Seed: 4},
+		FaultStream: 3,
+	}
+	a, err := Run(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("degraded replay is not deterministic")
+	}
+	// A different stream of the same scenario yields a different history.
+	p.FaultStream = 4
+	c, err := Run(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("distinct fault streams produced identical degraded replays")
+	}
+}
+
+// TestHealthyReplayCarriesAnnotations: replay without faults passes the
+// source trace's retry/failover annotations through untouched.
+func TestHealthyReplayCarriesAnnotations(t *testing.T) {
+	tr := gfsTrace(t, 2, 50, 5)
+	tr.Requests[7].Retries = 3
+	tr.Requests[7].FailedOver = true
+	re, err := Run(tr, Platform{NewServer: gfs.DefaultServerHW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := re.Requests[7]
+	if got.Retries != 3 || !got.FailedOver {
+		t.Fatalf("annotations not carried through: %+v", got)
+	}
+}
+
+func TestDegradedReplayRejectsBadScenario(t *testing.T) {
+	tr := gfsTrace(t, 1, 10, 1)
+	p := Platform{
+		NewServer: gfs.DefaultServerHW,
+		Faults:    &fault.Config{MTBF: 0, MTTR: 1},
+	}
+	if _, err := Run(tr, p); err == nil {
+		t.Fatal("zero MTBF accepted")
+	}
+}

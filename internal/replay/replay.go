@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dcmodel/internal/fault"
 	"dcmodel/internal/hw"
 	"dcmodel/internal/trace"
 )
@@ -27,6 +28,16 @@ type Platform struct {
 	// Servers is the number of servers; 0 infers max(Server)+1 from the
 	// trace.
 	Servers int
+	// Faults, when non-nil, degrades the platform: server slots fail and
+	// recover on Markov-modulated timelines, and a request in flight on a
+	// failing slot is requeued — it waits out the repair plus a client
+	// timeout with exponential backoff and re-executes on the recovered
+	// server, with its Retries annotation incremented. Nil replays on
+	// healthy hardware, bit for bit as before.
+	Faults *fault.Config
+	// FaultStream selects the failure-history sub-stream when Faults is
+	// armed (see gfs.RunConfig.FaultStream).
+	FaultStream uint64
 }
 
 // serverState is one server's hardware plus per-subsystem availability
@@ -62,6 +73,14 @@ func Run(tr *trace.Trace, p Platform) (*trace.Trace, error) {
 		}
 		servers[i] = &serverState{hw: srv}
 	}
+	var sched *fault.Schedule
+	if p.Faults != nil {
+		var err error
+		sched, err = fault.NewSchedule(*p.Faults, nServers, p.FaultStream)
+		if err != nil {
+			return nil, fmt.Errorf("replay: %w", err)
+		}
+	}
 	// Replay in arrival order.
 	order := make([]int, tr.Len())
 	for i := range order {
@@ -72,7 +91,7 @@ func Run(tr *trace.Trace, p Platform) (*trace.Trace, error) {
 	})
 	out := &trace.Trace{Requests: make([]trace.Request, tr.Len())}
 	for _, idx := range order {
-		req, err := replayRequest(tr.Requests[idx], servers)
+		req, err := replayRequest(tr.Requests[idx], servers, sched)
 		if err != nil {
 			return nil, err
 		}
@@ -81,11 +100,20 @@ func Run(tr *trace.Trace, p Platform) (*trace.Trace, error) {
 	return out, nil
 }
 
-// replayRequest executes one request's spans in order on its server.
-func replayRequest(r trace.Request, servers []*serverState) (trace.Request, error) {
+// maxReplayAttempts bounds one request's requeue loop; past it the replay
+// proceeds on the current slot regardless — a termination backstop.
+const maxReplayAttempts = 256
+
+// replayRequest executes one request's spans in order on its server. With
+// a fault schedule armed, a slot that is down at issue time — or dies
+// before the request's spans complete — costs the attempt: the in-flight
+// work is rolled back and requeued to re-execute once the server has
+// recovered and the client's timeout-plus-backoff has elapsed.
+func replayRequest(r trace.Request, servers []*serverState, sched *fault.Schedule) (trace.Request, error) {
 	srv := servers[r.Server]
 	out := trace.Request{
 		ID: r.ID, Class: r.Class, Server: r.Server, Arrival: r.Arrival,
+		Retries: r.Retries, FailedOver: r.FailedOver,
 		Spans: make([]trace.Span, 0, len(r.Spans)),
 	}
 	// The memory row is derived from the request's storage target (buffer
@@ -98,48 +126,98 @@ func replayRequest(r trace.Request, servers []*serverState) (trace.Request, erro
 			break
 		}
 	}
-	now := r.Arrival
-	var cpuBusy float64
-	for _, s := range r.Spans {
-		var dur float64
-		switch s.Subsystem {
-		case trace.Network:
-			dur = srv.hw.Net.TransferTime(s.Bytes)
-		case trace.CPU:
-			dur = srv.hw.CPU.Time(s.Bytes)
-			cpuBusy += dur
-		case trace.Memory:
-			row := (storageLBN * 4096) / srv.hw.Mem.RowBytes
-			dur = srv.hw.Mem.Access(s.Bank, row, s.Bytes)
-		case trace.Storage:
-			dur = srv.hw.Disk.Access(s.LBN, s.Bytes)
-		default:
-			return trace.Request{}, fmt.Errorf("replay: request %d has invalid subsystem %d", r.ID, s.Subsystem)
+	var fcfg fault.Config
+	if sched != nil {
+		fcfg = sched.Config()
+	}
+	issue := r.Arrival
+	attempt := 0
+	for {
+		if sched != nil && sched.DownAt(r.Server, issue) {
+			// Slot down at issue: requeue behind the repair.
+			issue = requeueAt(sched, r.Server, issue, fcfg, attempt)
+			attempt++
+			out.Retries++
+			if attempt >= maxReplayAttempts {
+				sched = nil
+			}
+			continue
 		}
-		start := now
-		if f := srv.freeAt[s.Subsystem]; f > start {
-			start = f
+		saved := srv.freeAt
+		now := issue
+		var cpuBusy float64
+		out.Spans = out.Spans[:0]
+		for _, s := range r.Spans {
+			var dur float64
+			switch s.Subsystem {
+			case trace.Network:
+				dur = srv.hw.Net.TransferTime(s.Bytes)
+			case trace.CPU:
+				dur = srv.hw.CPU.Time(s.Bytes)
+				cpuBusy += dur
+			case trace.Memory:
+				row := (storageLBN * 4096) / srv.hw.Mem.RowBytes
+				dur = srv.hw.Mem.Access(s.Bank, row, s.Bytes)
+			case trace.Storage:
+				dur = srv.hw.Disk.Access(s.LBN, s.Bytes)
+			default:
+				return trace.Request{}, fmt.Errorf("replay: request %d has invalid subsystem %d", r.ID, s.Subsystem)
+			}
+			start := now
+			if f := srv.freeAt[s.Subsystem]; f > start {
+				start = f
+			}
+			ns := s
+			ns.Start = start
+			ns.Duration = dur
+			srv.freeAt[s.Subsystem] = start + dur
+			now = start + dur
+			out.Spans = append(out.Spans, ns)
 		}
-		ns := s
-		ns.Start = start
-		ns.Duration = dur
-		srv.freeAt[s.Subsystem] = start + dur
-		now = start + dur
-		out.Spans = append(out.Spans, ns)
-	}
-	// Recompute the achieved per-request CPU utilization.
-	latency := now - r.Arrival
-	util := 0.0
-	if latency > 0 {
-		util = cpuBusy / latency
-	}
-	if util > 1 {
-		util = 1
-	}
-	for i := range out.Spans {
-		if out.Spans[i].Subsystem == trace.CPU {
-			out.Spans[i].Util = util
+		// Mid-replay failure: the slot dying before the request's spans
+		// complete loses the attempt; the rolled-back work requeues.
+		if sched != nil {
+			if fail := sched.NextFailure(r.Server, issue); fail < now {
+				srv.freeAt = saved
+				issue = requeueAt(sched, r.Server, fail, fcfg, attempt)
+				attempt++
+				out.Retries++
+				if attempt >= maxReplayAttempts {
+					sched = nil
+				}
+				continue
+			}
 		}
+		// Recompute the achieved per-request CPU utilization. Requeue
+		// delays count toward residence, mirroring the GFS simulator.
+		latency := now - r.Arrival
+		util := 0.0
+		if latency > 0 {
+			util = cpuBusy / latency
+		}
+		if util > 1 {
+			util = 1
+		}
+		for i := range out.Spans {
+			if out.Spans[i].Subsystem == trace.CPU {
+				out.Spans[i].Util = util
+			}
+		}
+		return out, nil
 	}
-	return out, nil
+}
+
+// requeueAt returns the instant a failed attempt re-issues: the server's
+// recovery or the client's timeout-plus-exponential-backoff, whichever is
+// later. The backoff exponent is capped to keep pathological schedules
+// finite.
+func requeueAt(sched *fault.Schedule, server int, failedAt float64, fcfg fault.Config, attempt int) float64 {
+	if attempt > 16 {
+		attempt = 16
+	}
+	wait := failedAt + fcfg.Timeout + fcfg.Backoff*float64(int64(1)<<uint(attempt))
+	if up := sched.NextUp(server, wait); up > wait {
+		return up
+	}
+	return wait
 }

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"dcmodel/internal/crossexam"
+	"dcmodel/internal/errs"
+	"dcmodel/internal/fault"
 	"dcmodel/internal/replay"
 	"dcmodel/internal/trace"
 )
@@ -26,6 +28,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("/v1/synthesize", s.timed("synthesize", s.handleSynthesize))
 	mux.HandleFunc("/v1/characterize", s.timed("characterize", s.handleCharacterize))
 	mux.HandleFunc("/v1/replay", s.timed("replay", s.handleReplay))
+	mux.HandleFunc("/v1/faults", s.timed("faults", s.handleFaults))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -236,7 +239,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 
 	ms := s.model.Load()
 	if ms == nil {
-		httpError(w, http.StatusServiceUnavailable, "no model trained yet: ingest a trace first")
+		httpError(w, http.StatusServiceUnavailable, "%v: ingest a trace first", errs.ErrModelNotTrained)
 		return
 	}
 	var synthesize func(int, *rand.Rand) (*trace.Trace, error)
@@ -252,6 +255,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	p := s.replayPlatform()
 	s.enqueue(w, r, func(ctx context.Context) func(http.ResponseWriter) {
 		synth, err := synthesize(n, rand.New(rand.NewSource(seed)))
 		if err != nil {
@@ -260,7 +264,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if doReplay && ctx.Err() == nil {
-			synth, err = replay.Run(synth, s.cfg.Platform)
+			synth, err = replay.Run(synth, p)
 			if err != nil {
 				return func(w http.ResponseWriter) {
 					httpError(w, http.StatusInternalServerError, "replay: %v", err)
@@ -313,7 +317,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	}
 	ms := s.model.Load()
 	if ms == nil {
-		httpError(w, http.StatusServiceUnavailable, "no model trained yet: ingest a trace first")
+		httpError(w, http.StatusServiceUnavailable, "%v: ingest a trace first", errs.ErrModelNotTrained)
 		return
 	}
 	winN, _, _, _ := s.win.stats()
@@ -335,7 +339,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		}
 		// Workers=1: the daemon's parallelism budget belongs to the pool,
 		// not to nested fan-outs inside one job.
-		scores, err := crossexam.Evaluate(snap, approaches, n, s.cfg.Platform, crossexam.Options{
+		scores, err := crossexam.Evaluate(snap, approaches, n, s.replayPlatform(), crossexam.Options{
 			Seed: seed, Workers: 1,
 		})
 		if err != nil {
@@ -374,8 +378,9 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty trace")
 		return
 	}
+	p := s.replayPlatform()
 	s.enqueue(w, r, func(ctx context.Context) func(http.ResponseWriter) {
-		timed, err := replay.Run(tr, s.cfg.Platform)
+		timed, err := replay.Run(tr, p)
 		if err != nil {
 			return func(w http.ResponseWriter) {
 				httpError(w, http.StatusInternalServerError, "replay: %v", err)
@@ -392,6 +397,47 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 			w.Write(buf.Bytes())
 		}
 	})
+}
+
+// faultsResponse is the JSON shape of /v1/faults.
+type faultsResponse struct {
+	Armed    bool          `json:"armed"`
+	Scenario *fault.Config `json:"scenario,omitempty"`
+}
+
+// handleFaults is the fault-scenario admin endpoint: GET reports the armed
+// scenario, POST arms one (JSON fault.Config body, validated after the
+// defaults are applied), DELETE disarms it. The scenario degrades the
+// /v1/replay platform; synthesis and serving stay healthy regardless.
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		// Fall through to the common response below.
+	case http.MethodPost:
+		if s.closed.Load() {
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		var cfg fault.Config
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			httpError(w, http.StatusBadRequest, "decode scenario: %v", err)
+			return
+		}
+		if err := s.ArmFaults(cfg); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	case http.MethodDelete:
+		s.DisarmFaults()
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET, POST or DELETE")
+		return
+	}
+	armed := s.faults.Load()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(faultsResponse{Armed: armed != nil, Scenario: armed})
 }
 
 // handleMetrics renders the plain-text metrics.
@@ -424,6 +470,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp["trained_on"] = ms.TrainedOn
 		resp["trained_at"] = ms.TrainedAt.UTC().Format(time.RFC3339Nano)
 	}
+	if open, until := s.BreakerOpen(); open {
+		resp["retrain_breaker_open"] = true
+		resp["retrain_breaker_until"] = until.UTC().Format(time.RFC3339Nano)
+	}
+	resp["faults_armed"] = s.faults.Load() != nil
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }

@@ -71,6 +71,7 @@ type metrics struct {
 	retrainErrors  atomic.Int64
 	driftRetrains  atomic.Int64
 	staleRetrains  atomic.Int64
+	breakerTrips   atomic.Int64
 	lastDriftStat  atomic.Uint64 // math.Float64bits
 	lastDriftP     atomic.Uint64 // math.Float64bits
 	modelTrainedOn atomic.Int64
@@ -156,6 +157,7 @@ func (m *metrics) write(w io.Writer, gauges map[string]float64) {
 	counter("dcmodeld_retrain_drift_total", "Retrains triggered by transition-row drift.", m.driftRetrains.Load())
 	counter("dcmodeld_retrain_stale_total", "Retrains triggered by model staleness.", m.staleRetrains.Load())
 	counter("dcmodeld_retrain_errors_total", "Retrain attempts that failed (previous model kept).", m.retrainErrors.Load())
+	counter("dcmodeld_retrain_breaker_trips_total", "Times the retrain circuit breaker opened after consecutive failures.", m.breakerTrips.Load())
 
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)

@@ -15,8 +15,16 @@
 //	GET  /v1/synthesize   generate a synthetic workload from a warm model
 //	GET  /v1/characterize cross-examination scorecard of the warm models
 //	POST /v1/replay       replay a streamed trace on the simulated platform
+//	*    /v1/faults       fault-scenario admin: GET reports, POST arms, DELETE disarms
 //	GET  /metrics         plain-text counters, gauges and latency histograms
-//	GET  /healthz         liveness + model warmth
+//	GET  /healthz         liveness + model warmth + breaker/fault state
+//
+// Two failure-containment mechanisms keep one bad input from taking the
+// daemon down: a retrain circuit breaker (consecutive retrain failures
+// open it; the last good model generation keeps serving until a cooldown
+// or a successful manual Retrain closes it), and the fault scenario, which
+// degrades only the replay platform — synthesis and ingest stay healthy
+// while replays exercise retries, failovers and re-replication.
 package serve
 
 import (
@@ -26,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dcmodel/internal/fault"
 	"dcmodel/internal/gfs"
 	"dcmodel/internal/inbreadth"
 	"dcmodel/internal/indepth"
@@ -67,6 +76,16 @@ type Config struct {
 	// DriftMinTransitions is the minimum observed storage transitions
 	// before the drift test is consulted.
 	DriftMinTransitions int64
+	// BreakerThreshold is how many consecutive retrain failures open the
+	// retrain circuit breaker. While open, the drift/staleness triggers
+	// stop attempting retrains (the last good generation keeps serving)
+	// until BreakerCooldown elapses, so one poisoned window cannot wedge
+	// the poll loop into a failing-retrain-per-second spin.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker suppresses automatic
+	// retrains. The first trigger after the cooldown is the half-open
+	// probe: success closes the breaker, failure reopens it.
+	BreakerCooldown time.Duration
 	// StorageRegions is the storage Markov state count (shared by the
 	// KOOZA trainer and the drift quantization).
 	StorageRegions int
@@ -95,6 +114,8 @@ func DefaultConfig() Config {
 		PollInterval:        time.Second,
 		DriftP:              0.001,
 		DriftMinTransitions: 512,
+		BreakerThreshold:    3,
+		BreakerCooldown:     time.Minute,
 		StorageRegions:      32,
 		DiskBlocks:          128 << 20,
 		Smoothing:           0.01,
@@ -134,6 +155,12 @@ func (c Config) withDefaults() Config {
 	if c.DriftMinTransitions <= 0 {
 		c.DriftMinTransitions = d.DriftMinTransitions
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = d.BreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = d.BreakerCooldown
+	}
 	if c.StorageRegions <= 0 {
 		c.StorageRegions = d.StorageRegions
 	}
@@ -144,7 +171,9 @@ func (c Config) withDefaults() Config {
 		c.Smoothing = d.Smoothing
 	}
 	if c.Platform.NewServer == nil {
-		c.Platform = replay.Platform{NewServer: gfs.DefaultServerHW}
+		// Only the hardware constructor is defaulted: a Faults scenario or
+		// FaultStream set on an otherwise-zero Platform must survive.
+		c.Platform.NewServer = gfs.DefaultServerHW
 	}
 	return c
 }
@@ -173,9 +202,16 @@ type Server struct {
 	model   atomic.Pointer[modelSet]
 
 	// ingestMu serializes ingestion and retraining, keeping the drift
-	// accumulator consistent with the window contents.
-	ingestMu sync.Mutex
-	drift    *markov.Accumulator
+	// accumulator consistent with the window contents. It also guards the
+	// retrain circuit breaker state below.
+	ingestMu     sync.Mutex
+	drift        *markov.Accumulator
+	retrainFails int       // consecutive automatic retrain failures
+	breakerUntil time.Time // automatic retrains suppressed until then
+
+	// faults is the armed fault scenario for degraded replay (nil =
+	// healthy). Swapped atomically by the /v1/faults admin endpoint.
+	faults atomic.Pointer[fault.Config]
 
 	mux      *http.ServeMux
 	closed   atomic.Bool
@@ -210,10 +246,46 @@ func New(cfg Config) (*Server, error) {
 		drift:           acc,
 		stopPoll:        make(chan struct{}),
 	}
+	if cfg.Platform.Faults != nil {
+		// A scenario armed on the configured platform seeds the admin
+		// state, so /v1/faults reports and can disarm it.
+		armed := cfg.Platform.Faults.WithDefaults()
+		if err := armed.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: platform fault scenario: %w", err)
+		}
+		s.faults.Store(&armed)
+	}
 	s.mux = s.buildMux()
 	s.pollWG.Add(1)
 	go s.pollLoop()
 	return s, nil
+}
+
+// Faults returns the armed fault scenario for degraded replay, or nil when
+// the daemon replays on healthy hardware.
+func (s *Server) Faults() *fault.Config { return s.faults.Load() }
+
+// ArmFaults validates and arms a fault scenario: subsequent /v1/replay
+// work runs on the degraded platform. It is the programmatic sibling of
+// POST /v1/faults.
+func (s *Server) ArmFaults(cfg fault.Config) error {
+	armed := cfg.WithDefaults()
+	if err := armed.Validate(); err != nil {
+		return err
+	}
+	s.faults.Store(&armed)
+	return nil
+}
+
+// DisarmFaults returns replay to healthy hardware.
+func (s *Server) DisarmFaults() { s.faults.Store(nil) }
+
+// replayPlatform is the configured platform with the armed fault scenario
+// (if any) applied.
+func (s *Server) replayPlatform() replay.Platform {
+	p := s.cfg.Platform
+	p.Faults = s.faults.Load()
+	return p
 }
 
 // pollLoop is the background staleness ticker: it fires retrains that

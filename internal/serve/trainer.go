@@ -37,6 +37,13 @@ func (s *Server) maybeRetrainLocked() (bool, string, error) {
 	if n < minTrainRequests {
 		return false, "", nil
 	}
+	if time.Now().Before(s.breakerUntil) {
+		// Breaker open: a run of failed retrains (e.g. a poisoned window)
+		// must not wedge the poll loop into retraining — and failing —
+		// once a second. The last good generation keeps serving; the
+		// first trigger past the cooldown is the half-open probe.
+		return false, "", nil
+	}
 	ms := s.model.Load()
 	if ms == nil {
 		// Cold start: become warm at the first trainable window rather
@@ -67,8 +74,8 @@ func (s *Server) maybeRetrainLocked() (bool, string, error) {
 	return false, "", nil
 }
 
-// Retrain forces a retrain from the current window regardless of drift or
-// staleness.
+// Retrain forces a retrain from the current window regardless of drift,
+// staleness or an open circuit breaker (the manual probe path).
 func (s *Server) Retrain() error {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
@@ -76,13 +83,28 @@ func (s *Server) Retrain() error {
 	return err
 }
 
+// BreakerOpen reports whether the retrain circuit breaker is currently
+// suppressing automatic retrains, and until when.
+func (s *Server) BreakerOpen() (bool, time.Time) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	until := s.breakerUntil
+	return time.Now().Before(until), until
+}
+
 // retrainLocked trains a fresh model generation from the window snapshot
-// and swaps it in. On failure the previous generation keeps serving.
-// Callers hold ingestMu.
+// and swaps it in. On failure the previous generation keeps serving and
+// the failure counts toward the circuit breaker. Callers hold ingestMu.
 func (s *Server) retrainLocked(reason string) (bool, string, error) {
 	snap := s.win.snapshot()
 	fail := func(err error) (bool, string, error) {
 		s.metrics.retrainErrors.Add(1)
+		s.retrainFails++
+		if s.retrainFails >= s.cfg.BreakerThreshold {
+			s.breakerUntil = time.Now().Add(s.cfg.BreakerCooldown)
+			s.retrainFails = 0
+			s.metrics.breakerTrips.Add(1)
+		}
 		return false, reason, fmt.Errorf("serve: retrain (%s): %w", reason, err)
 	}
 	kz, err := kooza.Train(snap, kooza.Options{
@@ -123,8 +145,11 @@ func (s *Server) retrainLocked(reason string) (bool, string, error) {
 		TrainedOn:  snap.Len(),
 		TotalAt:    total,
 	})
-	// Fresh drift window against the fresh reference.
+	// Fresh drift window against the fresh reference; a success closes
+	// the breaker.
 	s.drift.Reset()
+	s.retrainFails = 0
+	s.breakerUntil = time.Time{}
 	s.metrics.retrains.Add(1)
 	s.metrics.modelTrainedOn.Store(int64(snap.Len()))
 	return true, reason, nil

@@ -11,11 +11,19 @@ import (
 // Trace codecs: a flat CSV span format (one row per span, with request
 // fields repeated — convenient for external tools) and JSON (lossless).
 
-// csvHeader is the column layout of the CSV codec.
+// csvHeader is the column layout of the CSV codec. The trailing retries and
+// failover columns carry the per-request failure-recovery annotations; they
+// were added with the fault-injection engine, and readers also accept the
+// older 12-column layout without them (see SpanReader).
 var csvHeader = []string{
 	"req_id", "class", "server", "arrival",
 	"subsystem", "start", "duration", "op", "bytes", "lbn", "bank", "util",
+	"retries", "failover",
 }
+
+// numLegacyCSVColumns is the column count of the pre-fault layout, which
+// ends at the util column.
+const numLegacyCSVColumns = 12
 
 // WriteCSV writes the trace in the flat span-per-row CSV format. Requests
 // without spans are written as a single row with an empty subsystem.
@@ -33,8 +41,14 @@ func WriteCSV(w io.Writer, t *Trace) error {
 		row[1] = r.Class
 		row[2] = strconv.Itoa(r.Server)
 		row[3] = fl(r.Arrival)
+		row[12] = strconv.Itoa(r.Retries)
+		if r.FailedOver {
+			row[13] = "1"
+		} else {
+			row[13] = "0"
+		}
 		if len(r.Spans) == 0 {
-			for i := 4; i < len(row); i++ {
+			for i := 4; i < numLegacyCSVColumns; i++ {
 				row[i] = ""
 			}
 			if err := cw.Write(row); err != nil {

@@ -17,10 +17,12 @@ func randomTrace(r *rand.Rand) *Trace {
 	for i := 0; i < n; i++ {
 		now += r.Float64()
 		req := Request{
-			ID:      int64(i),
-			Class:   classes[r.Intn(len(classes))],
-			Server:  r.Intn(4),
-			Arrival: now,
+			ID:         int64(i),
+			Class:      classes[r.Intn(len(classes))],
+			Server:     r.Intn(4),
+			Arrival:    now,
+			Retries:    r.Intn(3),
+			FailedOver: r.Intn(4) == 0,
 		}
 		t := now
 		for s := 0; s < r.Intn(6); s++ {

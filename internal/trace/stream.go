@@ -35,9 +35,13 @@ type SpanReader struct {
 	cr      *csv.Reader
 	line    int
 	started bool
-	cur     Request
-	curSet  bool
-	err     error
+	// legacy is true when the stream uses the pre-fault 12-column header
+	// (no retries/failover annotations); such requests decode with zero
+	// annotations.
+	legacy bool
+	cur    Request
+	curSet bool
+	err    error
 }
 
 // NewSpanReader returns a streaming decoder reading from r. The header row
@@ -58,14 +62,20 @@ func (d *SpanReader) fail(err error) (Request, error) {
 	return Request{}, err
 }
 
-// readHeader consumes and validates the header row.
+// readHeader consumes and validates the header row. Both the current
+// layout and the legacy 12-column layout (without the retries/failover
+// annotation columns) are accepted.
 func (d *SpanReader) readHeader() error {
 	header, err := d.cr.Read()
 	if err != nil {
 		return fmt.Errorf("trace: read csv header: %w", err)
 	}
-	if len(header) != len(csvHeader) {
-		return fmt.Errorf("trace: csv header has %d columns, want %d", len(header), len(csvHeader))
+	switch len(header) {
+	case len(csvHeader):
+	case numLegacyCSVColumns:
+		d.legacy = true
+	default:
+		return fmt.Errorf("trace: csv header has %d columns, want %d (or the legacy %d)", len(header), len(csvHeader), numLegacyCSVColumns)
 	}
 	for i, h := range header {
 		if h != csvHeader[i] {
@@ -74,6 +84,8 @@ func (d *SpanReader) readHeader() error {
 	}
 	d.line = 1
 	d.started = true
+	// csv.Reader pins the field count to the first row; with two accepted
+	// layouts that already does the per-row column check for us.
 	return nil
 }
 
@@ -128,6 +140,18 @@ func (d *SpanReader) Next() (Request, error) {
 				return d.fail(fmt.Errorf("trace: csv line %d arrival: %w", d.line, err))
 			}
 			d.cur = Request{ID: id, Class: row[1], Server: server, Arrival: arrival}
+			if !d.legacy {
+				if row[12] != "" {
+					if d.cur.Retries, err = strconv.Atoi(row[12]); err != nil {
+						return d.fail(fmt.Errorf("trace: csv line %d retries: %w", d.line, err))
+					}
+				}
+				if row[13] != "" && row[13] != "0" {
+					if d.cur.FailedOver, err = strconv.ParseBool(row[13]); err != nil {
+						return d.fail(fmt.Errorf("trace: csv line %d failover: %w", d.line, err))
+					}
+				}
+			}
 			d.curSet = true
 		}
 		if row[4] != "" { // non-empty subsystem: the row carries a span

@@ -140,6 +140,12 @@ type Request struct {
 	Server int
 	// Arrival is the request arrival time in seconds since trace start.
 	Arrival float64
+	// Retries counts client retry attempts caused by server failures before
+	// the request completed. Zero in healthy traces.
+	Retries int `json:",omitempty"`
+	// FailedOver reports whether the request completed on a different
+	// replica than the one it first targeted.
+	FailedOver bool `json:",omitempty"`
 	// Spans holds the request's phases ordered by start time.
 	Spans []Span
 }
@@ -305,6 +311,9 @@ func (t *Trace) Validate() error {
 			return fmt.Errorf("trace: duplicate request ID %d (index %d)", r.ID, i)
 		}
 		ids[r.ID] = true
+		if r.Retries < 0 {
+			return fmt.Errorf("trace: request %d has negative retries %d", r.ID, r.Retries)
+		}
 		for j, s := range r.Spans {
 			if s.Duration < 0 || math.IsNaN(s.Duration) || math.IsInf(s.Duration, 0) {
 				return fmt.Errorf("trace: request %d span %d has invalid duration %g", r.ID, j, s.Duration)

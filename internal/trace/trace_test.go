@@ -24,6 +24,7 @@ func sampleTrace() *Trace {
 		},
 		{
 			ID: 2, Class: "write4M", Arrival: 0.5,
+			Retries: 2, FailedOver: true,
 			Spans: []Span{
 				{Subsystem: Network, Start: 0.5, Duration: 0.004, Bytes: 4 << 20},
 				{Subsystem: CPU, Start: 0.504, Duration: 0.001, Util: 0.051},
@@ -222,22 +223,47 @@ func TestCSVErrors(t *testing.T) {
 	}
 	good := strings.Join(csvHeader, ",") + "\n"
 	badRows := []string{
-		"x,c,0,0,network,0,0,none,0,0,0,0",  // bad id
-		"1,c,x,0,network,0,0,none,0,0,0,0",  // bad server
-		"1,c,0,x,network,0,0,none,0,0,0,0",  // bad arrival
-		"1,c,0,0,bogus,0,0,none,0,0,0,0",    // bad subsystem
-		"1,c,0,0,network,x,0,none,0,0,0,0",  // bad start
-		"1,c,0,0,network,0,x,none,0,0,0,0",  // bad duration
-		"1,c,0,0,network,0,0,bogus,0,0,0,0", // bad op
-		"1,c,0,0,network,0,0,none,x,0,0,0",  // bad bytes
-		"1,c,0,0,network,0,0,none,0,x,0,0",  // bad lbn
-		"1,c,0,0,network,0,0,none,0,0,x,0",  // bad bank
-		"1,c,0,0,network,0,0,none,0,0,0,x",  // bad util
+		"x,c,0,0,network,0,0,none,0,0,0,0,0,0",  // bad id
+		"1,c,x,0,network,0,0,none,0,0,0,0,0,0",  // bad server
+		"1,c,0,x,network,0,0,none,0,0,0,0,0,0",  // bad arrival
+		"1,c,0,0,bogus,0,0,none,0,0,0,0,0,0",    // bad subsystem
+		"1,c,0,0,network,x,0,none,0,0,0,0,0,0",  // bad start
+		"1,c,0,0,network,0,x,none,0,0,0,0,0,0",  // bad duration
+		"1,c,0,0,network,0,0,bogus,0,0,0,0,0,0", // bad op
+		"1,c,0,0,network,0,0,none,x,0,0,0,0,0",  // bad bytes
+		"1,c,0,0,network,0,0,none,0,x,0,0,0,0",  // bad lbn
+		"1,c,0,0,network,0,0,none,0,0,x,0,0,0",  // bad bank
+		"1,c,0,0,network,0,0,none,0,0,0,x,0,0",  // bad util
+		"1,c,0,0,network,0,0,none,0,0,0,0,x,0",  // bad retries
+		"1,c,0,0,network,0,0,none,0,0,0,0,0,x",  // bad failover
+		"1,c,0,0,network,0,0,none,0,0,0,0",      // legacy-width row under new header
 	}
 	for _, row := range badRows {
 		if _, err := ReadCSV(strings.NewReader(good + row + "\n")); err == nil {
 			t.Errorf("row %q should fail", row)
 		}
+	}
+}
+
+// TestCSVLegacyHeader: traces written before the retries/failover columns
+// existed still decode, with zero annotations.
+func TestCSVLegacyHeader(t *testing.T) {
+	legacy := strings.Join(csvHeader[:numLegacyCSVColumns], ",") + "\n" +
+		"7,read64K,3,0.25,network,0.25,0.001,none,4096,0,0,0\n" +
+		"7,read64K,3,0.25,storage,0.251,0.008,read,4096,77,0,0\n"
+	got, err := ReadCSV(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requests) != 1 {
+		t.Fatalf("got %d requests, want 1", len(got.Requests))
+	}
+	r := got.Requests[0]
+	if r.ID != 7 || r.Server != 3 || len(r.Spans) != 2 {
+		t.Fatalf("legacy decode mismatch: %+v", r)
+	}
+	if r.Retries != 0 || r.FailedOver {
+		t.Fatalf("legacy rows must decode with zero annotations, got %+v", r)
 	}
 }
 
