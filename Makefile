@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race chaos cover bench bench-json fuzz examples artifacts serve loadtest clean help
+.PHONY: all build vet test test-race race chaos obs cover bench bench-json fuzz examples artifacts serve loadtest clean help
 
 all: build vet test
 
@@ -17,6 +17,9 @@ help:
 	@echo "  race       alias for test-race"
 	@echo "  chaos      fault-armed acceptance run under -race: fault engine,"
 	@echo "             degraded simulation/replay, breaker + armed-drain daemon"
+	@echo "  obs        observability gate: vet, the pprof-import guard, and"
+	@echo "             the obs/serve/dapper suites under -race (metrics golden,"
+	@echo "             trace determinism, 96-client scrape lifecycle)"
 	@echo "  cover      go test -cover ./..."
 	@echo "  bench      regenerate every table/figure + ablations (-bench=. -benchmem)"
 	@echo "  bench-json rerun the hot-path benchmarks and refresh BENCH_PR2.json"
@@ -53,6 +56,20 @@ chaos:
 	$(GO) test -race -count=1 ./internal/fault/
 	$(GO) test -race -count=1 -run 'Fault|Degraded|Breaker|Faulty|HealthyReplay' \
 		. ./internal/gfs/ ./internal/replay/ ./internal/serve/ ./internal/crossexam/
+
+# Observability gate: the profiling surface stays confined to
+# internal/obs (one deliberate, flag-gated mount point), the /metrics
+# exposition stays byte-identical to its golden file, and the tracing
+# substrate stays race-clean under the 96-client scrape lifecycle.
+obs:
+	$(GO) vet ./...
+	@bad=$$($(GO) list -f '{{.ImportPath}} {{join .Imports ","}},{{join .TestImports ","}}' ./... \
+		| grep 'net/http/pprof' | grep -v '^dcmodel/internal/obs ' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "net/http/pprof imported outside internal/obs (mount via obs.RegisterPprof):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/serve/ ./internal/dapper/
 
 cover:
 	$(GO) test -cover ./...

@@ -14,6 +14,11 @@
 //	curl -X POST -d '{"mtbf":2,"mttr":0.5}' http://localhost:8080/v1/faults
 //	curl http://localhost:8080/metrics
 //
+// Live observability is off by default. -trace-every 1000 samples one
+// request in a thousand into Dapper-style span trees served as JSON at
+// /v1/traces (render them with cmd/traceview); -trace-cap bounds the
+// trace ring buffer; -pprof mounts net/http/pprof under /debug/pprof/.
+//
 // A fault scenario can also be armed at boot with -faults (the same JSON
 // the /v1/faults endpoint accepts); replay queries then run on the
 // degraded platform until a DELETE /v1/faults disarms it.
@@ -35,6 +40,7 @@ import (
 
 	"dcmodel/internal/cliflag"
 	"dcmodel/internal/fault"
+	"dcmodel/internal/obs"
 	"dcmodel/internal/serve"
 )
 
@@ -56,6 +62,9 @@ func main() {
 		regions    = flag.Int("regions", def.StorageRegions, "storage Markov states (shared by trainer and drift quantization)")
 		diskBlocks = flag.Int64("disk-blocks", def.DiskBlocks, "fixed LBN address-space size for region quantization")
 		faultsJSON = flag.String("faults", "", "fault scenario to arm at boot, as /v1/faults JSON (e.g. '{\"mtbf\":2,\"mttr\":0.5}')")
+		traceEvery = flag.Int("trace-every", 0, "sample 1 in N requests into live span traces served at /v1/traces (0 = tracing off)")
+		traceCap   = flag.Int("trace-cap", 128, "sampled traces kept in the ring buffer (oldest evicted)")
+		pprof      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	cliflag.Check(
@@ -71,6 +80,12 @@ func main() {
 	)
 	if *driftP >= 1 {
 		cliflag.Check("-drift-p must be < 1")
+	}
+	if *traceEvery < 0 {
+		cliflag.Check("-trace-every must be >= 0")
+	}
+	if *traceEvery > 0 {
+		cliflag.Check(cliflag.Min("trace-cap", *traceCap, 1))
 	}
 
 	cfg := serve.DefaultConfig()
@@ -91,6 +106,13 @@ func main() {
 			cliflag.Fatal(fmt.Errorf("dcmodeld: -faults: %w", err))
 		}
 		cfg.Platform.Faults = &fc
+	}
+	if *traceEvery > 0 || *pprof {
+		cfg.Obs = &obs.Options{
+			SampleEvery:   *traceEvery,
+			TraceCapacity: *traceCap,
+			Pprof:         *pprof,
+		}
 	}
 
 	s, err := serve.New(cfg)

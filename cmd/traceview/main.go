@@ -1,0 +1,157 @@
+// Command traceview renders the span trees served by dcmodeld's
+// GET /v1/traces as ASCII waterfalls: one row per span, indented by tree
+// depth, with a bar showing where the span sits inside its request.
+//
+// Usage:
+//
+//	traceview -url http://localhost:8080        # fetch /v1/traces live
+//	traceview -in traces.json                   # render a saved dump
+//	curl -s http://localhost:8080/v1/traces | traceview -in -
+//	traceview -url http://localhost:8080 -limit 3 -width 48
+//
+// Each waterfall is scaled to the root span's interval, so a queued
+// request shows its queue.wait stage eating the left of the bar and a
+// degraded replay shows the replay stage stretching to the right.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"dcmodel/internal/cliflag"
+	"dcmodel/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceview: ")
+	var (
+		url   = flag.String("url", "", "dcmodeld base URL to fetch /v1/traces from (e.g. http://localhost:8080)")
+		in    = flag.String("in", "", "saved /v1/traces JSON to render instead of fetching (- = stdin)")
+		width = flag.Int("width", 64, "waterfall bar width in columns")
+		limit = flag.Int("limit", 0, "render at most this many traces, newest last (0 = all)")
+	)
+	flag.Parse()
+	cliflag.Check(
+		cliflag.Min("width", *width, 8),
+		cliflag.Min("limit", *limit, 0),
+	)
+	if (*url == "") == (*in == "") {
+		cliflag.Check("exactly one of -url and -in is required")
+	}
+
+	var body io.ReadCloser
+	switch {
+	case *in == "-":
+		body = os.Stdin
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			cliflag.Fatal(err)
+		}
+		body = f
+	default:
+		resp, err := http.Get(strings.TrimSuffix(*url, "/") + "/v1/traces")
+		if err != nil {
+			cliflag.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			cliflag.Fatal(fmt.Errorf("GET %s/v1/traces: %s", *url, resp.Status))
+		}
+		body = resp.Body
+	}
+	defer body.Close()
+
+	var dump obs.TraceDump
+	if err := json.NewDecoder(body).Decode(&dump); err != nil {
+		cliflag.Fatal(fmt.Errorf("decoding trace dump: %w", err))
+	}
+	os.Stdout.WriteString(Render(&dump, *width, *limit))
+}
+
+// Render formats a trace dump as waterfalls. width is the bar width in
+// columns; limit keeps only the last N traces (0 = all).
+func Render(dump *obs.TraceDump, width, limit int) string {
+	var b strings.Builder
+	if !dump.Enabled {
+		b.WriteString("tracing disabled (start dcmodeld with -trace-every N)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "sampling 1/%d: %d started, %d sampled, %d held (cap %d)\n",
+		dump.SampleEvery, dump.Started, dump.Sampled, dump.Held, dump.Capacity)
+	traces := dump.Traces
+	if limit > 0 && len(traces) > limit {
+		fmt.Fprintf(&b, "(showing last %d of %d)\n", limit, len(traces))
+		traces = traces[len(traces)-limit:]
+	}
+	for _, tree := range traces {
+		b.WriteByte('\n')
+		renderTree(&b, tree, width)
+	}
+	return b.String()
+}
+
+func renderTree(b *strings.Builder, tree *obs.TreeDump, width int) {
+	if tree == nil || tree.Root == nil {
+		return
+	}
+	fmt.Fprintf(b, "trace %d: %s  %.3fms  (%d spans, depth %d)\n",
+		tree.TraceID, tree.Root.Name, tree.Root.DurationMS, tree.Spans, tree.Depth)
+	// Left-column width: longest indented name among all spans.
+	label := 0
+	var measure func(n *obs.NodeDump, depth int)
+	measure = func(n *obs.NodeDump, depth int) {
+		if l := 2*depth + len(n.Name); l > label {
+			label = l
+		}
+		for _, c := range n.Children {
+			measure(c, depth+1)
+		}
+	}
+	measure(tree.Root, 0)
+	var walk func(n *obs.NodeDump, depth int)
+	walk = func(n *obs.NodeDump, depth int) {
+		name := strings.Repeat("  ", depth) + n.Name
+		fmt.Fprintf(b, "  %-*s |%s| %9.3fms", label, name, bar(n, tree.Root, width), n.DurationMS)
+		for _, a := range n.Annotations {
+			fmt.Fprintf(b, "  %s", a.Message)
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(tree.Root, 0)
+}
+
+// bar draws a span's interval scaled into the root's, '=' for the span
+// and '.' for the rest of the request. A zero-length root (or span)
+// still gets one '=' cell so every row is visible.
+func bar(n, root *obs.NodeDump, width int) string {
+	total := root.End - root.Start
+	start, end := 0, width
+	if total > 0 {
+		start = int(float64(width) * (n.Start - root.Start) / total)
+		end = int(float64(width) * (n.End - root.Start) / total)
+	}
+	if start < 0 {
+		start = 0
+	}
+	if end > width {
+		end = width
+	}
+	if end <= start {
+		end = start + 1
+		if end > width {
+			start, end = width-1, width
+		}
+	}
+	return strings.Repeat(".", start) + strings.Repeat("=", end-start) + strings.Repeat(".", width-end)
+}

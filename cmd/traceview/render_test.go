@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dcmodel/internal/obs"
+)
+
+func sampleDump() *obs.TraceDump {
+	root := &obs.NodeDump{
+		SpanID: 1, Name: "http:replay", Start: 10, End: 10.1, DurationMS: 100,
+	}
+	wait := &obs.NodeDump{
+		SpanID: 2, ParentID: 1, Name: "queue.wait", Start: 10, End: 10.05, DurationMS: 50,
+	}
+	rep := &obs.NodeDump{
+		SpanID: 3, ParentID: 1, Name: "replay", Start: 10.05, End: 10.1, DurationMS: 50,
+		Annotations: []obs.AnnotationDump{{Time: 10.05, Message: "requests=400"}},
+	}
+	root.Children = []*obs.NodeDump{wait, rep}
+	return &obs.TraceDump{
+		Enabled: true, SampleEvery: 1000, Capacity: 128,
+		Started: 5000, Sampled: 5, Held: 1,
+		Traces: []*obs.TreeDump{{TraceID: 7, Spans: 3, Depth: 2, Root: root}},
+	}
+}
+
+func TestRenderWaterfall(t *testing.T) {
+	out := Render(sampleDump(), 16, 0)
+	if !strings.Contains(out, "sampling 1/1000: 5000 started, 5 sampled, 1 held (cap 128)") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "trace 7: http:replay  100.000ms  (3 spans, depth 2)") {
+		t.Fatalf("trace header missing:\n%s", out)
+	}
+	// The root bar fills the width; the two stages split it left/right.
+	if !strings.Contains(out, "|================|") {
+		t.Fatalf("root bar wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "|========........|") || !strings.Contains(out, "|........========|") {
+		t.Fatalf("stage bars wrong:\n%s", out)
+	}
+	// Children are indented and annotations ride on the row.
+	if !strings.Contains(out, "  queue.wait") || !strings.Contains(out, "requests=400") {
+		t.Fatalf("rows wrong:\n%s", out)
+	}
+}
+
+func TestRenderLimit(t *testing.T) {
+	dump := sampleDump()
+	second := *dump.Traces[0]
+	second.TraceID = 8
+	dump.Traces = append(dump.Traces, &second)
+	out := Render(dump, 16, 1)
+	if !strings.Contains(out, "(showing last 1 of 2)") {
+		t.Fatalf("limit note missing:\n%s", out)
+	}
+	if strings.Contains(out, "trace 7:") || !strings.Contains(out, "trace 8:") {
+		t.Fatalf("limit kept the wrong trace:\n%s", out)
+	}
+}
+
+func TestRenderDisabled(t *testing.T) {
+	out := Render(&obs.TraceDump{}, 16, 0)
+	if !strings.Contains(out, "tracing disabled") {
+		t.Fatalf("disabled message missing:\n%s", out)
+	}
+}
+
+func TestRenderZeroLengthSpans(t *testing.T) {
+	// A zero-length root (instant request) must still render one cell per
+	// bar rather than divide by zero or emit an empty bar.
+	dump := &obs.TraceDump{
+		Enabled: true, SampleEvery: 1, Started: 1, Sampled: 1, Held: 1, Capacity: 1,
+		Traces: []*obs.TreeDump{{
+			TraceID: 1, Spans: 2, Depth: 2,
+			Root: &obs.NodeDump{
+				SpanID: 1, Name: "r", Start: 5, End: 5,
+				Children: []*obs.NodeDump{{SpanID: 2, ParentID: 1, Name: "s", Start: 5, End: 5}},
+			},
+		}},
+	}
+	out := Render(dump, 8, 0)
+	if strings.Contains(out, "||") {
+		t.Fatalf("empty bar rendered:\n%s", out)
+	}
+}

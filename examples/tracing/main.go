@@ -34,18 +34,17 @@ func main() {
 	}
 
 	// ---- Dapper: sampled request trees ----
-	tracer, err := dapper.TraceWorkload(tr, 1000) // 1-in-1000, as the paper quotes
+	// RecordWorkload drives the Recorder seam: any sink implementing
+	// dapper.Recorder works here (a Collector, an obs.TraceRing, a Tee of
+	// both); the daemon uses the same seam for its live /v1/traces view.
+	var collector dapper.Collector
+	started, sampled, err := dapper.RecordWorkload(tr, 1000, &collector) // 1-in-1000, as the paper quotes
 	if err != nil {
 		log.Fatal(err)
 	}
-	started, sampled := tracer.SamplingStats()
 	fmt.Printf("Dapper-style tracing: %d requests seen, %d recorded (1/%d sampling)\n\n",
 		started, sampled, 1000)
-	trees, err := tracer.Trees()
-	if err != nil {
-		log.Fatal(err)
-	}
-	if len(trees) > 0 {
+	if trees := collector.Trees(); len(trees) > 0 {
 		fmt.Println("one sampled trace tree:")
 		fmt.Print(trees[0].Render())
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // TraceID is the unique global identifier of one request's trace tree.
@@ -147,6 +148,52 @@ func (a *ActiveSpan) Sampled() bool { return a.sampled }
 // SamplingStats reports traces started vs recorded — the tracer's
 // effective overhead proxy.
 func (t *Tracer) SamplingStats() (started, sampled int64) { return t.started, t.sampled }
+
+// Recorder consumes assembled trace trees. It is the single
+// instrumentation seam shared by everything that emits Dapper-style
+// traces: the GFS simulator (gfs.RunConfig.Recorder), the replay engine
+// (replay.Platform.Recorder) and the serving daemon's live pipeline
+// tracer all deliver finished trees to a Recorder, and collectors —
+// in-memory lists, ring buffers, sampling or teeing decorators — compose
+// behind it.
+//
+// A Recorder wired into a concurrent producer (the sharded simulator, the
+// daemon) must be safe for concurrent Record calls; Collector and the
+// obs-package recorders are.
+type Recorder interface {
+	// Record delivers one finished trace tree. Implementations must not
+	// mutate the tree; producers hand over ownership and do not touch it
+	// again.
+	Record(*Tree)
+}
+
+// Collector is the simplest Recorder: a concurrency-safe in-memory list
+// of every recorded tree, in arrival order.
+type Collector struct {
+	mu    sync.Mutex
+	trees []*Tree
+}
+
+// Record appends the tree.
+func (c *Collector) Record(t *Tree) {
+	c.mu.Lock()
+	c.trees = append(c.trees, t)
+	c.mu.Unlock()
+}
+
+// Trees returns a copy of the recorded trees, in arrival order.
+func (c *Collector) Trees() []*Tree {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Tree(nil), c.trees...)
+}
+
+// Len reports how many trees have been recorded.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.trees)
+}
 
 // Node is one node of an assembled trace tree.
 type Node struct {

@@ -2,13 +2,10 @@ package dapper
 
 import (
 	"math"
-	"math/rand"
 	"strings"
 	"testing"
 
-	"dcmodel/internal/gfs"
 	"dcmodel/internal/trace"
-	"dcmodel/internal/workload"
 )
 
 func TestTracerBasics(t *testing.T) {
@@ -187,48 +184,6 @@ func TestToRequestErrors(t *testing.T) {
 	bad2.Root.Children[0].Span.Name = "phase:bogus"
 	if _, err := ToRequest(bad2); err == nil {
 		t.Error("unknown subsystem should fail")
-	}
-}
-
-func TestTraceWorkloadOnGFS(t *testing.T) {
-	c, err := gfs.NewCluster(gfs.DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	tr, err := c.Run(gfs.RunConfig{
-		Mix:      workload.Table2Mix(),
-		Arrivals: workload.Poisson{Rate: 20},
-		Requests: 1000,
-	}, rand.New(rand.NewSource(1)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	tracer, err := TraceWorkload(tr, 100) // Dapper-style sparse sampling
-	if err != nil {
-		t.Fatal(err)
-	}
-	started, sampled := tracer.SamplingStats()
-	if started != 1000 || sampled != 10 {
-		t.Fatalf("sampling stats %d/%d", started, sampled)
-	}
-	trees, err := tracer.Trees()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(trees) != 10 {
-		t.Fatalf("trees = %d", len(trees))
-	}
-	for _, tree := range trees {
-		if tree.Count != 7 {
-			t.Errorf("GFS tree has %d spans, want 7 (root + 6 phases)", tree.Count)
-		}
-		back, err := ToRequest(tree)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(back.Spans) != 6 {
-			t.Errorf("reconstructed %d spans", len(back.Spans))
-		}
 	}
 }
 

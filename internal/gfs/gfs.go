@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/rand"
 
+	"dcmodel/internal/dapper"
 	"dcmodel/internal/fault"
 	"dcmodel/internal/hw"
 	"dcmodel/internal/trace"
@@ -277,6 +278,12 @@ type RunConfig struct {
 	// sees an independent failure history regardless of worker count;
 	// plain Run callers normally leave it zero.
 	FaultStream uint64
+	// Recorder, when non-nil, receives one dapper span tree per executed
+	// request, in execution order — the shared tracing seam (see
+	// dapper.Recorder). Recording reads finished requests only and draws
+	// nothing from the workload rand stream, so arming it perturbs no
+	// simulation draws; wrap it with obs.SampleEvery to keep a fraction.
+	Recorder dapper.Recorder
 }
 
 // classState tracks per-(class, server) sequential-I/O state.
@@ -314,6 +321,9 @@ func (c *Cluster) Run(rc RunConfig, r *rand.Rand) (*trace.Trace, error) {
 			return nil, err
 		}
 		tr.Requests = append(tr.Requests, req)
+		if rc.Recorder != nil {
+			rc.Recorder.Record(dapper.FromRequest(req))
+		}
 	}
 	return tr, nil
 }
@@ -652,6 +662,9 @@ type ClosedRunConfig struct {
 	// FaultStream selects the failure-history sub-stream (see
 	// RunConfig.FaultStream).
 	FaultStream uint64
+	// Recorder receives one dapper span tree per completed request (see
+	// RunConfig.Recorder).
+	Recorder dapper.Recorder
 }
 
 // RunClosed executes the closed-loop workload and returns the trace. The
@@ -700,6 +713,9 @@ func (c *Cluster) RunClosed(rc ClosedRunConfig, r *rand.Rand) (*trace.Trace, err
 			return nil, err
 		}
 		tr.Requests = append(tr.Requests, req)
+		if rc.Recorder != nil {
+			rc.Recorder.Record(dapper.FromRequest(req))
+		}
 		ready.replaceMin(userReady{at: issue + req.Latency() + think(), user: next.user})
 	}
 	return tr, nil

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Histogram is a fixed-bucket cumulative histogram.
+//
+// Bucket semantics: the bounds are the inclusive upper bounds of the
+// finite buckets, ascending. Observe(v) increments the first bucket
+// whose bound is >= v; any v strictly greater than the last bound —
+// +Inf included — lands in the implicit +Inf overflow bucket rendered
+// last. NaN and negative observations are dropped entirely: they
+// increment no bucket and contribute to neither the rendered _sum nor
+// _count, so a defective measurement (an unstarted timer, a reversed
+// clock) can never skew a latency distribution.
+type Histogram struct {
+	bounds []float64
+	mu     sync.Mutex
+	counts []int64 // one per bound, plus the +Inf overflow at the end
+	sum    float64
+	n      int64
+}
+
+// NewHistogram returns a histogram over the given ascending bucket
+// bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value (see the type comment for the bucket,
+// overflow, NaN and negative rules).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[idx]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations recorded.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// snapshot copies the counters under the lock.
+func (h *Histogram) snapshot() (counts []int64, sum float64, n int64) {
+	h.mu.Lock()
+	counts = append([]int64(nil), h.counts...)
+	sum, n = h.sum, h.n
+	h.mu.Unlock()
+	return counts, sum, n
+}
+
+// writeBlocks renders the cumulative bucket lines plus _sum and _count,
+// with labels (possibly empty) spliced into every series.
+func (h *Histogram) writeBlocks(w io.Writer, name, labels string) {
+	counts, sum, n := h.snapshot()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, bound, cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, n)
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, sum)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, n)
+}
+
+// HistogramVec is a histogram family keyed by one label; each distinct
+// label value is one histogram, created on first use.
+type HistogramVec struct {
+	name, help, label string
+	bounds            []float64
+	lazy              bool
+	mu                sync.Mutex
+	hists             map[string]*Histogram
+}
+
+// HistogramVec registers a histogram family keyed by label over the
+// given ascending bucket bounds.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	v := &HistogramVec{
+		name: name, help: help, label: label,
+		bounds: append([]float64(nil), bounds...),
+		hists:  make(map[string]*Histogram),
+	}
+	r.register(v)
+	return v
+}
+
+// Lazy makes the family render nothing — not even its HELP/TYPE header —
+// until it holds at least one series. New families added next to a
+// byte-pinned exposition must be lazy so an idle scrape stays identical;
+// the default (header always) matches the classic exposition style.
+// Returns the receiver for chaining at registration.
+func (v *HistogramVec) Lazy() *HistogramVec {
+	v.lazy = true
+	return v
+}
+
+// With returns the histogram for the given label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	h := v.hists[value]
+	if h == nil {
+		h = NewHistogram(v.bounds)
+		v.hists[value] = h
+	}
+	v.mu.Unlock()
+	return h
+}
+
+// Observe records one value on the series for the given label value.
+func (v *HistogramVec) Observe(value string, x float64) { v.With(value).Observe(x) }
+
+func (v *HistogramVec) render(w io.Writer) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.hists))
+	for k := range v.hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hists := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		hists[i] = v.hists[k]
+	}
+	v.mu.Unlock()
+	if v.lazy && len(keys) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", v.name, v.help, v.name)
+	for i, k := range keys {
+		hists[i].writeBlocks(w, v.name, fmt.Sprintf("%s=%q", v.label, k))
+	}
+}

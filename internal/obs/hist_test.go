@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHistogramBucketSemantics pins the documented bucket contract:
+// inclusive upper bounds, values past the last bound (including +Inf) in
+// the overflow bucket, NaN and negative observations dropped entirely
+// (no bucket, no _sum, no _count).
+func TestHistogramBucketSemantics(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+
+	h.Observe(1)    // inclusive: lands in le="1"
+	h.Observe(1.5)  // le="10"
+	h.Observe(10)   // inclusive: le="10"
+	h.Observe(10.1) // overflow: le="+Inf" only
+	h.Observe(math.Inf(1))
+
+	h.Observe(math.NaN()) // dropped
+	h.Observe(-0.001)     // dropped
+	h.Observe(math.Inf(-1))
+
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5 (NaN/negative must be dropped)", got)
+	}
+	counts, sum, n := h.snapshot()
+	if want := []int64{1, 2, 2}; len(counts) != 3 || counts[0] != want[0] || counts[1] != want[1] || counts[2] != want[2] {
+		t.Fatalf("bucket counts = %v, want %v", counts, want)
+	}
+	if n != 5 {
+		t.Fatalf("n = %d, want 5", n)
+	}
+	if !math.IsInf(sum, 1) {
+		t.Fatalf("sum = %g, want +Inf (the +Inf observation is counted, in overflow)", sum)
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(100)
+
+	var b strings.Builder
+	h.writeBlocks(&b, "x_seconds", "k=\"v\"")
+	want := "x_seconds_bucket{k=\"v\",le=\"0.5\"} 1\n" +
+		"x_seconds_bucket{k=\"v\",le=\"2\"} 2\n" +
+		"x_seconds_bucket{k=\"v\",le=\"+Inf\"} 3\n" +
+		"x_seconds_sum{k=\"v\"} 101.25\n" +
+		"x_seconds_count{k=\"v\"} 3\n"
+	if got := b.String(); got != want {
+		t.Fatalf("rendered:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Unlabeled rendering drops the braces on _sum/_count.
+	b.Reset()
+	h.writeBlocks(&b, "x_seconds", "")
+	if !strings.Contains(b.String(), "x_seconds_sum 101.25\n") ||
+		!strings.Contains(b.String(), "x_seconds_count 3\n") {
+		t.Fatalf("unlabeled rendering:\n%s", b.String())
+	}
+}
+
+func TestHistogramVecLazy(t *testing.T) {
+	reg := NewRegistry()
+	eager := reg.HistogramVec("eager_seconds", "Eager.", "k", []float64{1})
+	lazy := reg.HistogramVec("lazy_seconds", "Lazy.", "k", []float64{1}).Lazy()
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	if !strings.Contains(b.String(), "# TYPE eager_seconds histogram") {
+		t.Fatalf("eager empty vec must still render its header:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "lazy_seconds") {
+		t.Fatalf("lazy empty vec must render nothing:\n%s", b.String())
+	}
+
+	eager.Observe("a", 0.5)
+	lazy.Observe("a", 0.5)
+	b.Reset()
+	reg.WriteText(&b)
+	if !strings.Contains(b.String(), "lazy_seconds_bucket{k=\"a\",le=\"1\"} 1\n") {
+		t.Fatalf("lazy vec with a series must render:\n%s", b.String())
+	}
+}

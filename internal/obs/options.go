@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sync"
+
+	"dcmodel/internal/dapper"
+)
+
+// Options is the public observability configuration of the serving
+// daemon (dcmodel.ServeConfig.Obs). The zero value keeps the daemon's
+// output byte-identical to a daemon without the obs layer: no tracing,
+// no stage histograms, no pprof.
+type Options struct {
+	// SampleEvery arms live span tracing, keeping 1 of every N pipeline
+	// requests (ingest/synthesize/characterize/replay) as a span tree
+	// served by GET /v1/traces. 0 disables tracing.
+	SampleEvery int
+	// TraceCapacity bounds the sampled-tree ring buffer (default 128).
+	TraceCapacity int
+	// Recorder, when non-nil, additionally receives every sampled tree,
+	// tee'd with the ring buffer — the shared dapper.Recorder seam, for
+	// embedders that stream traces elsewhere.
+	Recorder dapper.Recorder
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// DefaultOptions returns the recommended production observability
+// settings: 1-in-1024 trace sampling (Dapper's default rate), a
+// 128-tree ring, pprof off.
+func DefaultOptions() Options {
+	return Options{SampleEvery: 1024, TraceCapacity: 128}
+}
+
+// defaultTraceCapacity fills the zero TraceCapacity.
+const defaultTraceCapacity = 128
+
+// WithDefaults fills zero fields with the defaults that have them.
+func (o Options) WithDefaults() Options {
+	if o.TraceCapacity <= 0 {
+		o.TraceCapacity = defaultTraceCapacity
+	}
+	return o
+}
+
+// Observer is the facade-level instrumentation bundle consumed by
+// dcmodel.WithObserver: training (and any other observed operation)
+// records one span tree per operation to Recorder and per-stage
+// wall/alloc histograms to Registry. Either destination may be nil to
+// keep only the other. The zero Observer (and a nil *Observer) observes
+// nothing.
+type Observer struct {
+	// Registry receives the stage histograms dcmodel_stage_seconds and
+	// dcmodel_stage_alloc_bytes (registered lazily on first use).
+	Registry *Registry
+	// Recorder receives one span tree per observed operation.
+	Recorder dapper.Recorder
+
+	once    sync.Once
+	spanner *Spanner
+	seconds *HistogramVec
+	alloc   *HistogramVec
+}
+
+// StageSecondsBuckets are the wall-clock bucket bounds of observer and
+// daemon stage histograms, in seconds.
+var StageSecondsBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}
+
+// StageAllocBuckets are the allocation-delta bucket bounds of stage
+// histograms, in bytes.
+var StageAllocBuckets = []float64{4 << 10, 64 << 10, 1 << 20, 16 << 20, 256 << 20}
+
+func (o *Observer) init() {
+	o.once.Do(func() {
+		if o.Recorder != nil {
+			// Sampling is the producer's business here: every observed
+			// operation was asked for explicitly, so record them all.
+			o.spanner, _ = NewSpanner(1, o.Recorder)
+		}
+		if o.Registry != nil {
+			o.seconds = o.Registry.HistogramVec("dcmodel_stage_seconds",
+				"Observed operation stage wall time.", "stage", StageSecondsBuckets).Lazy()
+			o.alloc = o.Registry.HistogramVec("dcmodel_stage_alloc_bytes",
+				"Observed operation stage heap allocation (approximate, process-wide).", "stage", StageAllocBuckets).Lazy()
+		}
+	})
+}
+
+// StartSpan begins one observed operation's trace (nil-safe; returns nil
+// when the observer records no spans). Finish the returned root span to
+// deliver the tree.
+func (o *Observer) StartSpan(name string) *LiveSpan {
+	if o == nil {
+		return nil
+	}
+	o.init()
+	return o.spanner.StartRequest(name, 0)
+}
+
+// Stage starts one stage measurement under parent (which may be nil):
+// a child span plus the observer's wall/alloc histograms. The returned
+// function stops the stage.
+func (o *Observer) Stage(parent *LiveSpan, name string) func() {
+	if o == nil {
+		return func() {}
+	}
+	o.init()
+	return Stage(parent, name, o.seconds, o.alloc)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"go/parser"
+	"go/token"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegisterPprof(t *testing.T) {
+	mux := http.NewServeMux()
+	RegisterPprof(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestPprofConfinedToObs walks every Go file in the module and asserts
+// net/http/pprof is imported only by internal/obs. The package registers
+// handlers on http.DefaultServeMux as an import side effect; one
+// deliberate, flag-gated mount point (RegisterPprof) is the whole
+// contract, and a second import anywhere would silently widen the
+// daemon's profiling surface. `make obs` runs the same check via go list.
+func TestPprofConfinedToObs(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Skipf("module root: %v", err)
+	}
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if p != "net/http/pprof" {
+				continue
+			}
+			rel, _ := filepath.Rel(root, path)
+			if filepath.ToSlash(filepath.Dir(rel)) != "internal/obs" {
+				t.Errorf("%s imports net/http/pprof; only internal/obs may (mount via obs.RegisterPprof)", rel)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// moduleRoot finds the directory holding go.mod above the test's cwd.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// family is one renderable metric family.
+type family interface {
+	render(w io.Writer)
+}
+
+// Registry is a concurrency-safe set of metric families rendered in the
+// Prometheus plain-text exposition format. Families render in
+// registration order — the registry never reorders them — so a component
+// migrating from a hand-rolled exposition can reproduce its output byte
+// for byte by registering in the same order it used to print.
+//
+// Registration is cheap and normally happens once at construction;
+// observation methods (Add, Set, Observe) are safe for concurrent use
+// with each other and with WriteText.
+type Registry struct {
+	mu        sync.Mutex
+	families  []family
+	snapshots []func(set func(name string, v float64))
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// register appends a family under the registry lock.
+func (r *Registry) register(f family) {
+	r.mu.Lock()
+	r.families = append(r.families, f)
+	r.mu.Unlock()
+}
+
+// OnScrape registers a callback collected at render time. The values it
+// sets are rendered after every registered family, sorted by name,
+// without HELP/TYPE headers — the "bare gauge" tail for values owned by
+// other components (queue depths, window occupancy) whose names may
+// carry inline label syntax. Callbacks run on the scraping goroutine.
+func (r *Registry) OnScrape(fn func(set func(name string, v float64))) {
+	r.mu.Lock()
+	r.snapshots = append(r.snapshots, fn)
+	r.mu.Unlock()
+}
+
+// WriteText renders every family in registration order, then the
+// OnScrape gauges sorted by name.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]family(nil), r.families...)
+	snaps := append([]func(set func(name string, v float64)){}, r.snapshots...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.render(w)
+	}
+	if len(snaps) == 0 {
+		return
+	}
+	vals := make(map[string]float64)
+	for _, fn := range snaps {
+		fn(func(name string, v float64) { vals[name] = v })
+	}
+	names := make([]string, 0, len(vals))
+	for n := range vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%s %g\n", n, vals[n])
+	}
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Counter registers a new counter family.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(c)
+	return c
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) render(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v.Load())
+}
+
+// Gauge is a settable float64 metric.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Gauge registers a new gauge family (initial value 0).
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) render(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.Value())
+}
+
+// labelKeySep joins label values into map keys. It sorts below every
+// printable byte, so lexicographic key order equals component-wise
+// value order.
+const labelKeySep = "\x00"
+
+// LabeledCounter is a counter family with a fixed set of label
+// dimensions; each distinct label-value tuple is one series, created on
+// first Add.
+type LabeledCounter struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	vals       map[string]*atomic.Int64
+}
+
+// LabeledCounter registers a counter family keyed by labelNames.
+func (r *Registry) LabeledCounter(name, help string, labelNames ...string) *LabeledCounter {
+	c := &LabeledCounter{
+		name: name, help: help,
+		labels: append([]string(nil), labelNames...),
+		vals:   make(map[string]*atomic.Int64),
+	}
+	r.register(c)
+	return c
+}
+
+// Add increments the series identified by values (one per label name, in
+// registration order) by d. It panics on a label arity mismatch — that
+// is a programming error, not an observation.
+func (c *LabeledCounter) Add(d int64, values ...string) {
+	if len(values) != len(c.labels) {
+		panic(fmt.Sprintf("obs: %s has %d labels, got %d values", c.name, len(c.labels), len(values)))
+	}
+	k := strings.Join(values, labelKeySep)
+	c.mu.Lock()
+	v := c.vals[k]
+	if v == nil {
+		v = new(atomic.Int64)
+		c.vals[k] = v
+	}
+	c.mu.Unlock()
+	v.Add(d)
+}
+
+// Value returns the series count (0 if the series does not exist).
+func (c *LabeledCounter) Value(values ...string) int64 {
+	k := strings.Join(values, labelKeySep)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v := c.vals[k]; v != nil {
+		return v.Load()
+	}
+	return 0
+}
+
+// labelString renders `l1="v1",l2="v2"` for a joined key.
+func labelString(labels []string, key string) string {
+	values := strings.Split(key, labelKeySep)
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l, values[i])
+	}
+	return b.String()
+}
+
+func (c *LabeledCounter) render(w io.Writer) {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	counts := make([]int64, len(keys))
+	for i, k := range keys {
+		counts[i] = c.vals[k].Load()
+	}
+	c.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+	for i, k := range keys {
+		fmt.Fprintf(w, "%s{%s} %d\n", c.name, labelString(c.labels, k), counts[i])
+	}
+}

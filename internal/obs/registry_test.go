@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryRendersInRegistrationOrder(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("z_total", "Last alphabetically, first registered.")
+	g := reg.Gauge("a_gauge", "First alphabetically, second registered.")
+	c.Add(2)
+	c.Inc()
+	g.Set(2.5)
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	got := b.String()
+	want := "# HELP z_total Last alphabetically, first registered.\n" +
+		"# TYPE z_total counter\n" +
+		"z_total 3\n" +
+		"# HELP a_gauge First alphabetically, second registered.\n" +
+		"# TYPE a_gauge gauge\n" +
+		"a_gauge 2.5\n"
+	if got != want {
+		t.Fatalf("rendered:\n%s\nwant:\n%s", got, want)
+	}
+	if c.Value() != 3 {
+		t.Fatalf("counter value = %d, want 3", c.Value())
+	}
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge value = %g, want 2.5", g.Value())
+	}
+}
+
+func TestLabeledCounterSortsSeries(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.LabeledCounter("req_total", "Requests.", "handler", "code")
+	c.Add(1, "synthesize", "429")
+	c.Add(2, "ingest", "200")
+	c.Add(3, "synthesize", "200")
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	want := "# HELP req_total Requests.\n" +
+		"# TYPE req_total counter\n" +
+		"req_total{handler=\"ingest\",code=\"200\"} 2\n" +
+		"req_total{handler=\"synthesize\",code=\"200\"} 3\n" +
+		"req_total{handler=\"synthesize\",code=\"429\"} 1\n"
+	if got := b.String(); got != want {
+		t.Fatalf("rendered:\n%s\nwant:\n%s", got, want)
+	}
+	if v := c.Value("synthesize", "200"); v != 3 {
+		t.Fatalf("series value = %d, want 3", v)
+	}
+	if v := c.Value("missing", "000"); v != 0 {
+		t.Fatalf("missing series value = %d, want 0", v)
+	}
+}
+
+func TestLabeledCounterArityPanics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.LabeledCounter("x_total", "X.", "one", "two")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with wrong arity did not panic")
+		}
+	}()
+	c.Add(1, "only-one")
+}
+
+func TestOnScrapeTailSortedAfterFamilies(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "A.").Inc()
+	reg.OnScrape(func(set func(name string, v float64)) {
+		set("zz_gauge", 2)
+		set("aa_gauge", 1)
+		set("mm_gauge{label=\"x\"}", 1.5)
+	})
+	var b strings.Builder
+	reg.WriteText(&b)
+	want := "# HELP a_total A.\n# TYPE a_total counter\na_total 1\n" +
+		"aa_gauge 1\nmm_gauge{label=\"x\"} 1.5\nzz_gauge 2\n"
+	if got := b.String(); got != want {
+		t.Fatalf("rendered:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRegistryConcurrency hammers every instrument kind while scraping;
+// run under -race this is the concurrency-safety contract of the package.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "C.")
+	g := reg.Gauge("g", "G.")
+	lc := reg.LabeledCounter("lc_total", "LC.", "k")
+	hv := reg.HistogramVec("h_seconds", "H.", "k", []float64{0.1, 1})
+	reg.OnScrape(func(set func(string, float64)) { set("tail", 1) })
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				lc.Add(1, "a")
+				hv.Observe("a", float64(i)/500)
+				if i%100 == 0 {
+					var b strings.Builder
+					reg.WriteText(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8*500 {
+		t.Fatalf("counter = %d, want %d", c.Value(), 8*500)
+	}
+	if lc.Value("a") != 8*500 {
+		t.Fatalf("labeled = %d, want %d", lc.Value("a"), 8*500)
+	}
+	if hv.With("a").Count() != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", hv.With("a").Count(), 8*500)
+	}
+}

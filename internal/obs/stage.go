@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// allocSampleName is the cumulative heap-allocation counter of
+// runtime/metrics — cheap to read (no stop-the-world), monotone.
+const allocSampleName = "/gc/heap/allocs:bytes"
+
+// AllocBytes returns the process's cumulative heap allocation in bytes.
+// Deltas across a stage attribute allocation to it; under concurrency
+// the attribution is process-wide and therefore approximate, which is
+// the usual tradeoff of allocation accounting without per-goroutine
+// instrumentation — treat the histograms as a ranking signal, not an
+// exact ledger.
+func AllocBytes() uint64 {
+	sample := []metrics.Sample{{Name: allocSampleName}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}
+
+// Stage starts one pipeline-stage measurement: a child span under parent
+// (nil-safe — no span is recorded for unsampled requests) plus
+// wall-clock seconds and allocation-delta bytes observed on the given
+// histogram families (either may be nil). The returned stop function
+// ends the child span and records the histograms; it is safe to call
+// from a different goroutine than the start.
+func Stage(parent *LiveSpan, name string, seconds, alloc *HistogramVec) func() {
+	if parent == nil && seconds == nil && alloc == nil {
+		return func() {}
+	}
+	child := parent.Child(name)
+	start := time.Now()
+	var alloc0 uint64
+	if alloc != nil {
+		alloc0 = AllocBytes()
+	}
+	return func() {
+		child.End()
+		if seconds != nil {
+			seconds.Observe(name, time.Since(start).Seconds())
+		}
+		if alloc != nil {
+			alloc.Observe(name, float64(AllocBytes()-alloc0))
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"testing"
+
+	"dcmodel/internal/dapper"
+)
+
+func TestAllocBytesMonotone(t *testing.T) {
+	before := AllocBytes()
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 16<<10)
+	}
+	after := AllocBytes()
+	if after < before {
+		t.Fatalf("alloc counter went backwards: %d -> %d", before, after)
+	}
+	if after == before {
+		t.Fatalf("allocating %d KiB moved the counter by zero", len(sink)*16)
+	}
+	_ = sink
+}
+
+func TestStageObservesHistogramsAndSpan(t *testing.T) {
+	reg := NewRegistry()
+	secs := reg.HistogramVec("stage_seconds", "S.", "stage", []float64{1})
+	alloc := reg.HistogramVec("stage_alloc", "A.", "stage", []float64{1 << 20})
+
+	var c dapper.Collector
+	sp, _ := NewSpanner(1, &c)
+	root := sp.StartRequest("req", 0)
+
+	stop := Stage(root, "synthesize", secs, alloc)
+	stop()
+	root.Finish()
+
+	if n := secs.With("synthesize").Count(); n != 1 {
+		t.Fatalf("seconds count = %d, want 1", n)
+	}
+	if n := alloc.With("synthesize").Count(); n != 1 {
+		t.Fatalf("alloc count = %d, want 1", n)
+	}
+	tree := c.Trees()[0]
+	if tree.Count != 2 || tree.Root.Children[0].Span.Name != "synthesize" {
+		t.Fatalf("stage span missing: count=%d", tree.Count)
+	}
+}
+
+func TestStageAllNilIsNoop(t *testing.T) {
+	stop := Stage(nil, "x", nil, nil)
+	stop() // must not panic
+}
+
+func TestStageNilSpanStillObserves(t *testing.T) {
+	reg := NewRegistry()
+	secs := reg.HistogramVec("s_seconds", "S.", "stage", []float64{1})
+	stop := Stage(nil, "x", secs, nil)
+	stop()
+	if n := secs.With("x").Count(); n != 1 {
+		t.Fatalf("count = %d, want 1 (histograms must not require a sampled span)", n)
+	}
+}
+
+func TestObserverLazyInit(t *testing.T) {
+	var nilObs *Observer
+	if nilObs.StartSpan("x") != nil {
+		t.Fatal("nil observer produced a span")
+	}
+	nilObs.Stage(nil, "x")() // no-op, no panic
+
+	reg := NewRegistry()
+	var c dapper.Collector
+	o := &Observer{Registry: reg, Recorder: &c}
+	span := o.StartSpan("train:KOOZA")
+	stop := o.Stage(span, "fit.kooza")
+	stop()
+	span.Finish()
+	if c.Len() != 1 {
+		t.Fatalf("observer recorded %d trees, want 1", c.Len())
+	}
+	if n := o.seconds.With("fit.kooza").Count(); n != 1 {
+		t.Fatalf("stage seconds count = %d, want 1", n)
+	}
+}

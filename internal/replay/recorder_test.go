@@ -1,0 +1,43 @@
+package replay
+
+import (
+	"testing"
+
+	"dcmodel/internal/dapper"
+	"dcmodel/internal/gfs"
+)
+
+// TestReplayRecorderSeam: a Platform.Recorder receives one span tree per
+// replayed request, in replay order, and attaching it changes nothing
+// about the replay itself.
+func TestReplayRecorderSeam(t *testing.T) {
+	tr := gfsTrace(t, 4, 300, 5)
+
+	var col dapper.Collector
+	with, err := Run(tr, Platform{NewServer: gfs.DefaultServerHW, Recorder: &col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(tr, Platform{NewServer: gfs.DefaultServerHW})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if col.Len() != with.Len() {
+		t.Fatalf("recorded %d trees for %d replayed requests", col.Len(), with.Len())
+	}
+	for i, tree := range col.Trees() {
+		if got, want := int64(tree.Root.Span.Trace)-1, with.Requests[i].ID; got != want {
+			t.Fatalf("tree %d out of replay order: request ID %d, want %d", i, got, want)
+		}
+		// The tree reflects the replayed (not the original) timings.
+		if lat := tree.Latency(); lat != with.Requests[i].Latency() {
+			t.Fatalf("tree %d latency %g, replayed request latency %g", i, lat, with.Requests[i].Latency())
+		}
+	}
+	for i := range with.Requests {
+		if with.Requests[i].Latency() != without.Requests[i].Latency() {
+			t.Fatalf("recorder perturbed replay timing at request %d", i)
+		}
+	}
+}

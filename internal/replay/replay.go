@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dcmodel/internal/dapper"
 	"dcmodel/internal/fault"
 	"dcmodel/internal/hw"
 	"dcmodel/internal/trace"
@@ -38,6 +39,12 @@ type Platform struct {
 	// FaultStream selects the failure-history sub-stream when Faults is
 	// armed (see gfs.RunConfig.FaultStream).
 	FaultStream uint64
+	// Recorder, when non-nil, receives one dapper span tree per replayed
+	// request, in replay (arrival) order — the shared tracing seam (see
+	// dapper.Recorder). Recording reads the finished request only and
+	// perturbs no timing; wrap the recorder with obs.SampleEvery to keep a
+	// fraction.
+	Recorder dapper.Recorder
 }
 
 // serverState is one server's hardware plus per-subsystem availability
@@ -96,6 +103,9 @@ func Run(tr *trace.Trace, p Platform) (*trace.Trace, error) {
 			return nil, err
 		}
 		out.Requests[idx] = req
+		if p.Recorder != nil {
+			p.Recorder.Record(dapper.FromRequest(req))
+		}
 	}
 	return out, nil
 }

@@ -85,18 +85,18 @@ func TestRetrainBreaker(t *testing.T) {
 	if open, _ := s.BreakerOpen(); !open {
 		t.Fatalf("breaker closed after %d consecutive failures", cfg.BreakerThreshold)
 	}
-	if got := s.metrics.breakerTrips.Load(); got != 1 {
+	if got := s.metrics.breakerTrips.Value(); got != 1 {
 		t.Fatalf("breaker trips = %d, want 1", got)
 	}
 
 	// With the breaker open, poisoned ingests are quiet no-ops: no retrain
 	// attempt, no error, no new failures counted.
-	errsBefore := s.metrics.retrainErrors.Load()
+	errsBefore := s.metrics.retrainErrors.Value()
 	retrained, _, err = s.Ingest(nanTrace(8, 200))
 	if err != nil || retrained {
 		t.Fatalf("ingest with open breaker: retrained=%v err=%v, want quiet no-op", retrained, err)
 	}
-	if got := s.metrics.retrainErrors.Load(); got != errsBefore {
+	if got := s.metrics.retrainErrors.Value(); got != errsBefore {
 		t.Fatalf("open breaker still attempted a retrain (%d -> %d errors)", errsBefore, got)
 	}
 

@@ -14,6 +14,7 @@ import (
 	"dcmodel/internal/crossexam"
 	"dcmodel/internal/errs"
 	"dcmodel/internal/fault"
+	"dcmodel/internal/obs"
 	"dcmodel/internal/replay"
 	"dcmodel/internal/trace"
 )
@@ -24,13 +25,17 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/ingest", s.timed("ingest", s.handleIngest))
-	mux.HandleFunc("/v1/synthesize", s.timed("synthesize", s.handleSynthesize))
-	mux.HandleFunc("/v1/characterize", s.timed("characterize", s.handleCharacterize))
-	mux.HandleFunc("/v1/replay", s.timed("replay", s.handleReplay))
+	mux.HandleFunc("/v1/ingest", s.instrumented("ingest", s.handleIngest))
+	mux.HandleFunc("/v1/synthesize", s.instrumented("synthesize", s.handleSynthesize))
+	mux.HandleFunc("/v1/characterize", s.instrumented("characterize", s.handleCharacterize))
+	mux.HandleFunc("/v1/replay", s.instrumented("replay", s.handleReplay))
 	mux.HandleFunc("/v1/faults", s.timed("faults", s.handleFaults))
+	mux.HandleFunc("/v1/traces", s.timed("traces", s.handleTraces))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.cfg.Obs != nil && s.cfg.Obs.Pprof {
+		obs.RegisterPprof(mux)
+	}
 	return mux
 }
 
@@ -65,6 +70,37 @@ func (s *Server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		s.metrics.observe(name, sw.code, time.Since(start).Seconds())
 	}
+}
+
+// instrumented is timed plus live tracing: when the tracer samples this
+// request, a root span rides the request context through the pipeline
+// stages, the response status is annotated, and the finished tree is
+// delivered to the trace ring. Unsampled requests (and daemons without
+// Obs) pay one atomic increment.
+func (s *Server) instrumented(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		span := s.spanner.StartRequest("http:"+name, 0)
+		if span != nil {
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), span))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		span.Annotate("status=%d", sw.code)
+		span.Finish()
+		s.metrics.observe(name, sw.code, time.Since(start).Seconds())
+	}
+}
+
+// stage starts one measured pipeline stage: a child span under the
+// request's sampled trace (if any) plus the wall/alloc histograms when
+// the observability layer is armed. Callers defer or call the returned
+// stop function.
+func (s *Server) stage(span *obs.LiveSpan, name string) func() {
+	return obs.Stage(span, name, s.stageSecs, s.stageAlloc)
 }
 
 // httpError writes a JSON error body.
@@ -155,10 +191,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	span := obs.SpanFrom(r.Context())
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes)
 	dec := trace.NewSpanReader(body)
 	var ingested int
 	var decodeErr error
+	stop := s.stage(span, "ingest.decode")
 	s.ingestMu.Lock()
 	for {
 		req, err := dec.Next()
@@ -172,9 +210,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.ingestOne(req)
 		ingested++
 	}
+	stop()
+	span.Annotate("ingested=%d", ingested)
 	retrained, reason, trainErr := false, "", error(nil)
 	if ingested > 0 {
-		retrained, reason, trainErr = s.maybeRetrainLocked()
+		retrained, reason, trainErr = s.maybeRetrainLocked(span)
 	}
 	s.ingestMu.Unlock()
 
@@ -256,27 +296,36 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	p := s.replayPlatform()
+	span := obs.SpanFrom(r.Context())
+	waitStop := s.stage(span, "queue.wait")
 	s.enqueue(w, r, func(ctx context.Context) func(http.ResponseWriter) {
+		waitStop()
+		stop := s.stage(span, "synthesize")
 		synth, err := synthesize(n, rand.New(rand.NewSource(seed)))
+		stop()
 		if err != nil {
 			return func(w http.ResponseWriter) {
 				httpError(w, http.StatusInternalServerError, "synthesize: %v", err)
 			}
 		}
 		if doReplay && ctx.Err() == nil {
+			stop = s.stage(span, "replay")
 			synth, err = replay.Run(synth, p)
+			stop()
 			if err != nil {
 				return func(w http.ResponseWriter) {
 					httpError(w, http.StatusInternalServerError, "replay: %v", err)
 				}
 			}
 		}
+		stop = s.stage(span, "encode")
 		var buf bytes.Buffer
 		if format == "json" {
 			err = trace.WriteJSON(&buf, synth)
 		} else {
 			err = trace.WriteCSV(&buf, synth)
 		}
+		stop()
 		if err != nil {
 			return func(w http.ResponseWriter) {
 				httpError(w, http.StatusInternalServerError, "encode: %v", err)
@@ -330,7 +379,12 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "n must be in [1, %d]", s.cfg.MaxSynth)
 		return
 	}
+	span := obs.SpanFrom(r.Context())
+	waitStop := s.stage(span, "queue.wait")
 	s.enqueue(w, r, func(ctx context.Context) func(http.ResponseWriter) {
+		waitStop()
+		stop := s.stage(span, "crossexam")
+		defer stop()
 		snap := s.win.snapshot()
 		approaches := []crossexam.Approach{
 			{Name: "in-breadth", Knobs: 3, Synthesize: ms.InBreadth.Synthesize, NumParams: ms.InBreadth.NumParams()},
@@ -368,8 +422,11 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	span := obs.SpanFrom(r.Context())
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes)
+	stop := s.stage(span, "replay.decode")
 	tr, err := trace.ReadCSV(body)
+	stop()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "decode: %v", err)
 		return
@@ -378,16 +435,24 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty trace")
 		return
 	}
+	span.Annotate("requests=%d", tr.Len())
 	p := s.replayPlatform()
+	waitStop := s.stage(span, "queue.wait")
 	s.enqueue(w, r, func(ctx context.Context) func(http.ResponseWriter) {
+		waitStop()
+		stop := s.stage(span, "replay")
 		timed, err := replay.Run(tr, p)
+		stop()
 		if err != nil {
 			return func(w http.ResponseWriter) {
 				httpError(w, http.StatusInternalServerError, "replay: %v", err)
 			}
 		}
+		stop = s.stage(span, "encode")
 		var buf bytes.Buffer
-		if err := trace.WriteCSV(&buf, timed); err != nil {
+		err = trace.WriteCSV(&buf, timed)
+		stop()
+		if err != nil {
 			return func(w http.ResponseWriter) {
 				httpError(w, http.StatusInternalServerError, "encode: %v", err)
 			}
@@ -440,26 +505,56 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(faultsResponse{Armed: armed != nil, Scenario: armed})
 }
 
-// handleMetrics renders the plain-text metrics.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// scrapeGauges feeds the gauges owned by other components (queue, window,
+// drift accumulator) into the registry's bare-gauge tail at scrape time.
+func (s *Server) scrapeGauges(set func(name string, v float64)) {
 	n, capacity, total, spans := s.win.stats()
 	s.ingestMu.Lock()
 	driftTrans := s.drift.Transitions()
 	s.ingestMu.Unlock()
-	gauges := map[string]float64{
-		"dcmodeld_queue_depth":       float64(s.pool.Depth()),
-		"dcmodeld_queue_running":     float64(s.pool.Running()),
-		"dcmodeld_window_requests":   float64(n),
-		"dcmodeld_window_capacity":   float64(capacity),
-		"dcmodeld_window_total":      float64(total),
-		"dcmodeld_window_occupancy":  float64(n) / float64(capacity),
-		"dcmodeld_drift_transitions": float64(driftTrans),
-	}
+	set("dcmodeld_queue_depth", float64(s.pool.Depth()))
+	set("dcmodeld_queue_running", float64(s.pool.Running()))
+	set("dcmodeld_window_requests", float64(n))
+	set("dcmodeld_window_capacity", float64(capacity))
+	set("dcmodeld_window_total", float64(total))
+	set("dcmodeld_window_occupancy", float64(n)/float64(capacity))
+	set("dcmodeld_drift_transitions", float64(driftTrans))
 	for i, sub := range trace.Subsystems() {
-		gauges[fmt.Sprintf("dcmodeld_window_spans{subsystem=%q}", sub.String())] = float64(spans[i])
+		set(fmt.Sprintf("dcmodeld_window_spans{subsystem=%q}", sub.String()), float64(spans[i]))
 	}
+}
+
+// handleMetrics renders the plain-text metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.metrics.write(w, gauges)
+	s.metrics.reg.WriteText(w)
+}
+
+// handleTraces dumps the sampled span trees held by the trace ring as a
+// JSON forest, oldest first — the live-tracing read path. A daemon
+// without Obs (or with sampling disabled) reports enabled=false and an
+// empty forest rather than a 404, so probes can distinguish "off" from
+// "missing".
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	dump := obs.TraceDump{Traces: []*obs.TreeDump{}}
+	if s.spanner != nil {
+		dump.Enabled = true
+		dump.SampleEvery = s.spanner.SampleEvery()
+		dump.Capacity = s.traces.Cap()
+		dump.Started, dump.Sampled = s.spanner.Stats()
+		for _, t := range s.traces.Snapshot() {
+			if td := obs.DumpTree(t); td != nil {
+				dump.Traces = append(dump.Traces, td)
+			}
+		}
+		dump.Held = len(dump.Traces)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(dump)
 }
 
 // handleHealthz reports liveness and model warmth.

@@ -1,178 +1,94 @@
 package serve
 
 import (
-	"fmt"
-	"io"
-	"math"
-	"sort"
-	"sync"
-	"sync/atomic"
+	"strconv"
+
+	"dcmodel/internal/obs"
 )
 
-// Plain-text metrics in the Prometheus exposition style, stdlib only:
-// atomic counters, a mutex-guarded label map for per-handler request
-// counts, and fixed-bucket latency histograms.
+// The daemon's metrics live on an obs.Registry; this file only names the
+// instruments and pins their registration order, which the registry
+// renders verbatim — the order (and therefore every byte of /metrics) is
+// the same as the daemon's original hand-rolled exposition, guarded by
+// TestMetricsGolden.
 
-// latencyBuckets are the cumulative histogram bounds in seconds.
+// latencyBuckets are the request-latency histogram bounds in seconds.
 var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}
 
-// histogram is a fixed-bucket cumulative latency histogram.
-type histogram struct {
-	mu     sync.Mutex
-	counts []int64 // one per bucket, plus the +Inf overflow at the end
-	sum    float64
-	n      int64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
-}
-
-func (h *histogram) observe(v float64) {
-	if math.IsNaN(v) || v < 0 {
-		return
-	}
-	idx := sort.SearchFloat64s(latencyBuckets, v)
-	h.mu.Lock()
-	h.counts[idx]++
-	h.sum += v
-	h.n++
-	h.mu.Unlock()
-}
-
-// write renders the histogram with cumulative bucket counts.
-func (h *histogram) write(w io.Writer, name, labels string) {
-	h.mu.Lock()
-	counts := append([]int64(nil), h.counts...)
-	sum, n := h.sum, h.n
-	h.mu.Unlock()
-	var cum int64
-	for i, bound := range latencyBuckets {
-		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", name, labels, bound, cum)
-	}
-	cum += counts[len(counts)-1]
-	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
-	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, sum)
-	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, n)
-}
-
-// metrics aggregates the daemon's counters. All methods are safe for
+// metrics aggregates the daemon's instruments. All methods are safe for
 // concurrent use.
 type metrics struct {
-	mu       sync.Mutex
-	requests map[string]map[int]int64 // handler -> status code -> count
-	latency  map[string]*histogram    // handler -> latency histogram
+	reg *obs.Registry
 
-	rejected       atomic.Int64 // 429s from a full queue
-	deadline       atomic.Int64 // requests cut off by the per-request deadline
-	ingested       atomic.Int64 // requests folded into the window
-	retrains       atomic.Int64
-	retrainErrors  atomic.Int64
-	driftRetrains  atomic.Int64
-	staleRetrains  atomic.Int64
-	breakerTrips   atomic.Int64
-	lastDriftStat  atomic.Uint64 // math.Float64bits
-	lastDriftP     atomic.Uint64 // math.Float64bits
-	modelTrainedOn atomic.Int64
+	requests *obs.LabeledCounter // finished requests by handler and status
+	latency  *obs.HistogramVec   // request latency by handler
+
+	rejected      *obs.Counter // 429s from a full queue
+	deadline      *obs.Counter // requests cut off by the per-request deadline
+	ingested      *obs.Counter // requests folded into the window
+	retrains      *obs.Counter
+	driftRetrains *obs.Counter
+	staleRetrains *obs.Counter
+	retrainErrors *obs.Counter
+	breakerTrips  *obs.Counter
+
+	driftStat      *obs.Gauge
+	driftP         *obs.Gauge
+	modelTrainedOn *obs.Gauge
+
+	// Per-stage wall/alloc accounting, populated only when cfg.Obs arms
+	// the observability layer. Lazy: an idle family renders nothing, so
+	// a daemon without Obs keeps the byte-pinned exposition.
+	stageSeconds *obs.HistogramVec
+	stageAlloc   *obs.HistogramVec
 }
 
 func newMetrics() *metrics {
+	reg := obs.NewRegistry()
 	m := &metrics{
-		requests: make(map[string]map[int]int64),
-		latency:  make(map[string]*histogram),
+		reg: reg,
+		requests: reg.LabeledCounter("dcmodeld_requests_total",
+			"Finished HTTP requests by handler and status code.", "handler", "code"),
+		latency: reg.HistogramVec("dcmodeld_request_seconds",
+			"Request latency by handler.", "handler", latencyBuckets),
+		rejected: reg.Counter("dcmodeld_queue_rejected_total",
+			"Requests refused with 429 because the work queue was full."),
+		deadline: reg.Counter("dcmodeld_deadline_exceeded_total",
+			"Requests cut off by the per-request deadline."),
+		ingested: reg.Counter("dcmodeld_ingested_requests_total",
+			"Trace requests folded into the sliding window."),
+		retrains: reg.Counter("dcmodeld_retrain_total",
+			"Model retrains (all causes)."),
+		driftRetrains: reg.Counter("dcmodeld_retrain_drift_total",
+			"Retrains triggered by transition-row drift."),
+		staleRetrains: reg.Counter("dcmodeld_retrain_stale_total",
+			"Retrains triggered by model staleness."),
+		retrainErrors: reg.Counter("dcmodeld_retrain_errors_total",
+			"Retrain attempts that failed (previous model kept)."),
+		breakerTrips: reg.Counter("dcmodeld_retrain_breaker_trips_total",
+			"Times the retrain circuit breaker opened after consecutive failures."),
+		driftStat: reg.Gauge("dcmodeld_drift_stat",
+			"Chi-square statistic of the last drift check."),
+		driftP: reg.Gauge("dcmodeld_drift_p",
+			"P-value of the last drift check."),
+		modelTrainedOn: reg.Gauge("dcmodeld_model_trained_on",
+			"Window requests the served model was trained on (0 = cold)."),
+		stageSeconds: reg.HistogramVec("dcmodeld_stage_seconds",
+			"Pipeline stage wall time.", "stage", obs.StageSecondsBuckets).Lazy(),
+		stageAlloc: reg.HistogramVec("dcmodeld_stage_alloc_bytes",
+			"Pipeline stage heap allocation (approximate, process-wide).", "stage", obs.StageAllocBuckets).Lazy(),
 	}
-	m.lastDriftP.Store(math.Float64bits(1))
+	m.driftP.Set(1)
 	return m
 }
 
 // observe records one finished HTTP request.
 func (m *metrics) observe(handler string, code int, seconds float64) {
-	m.mu.Lock()
-	byCode := m.requests[handler]
-	if byCode == nil {
-		byCode = make(map[int]int64)
-		m.requests[handler] = byCode
-	}
-	byCode[code]++
-	h := m.latency[handler]
-	if h == nil {
-		h = newHistogram()
-		m.latency[handler] = h
-	}
-	m.mu.Unlock()
-	h.observe(seconds)
+	m.requests.Add(1, handler, strconv.Itoa(code))
+	m.latency.Observe(handler, seconds)
 }
 
 func (m *metrics) setDrift(stat, p float64) {
-	m.lastDriftStat.Store(math.Float64bits(stat))
-	m.lastDriftP.Store(math.Float64bits(p))
-}
-
-// write renders every counter. Gauges owned by other components (queue
-// depth, window occupancy) are passed in by the caller.
-func (m *metrics) write(w io.Writer, gauges map[string]float64) {
-	fmt.Fprintf(w, "# HELP dcmodeld_requests_total Finished HTTP requests by handler and status code.\n")
-	fmt.Fprintf(w, "# TYPE dcmodeld_requests_total counter\n")
-	m.mu.Lock()
-	handlers := make([]string, 0, len(m.requests))
-	for h := range m.requests {
-		handlers = append(handlers, h)
-	}
-	sort.Strings(handlers)
-	for _, h := range handlers {
-		codes := make([]int, 0, len(m.requests[h]))
-		for c := range m.requests[h] {
-			codes = append(codes, c)
-		}
-		sort.Ints(codes)
-		for _, c := range codes {
-			fmt.Fprintf(w, "dcmodeld_requests_total{handler=%q,code=\"%d\"} %d\n", h, c, m.requests[h][c])
-		}
-	}
-	hists := make([]string, 0, len(m.latency))
-	for h := range m.latency {
-		hists = append(hists, h)
-	}
-	sort.Strings(hists)
-	histCopies := make([]*histogram, len(hists))
-	for i, h := range hists {
-		histCopies[i] = m.latency[h]
-	}
-	m.mu.Unlock()
-
-	fmt.Fprintf(w, "# HELP dcmodeld_request_seconds Request latency by handler.\n")
-	fmt.Fprintf(w, "# TYPE dcmodeld_request_seconds histogram\n")
-	for i, h := range hists {
-		histCopies[i].write(w, "dcmodeld_request_seconds", fmt.Sprintf("handler=%q", h))
-	}
-
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	counter("dcmodeld_queue_rejected_total", "Requests refused with 429 because the work queue was full.", m.rejected.Load())
-	counter("dcmodeld_deadline_exceeded_total", "Requests cut off by the per-request deadline.", m.deadline.Load())
-	counter("dcmodeld_ingested_requests_total", "Trace requests folded into the sliding window.", m.ingested.Load())
-	counter("dcmodeld_retrain_total", "Model retrains (all causes).", m.retrains.Load())
-	counter("dcmodeld_retrain_drift_total", "Retrains triggered by transition-row drift.", m.driftRetrains.Load())
-	counter("dcmodeld_retrain_stale_total", "Retrains triggered by model staleness.", m.staleRetrains.Load())
-	counter("dcmodeld_retrain_errors_total", "Retrain attempts that failed (previous model kept).", m.retrainErrors.Load())
-	counter("dcmodeld_retrain_breaker_trips_total", "Times the retrain circuit breaker opened after consecutive failures.", m.breakerTrips.Load())
-
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
-	gauge("dcmodeld_drift_stat", "Chi-square statistic of the last drift check.", math.Float64frombits(m.lastDriftStat.Load()))
-	gauge("dcmodeld_drift_p", "P-value of the last drift check.", math.Float64frombits(m.lastDriftP.Load()))
-	gauge("dcmodeld_model_trained_on", "Window requests the served model was trained on (0 = cold).", float64(m.modelTrainedOn.Load()))
-	names := make([]string, 0, len(gauges))
-	for n := range gauges {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		// Labelled gauge series (e.g. window spans per subsystem) are
-		// emitted bare; HELP/TYPE headers apply to unlabelled names only.
-		fmt.Fprintf(w, "%s %g\n", n, gauges[n])
-	}
+	m.driftStat.Set(stat)
+	m.driftP.Set(p)
 }

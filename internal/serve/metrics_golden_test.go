@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateMetrics = flag.Bool("update-metrics", false, "regenerate the /metrics golden file under testdata/")
+
+// TestMetricsGolden pins the /metrics exposition output byte for byte.
+// The golden file was generated against the pre-obs.Registry metrics
+// implementation; the registry migration must not change a single byte of
+// the rendered families, their ordering, or their label formatting.
+func TestMetricsGolden(t *testing.T) {
+	cfg := quietConfig()
+	s := newTestServer(t, cfg)
+
+	// Deterministic stimulus touching every metric family: labeled request
+	// counters, latency histograms (one value per bucket regime), every
+	// scalar counter, and the drift/model gauges.
+	s.metrics.observe("synthesize", 200, 0.003)
+	s.metrics.observe("synthesize", 200, 0.12)
+	s.metrics.observe("synthesize", 429, 0.0001)
+	s.metrics.observe("ingest", 200, 0.75)
+	s.metrics.observe("replay", 504, 42)
+	s.metrics.rejected.Add(1)
+	s.metrics.deadline.Add(2)
+	s.metrics.ingested.Add(400)
+	s.metrics.retrains.Add(3)
+	s.metrics.driftRetrains.Add(1)
+	s.metrics.staleRetrains.Add(1)
+	s.metrics.retrainErrors.Add(1)
+	s.metrics.breakerTrips.Add(1)
+	s.metrics.setDrift(12.5, 0.0625)
+	s.metrics.modelTrainedOn.Set(400)
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rw, req)
+	got := rw.Body.Bytes()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateMetrics {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/serve/ -run MetricsGolden -update-metrics` to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("/metrics drifted from the golden exposition (re-run with -update-metrics only if the change is intentional)\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

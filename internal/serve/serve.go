@@ -40,6 +40,7 @@ import (
 	"dcmodel/internal/indepth"
 	"dcmodel/internal/kooza"
 	"dcmodel/internal/markov"
+	"dcmodel/internal/obs"
 	"dcmodel/internal/par"
 	"dcmodel/internal/replay"
 	"dcmodel/internal/trace"
@@ -98,6 +99,11 @@ type Config struct {
 	// Platform is the replay hardware; nil NewServer selects the default
 	// GFS chunkserver.
 	Platform replay.Platform
+	// Obs arms the observability layer: live span sampling served by
+	// GET /v1/traces, per-stage wall/alloc histograms, and optionally the
+	// /debug/pprof/ profiling endpoints. nil keeps the daemon's /metrics
+	// output byte-identical to a daemon built before the layer existed.
+	Obs *obs.Options
 }
 
 // DefaultConfig returns the production defaults.
@@ -213,6 +219,14 @@ type Server struct {
 	// healthy). Swapped atomically by the /v1/faults admin endpoint.
 	faults atomic.Pointer[fault.Config]
 
+	// Observability (nil unless cfg.Obs arms the layer): the live tracer
+	// head-sampling pipeline requests, the ring buffer behind
+	// GET /v1/traces, and the stage histogram families.
+	spanner    *obs.Spanner
+	traces     *obs.TraceRing
+	stageSecs  *obs.HistogramVec
+	stageAlloc *obs.HistogramVec
+
 	mux      *http.ServeMux
 	closed   atomic.Bool
 	stopPoll chan struct{}
@@ -255,6 +269,20 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.faults.Store(&armed)
 	}
+	if cfg.Obs != nil {
+		o := cfg.Obs.WithDefaults()
+		s.traces = obs.NewTraceRing(o.TraceCapacity)
+		if o.SampleEvery >= 1 {
+			s.spanner, err = obs.NewSpanner(o.SampleEvery, obs.Tee(s.traces, o.Recorder))
+			if err != nil {
+				return nil, fmt.Errorf("serve: tracer: %w", err)
+			}
+		}
+		s.stageSecs, s.stageAlloc = s.metrics.stageSeconds, s.metrics.stageAlloc
+	}
+	// Gauges owned by other components render as the bare tail of the
+	// exposition, collected at scrape time.
+	s.metrics.reg.OnScrape(s.scrapeGauges)
 	s.mux = s.buildMux()
 	s.pollWG.Add(1)
 	go s.pollLoop()
@@ -300,7 +328,7 @@ func (s *Server) pollLoop() {
 			return
 		case <-t.C:
 			s.ingestMu.Lock()
-			s.maybeRetrainLocked()
+			s.maybeRetrainLocked(nil)
 			s.ingestMu.Unlock()
 		}
 	}
@@ -368,5 +396,5 @@ func (s *Server) Ingest(tr *trace.Trace) (retrained bool, reason string, err err
 	for _, r := range tr.Requests {
 		s.ingestOne(r)
 	}
-	return s.maybeRetrainLocked()
+	return s.maybeRetrainLocked(nil)
 }

@@ -561,7 +561,7 @@ func TestDriftRetrainConvergence(t *testing.T) {
 
 	// The drift retrain was counted.
 	var buf bytes.Buffer
-	s.metrics.write(&buf, nil)
+	s.metrics.reg.WriteText(&buf)
 	if !strings.Contains(buf.String(), "dcmodeld_retrain_drift_total 1") {
 		t.Error("metrics missing the drift retrain count")
 	}

@@ -11,6 +11,7 @@ import (
 	"dcmodel/internal/indepth"
 	"dcmodel/internal/kooza"
 	"dcmodel/internal/markov"
+	"dcmodel/internal/obs"
 	"dcmodel/internal/trace"
 )
 
@@ -31,8 +32,11 @@ const (
 )
 
 // maybeRetrainLocked runs the online-training decision. Callers hold
-// ingestMu. It returns whether a retrain happened and why.
-func (s *Server) maybeRetrainLocked() (bool, string, error) {
+// ingestMu. It returns whether a retrain happened and why. span is the
+// caller's sampled trace span (nil outside a sampled request — the poll
+// loop and programmatic callers pass nil, which also keeps sampled trace
+// shapes deterministic for a fixed request sequence).
+func (s *Server) maybeRetrainLocked(span *obs.LiveSpan) (bool, string, error) {
 	n, _, total, _ := s.win.stats()
 	if n < minTrainRequests {
 		return false, "", nil
@@ -48,7 +52,7 @@ func (s *Server) maybeRetrainLocked() (bool, string, error) {
 	if ms == nil {
 		// Cold start: become warm at the first trainable window rather
 		// than waiting out RetrainMin.
-		return s.retrainLocked(ReasonCold)
+		return s.retrainLocked(ReasonCold, span)
 	}
 	newSince := total - ms.TotalAt
 	if newSince < int64(s.cfg.RetrainMin) {
@@ -62,14 +66,15 @@ func (s *Server) maybeRetrainLocked() (bool, string, error) {
 			s.metrics.setDrift(res.Statistic, res.P)
 			if res.P < s.cfg.DriftP {
 				s.metrics.driftRetrains.Add(1)
-				return s.retrainLocked(ReasonDrift)
+				span.Annotate("drift: stat=%g p=%g", res.Statistic, res.P)
+				return s.retrainLocked(ReasonDrift, span)
 			}
 		}
 	}
 	// Staleness trigger: enough fresh data and an old model.
 	if time.Since(ms.TrainedAt) >= s.cfg.RetrainInterval {
 		s.metrics.staleRetrains.Add(1)
-		return s.retrainLocked(ReasonStale)
+		return s.retrainLocked(ReasonStale, span)
 	}
 	return false, "", nil
 }
@@ -79,7 +84,7 @@ func (s *Server) maybeRetrainLocked() (bool, string, error) {
 func (s *Server) Retrain() error {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
-	_, _, err := s.retrainLocked(ReasonForce)
+	_, _, err := s.retrainLocked(ReasonForce, nil)
 	return err
 }
 
@@ -95,7 +100,9 @@ func (s *Server) BreakerOpen() (bool, time.Time) {
 // retrainLocked trains a fresh model generation from the window snapshot
 // and swaps it in. On failure the previous generation keeps serving and
 // the failure counts toward the circuit breaker. Callers hold ingestMu.
-func (s *Server) retrainLocked(reason string) (bool, string, error) {
+func (s *Server) retrainLocked(reason string, span *obs.LiveSpan) (bool, string, error) {
+	trainSpan := span.Child("train:" + reason)
+	defer trainSpan.End()
 	snap := s.win.snapshot()
 	fail := func(err error) (bool, string, error) {
 		s.metrics.retrainErrors.Add(1)
@@ -107,34 +114,44 @@ func (s *Server) retrainLocked(reason string) (bool, string, error) {
 		}
 		return false, reason, fmt.Errorf("serve: retrain (%s): %w", reason, err)
 	}
+	stop := s.stage(trainSpan, "train.kooza")
 	kz, err := kooza.Train(snap, kooza.Options{
 		StorageRegions: s.cfg.StorageRegions,
 		DiskBlocks:     s.cfg.DiskBlocks,
 		Smoothing:      s.cfg.Smoothing,
 	})
+	stop()
 	if err != nil {
 		return fail(err)
 	}
+	stop = s.stage(trainSpan, "train.inbreadth")
 	ib, err := inbreadth.Train(snap, inbreadth.Options{
 		StorageRegions: s.cfg.StorageRegions,
 		DiskBlocks:     s.cfg.DiskBlocks,
 		Smoothing:      s.cfg.Smoothing,
 	})
+	stop()
 	if err != nil {
 		return fail(err)
 	}
+	stop = s.stage(trainSpan, "train.indepth")
 	id, err := indepth.Train(snap)
+	stop()
 	if err != nil {
 		return fail(err)
 	}
+	stop = s.stage(trainSpan, "train.ref")
 	ref, err := s.pooledStorageChain(snap)
+	stop()
 	if err != nil {
 		return fail(err)
 	}
 	// The refreeze hook: trained chains arrive frozen, but freezing again
 	// here guarantees the invariant for model generations assembled any
 	// other way (e.g. loaded from disk in a future snapshot-restore path).
+	stop = s.stage(trainSpan, "refreeze")
 	kz.Refreeze()
+	stop()
 	_, _, total, _ := s.win.stats()
 	s.model.Store(&modelSet{
 		Kooza:      kz,
@@ -151,7 +168,7 @@ func (s *Server) retrainLocked(reason string) (bool, string, error) {
 	s.retrainFails = 0
 	s.breakerUntil = time.Time{}
 	s.metrics.retrains.Add(1)
-	s.metrics.modelTrainedOn.Store(int64(snap.Len()))
+	s.metrics.modelTrainedOn.Set(float64(snap.Len()))
 	return true, reason, nil
 }
 

@@ -1,0 +1,103 @@
+package dcmodel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRecordRequestsFacade(t *testing.T) {
+	tr := simulate(t, 1000, 20, 20)
+	var c TraceCollector
+	started, sampled, err := RecordRequests(tr, 100, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started != 1000 || sampled != 10 || c.Len() != 10 {
+		t.Errorf("sampling %d/%d, collected %d", started, sampled, c.Len())
+	}
+
+	// The same call composes with a bounded ring: only the most recent
+	// trees survive.
+	ring := NewTraceRing(4)
+	if _, _, err := RecordRequests(tr, 100, ring); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() != 4 || ring.Recorded() != 10 {
+		t.Errorf("ring holds %d of %d recorded", ring.Len(), ring.Recorded())
+	}
+
+	if _, _, err := RecordRequests(tr, 0, &c); err == nil {
+		t.Error("sampleEvery=0 accepted")
+	}
+	if _, _, err := RecordRequests(tr, 1, nil); err == nil {
+		t.Error("nil recorder accepted")
+	}
+}
+
+// TestWithObserverFacade: Train with an Observer records one span tree
+// per call and fills the observer's stage histograms, without changing
+// the trained model.
+func TestWithObserverFacade(t *testing.T) {
+	tr := simulate(t, 800, 20, 21)
+
+	var c TraceCollector
+	o := &Observer{Registry: NewMetricsRegistry(), Recorder: &c}
+	for _, a := range []Approach{Kooza, InBreadth, InDepth} {
+		if _, err := Train(tr, a, WithObserver(o)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("observer recorded %d trees, want 3", c.Len())
+	}
+	tree := c.Trees()[0]
+	if tree.Root.Span.Name != "train:KOOZA" || tree.Count != 2 {
+		t.Fatalf("first tree: root %q with %d spans, want train:KOOZA with 2",
+			tree.Root.Span.Name, tree.Count)
+	}
+	if got := tree.Root.Children[0].Span.Name; got != "fit.kooza" {
+		t.Fatalf("stage span = %q, want fit.kooza", got)
+	}
+
+	// The stage histograms land on the observer's registry.
+	var b strings.Builder
+	o.Registry.WriteText(&b)
+	if !strings.Contains(b.String(), `dcmodel_stage_seconds_count{stage="fit.kooza"} 1`) {
+		t.Fatalf("stage histogram missing from registry:\n%s", b.String())
+	}
+
+	// Observed and unobserved training produce identical models.
+	plain, err := Train(tr, Kooza)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := Train(tr, Kooza, WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := plain.Synthesize(4, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := observed.Synthesize(4, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Requests {
+		if a.Requests[i].Latency() != bb.Requests[i].Latency() {
+			t.Fatalf("observer changed the trained model at request %d", i)
+		}
+	}
+}
+
+func TestWithObserverNilSafe(t *testing.T) {
+	tr := simulate(t, 500, 20, 22)
+	// A nil observer (and an observer with nil halves) must be inert.
+	if _, err := Train(tr, Kooza, WithObserver(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(tr, Kooza, WithObserver(&Observer{})); err != nil {
+		t.Fatal(err)
+	}
+}

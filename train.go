@@ -89,6 +89,7 @@ type Model interface {
 type trainSettings struct {
 	kooza     KoozaOptions
 	inbreadth InBreadthOptions
+	obs       *Observer
 }
 
 // TrainOption customizes Train. The zero settings reproduce the paper's
@@ -143,6 +144,16 @@ func WithInBreadthOptions(o InBreadthOptions) TrainOption {
 	return func(s *trainSettings) { s.inbreadth = o }
 }
 
+// WithObserver instruments the training run: one span tree (root "train:"
+// plus a fit stage child) goes to the observer's TraceRecorder, and the
+// fit's wall time and allocation land in the observer's registry as
+// dcmodel_stage_seconds / dcmodel_stage_alloc_bytes. It replaces ad-hoc
+// timing around Train calls with the same obs substrate the serving
+// daemon uses; a nil observer observes nothing.
+func WithObserver(o *Observer) TrainOption {
+	return func(s *trainSettings) { s.obs = o }
+}
+
 // Train fits the selected approach to tr and returns it behind the common
 // Model interface:
 //
@@ -156,6 +167,21 @@ func Train(tr *Trace, a Approach, opts ...TrainOption) (Model, error) {
 	for _, opt := range opts {
 		opt(&s)
 	}
+	span := s.obs.StartSpan("train:" + a.String())
+	stop := s.obs.Stage(span, "fit."+lowerASCII(a.String()))
+	m, err := trainApproach(tr, a, s)
+	stop()
+	if err != nil {
+		span.Annotate("error: %v", err)
+	} else if tr != nil {
+		span.Annotate("requests=%d params=%d", tr.Len(), m.NumParams())
+	}
+	span.Finish()
+	return m, err
+}
+
+// trainApproach dispatches to the selected trainer.
+func trainApproach(tr *Trace, a Approach, s trainSettings) (Model, error) {
 	switch a {
 	case Kooza:
 		m, err := kooza.Train(tr, s.kooza)
