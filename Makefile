@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race chaos obs cover bench bench-json fuzz examples artifacts serve loadtest clean help
+.PHONY: all build vet test test-race race chaos obs spec cover cover-spec bench bench-json fuzz fuzz-smoke examples artifacts serve loadtest clean help
 
 all: build vet test
 
@@ -20,10 +20,14 @@ help:
 	@echo "  obs        observability gate: vet, the pprof-import guard, and"
 	@echo "             the obs/serve/dapper suites under -race (metrics golden,"
 	@echo "             trace determinism, 96-client scrape lifecycle)"
-	@echo "  cover      go test -cover ./..."
+	@echo "  spec       workload-spec gate: vet + the internal/spec suite"
+	@echo "             (parser, golden presets, worker-count determinism) under -race"
+	@echo "  cover      go test -cover ./... + the internal/spec coverage floor"
+	@echo "  cover-spec enforce the $(SPEC_COVER_FLOOR)% statement-coverage floor on internal/spec"
 	@echo "  bench      regenerate every table/figure + ablations (-bench=. -benchmem)"
 	@echo "  bench-json rerun the hot-path benchmarks and refresh BENCH_PR2.json"
-	@echo "  fuzz       run the codec and sharded-simulator fuzz targets (30s each)"
+	@echo "  fuzz       run the codec, sharded-simulator and spec fuzz targets (30s each)"
+	@echo "  fuzz-smoke quick CI fuzz pass over the same targets (10s each)"
 	@echo "  examples   run every example program"
 	@echo "  artifacts  record test + bench output to *_output.txt"
 	@echo "  serve      run the dcmodeld model-serving daemon on :8080"
@@ -71,8 +75,27 @@ obs:
 	fi
 	$(GO) test -race -count=1 ./internal/obs/ ./internal/serve/ ./internal/dapper/
 
-cover:
+# Spec gate: the declarative workload-spec engine's whole suite — parser
+# precision, preset goldens, phase math and the worker-count determinism
+# contract — under the race detector.
+spec:
+	$(GO) vet ./internal/spec/ ./presets/
+	$(GO) test -race -count=1 -run TestSpec ./internal/spec/
+
+cover: cover-spec
 	$(GO) test -cover ./...
+
+# The spec engine is the repo's configuration surface; its statement
+# coverage must not sink below the floor.
+SPEC_COVER_FLOOR = 85
+cover-spec:
+	@$(GO) test -coverprofile=/tmp/spec_cover.out ./internal/spec/ > /dev/null
+	@pct=$$($(GO) tool cover -func=/tmp/spec_cover.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "internal/spec coverage: $$pct% (floor $(SPEC_COVER_FLOOR)%)"; \
+	ok=$$(echo "$$pct $(SPEC_COVER_FLOOR)" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \
+	if [ "$$ok" != "1" ]; then \
+		echo "internal/spec coverage $$pct% fell below the $(SPEC_COVER_FLOOR)% floor"; exit 1; \
+	fi
 
 # Regenerates every table/figure and runs the ablations.
 bench:
@@ -90,11 +113,18 @@ bench-json:
 	$(GO) run ./cmd/bench2json -in bench_raw.txt -out BENCH_PR2.json
 	rm -f bench_raw.txt
 
+FUZZTIME ?= 30s
 fuzz:
-	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/trace/
-	$(GO) test -fuzz=FuzzReadJSON -fuzztime=30s ./internal/trace/
-	$(GO) test -fuzz=FuzzShardedCodecRoundTrip -fuzztime=30s ./internal/trace/
-	$(GO) test -fuzz=FuzzSpanReader -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -fuzz=FuzzReadJSON -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -fuzz=FuzzShardedCodecRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -fuzz=FuzzSpanReader -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -fuzz=FuzzSpecParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/spec/
+	$(GO) test -fuzz=FuzzSpecRoundTrip -fuzztime=$(FUZZTIME) -run '^$$' ./internal/spec/
+
+# The CI smoke pass: same targets, 10 seconds each.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=10s
 
 examples:
 	@for ex in quickstart storagestudy webtier selfsimilar serverconfig incast tracing memorymodel; do \

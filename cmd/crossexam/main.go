@@ -6,6 +6,7 @@
 //
 //	crossexam -requests 3000 -rate 20
 //	crossexam -in trace.csv
+//	crossexam -spec presets/incast.json   # cross-examine a declarative scenario
 //	crossexam -requests 3000 -workers 4   # parallel approach chains
 //	crossexam -requests 3000 -json        # machine-readable scorecard
 //	crossexam -requests 3000 -faults '{"mtbf":2,"mttr":0.5}'
@@ -26,6 +27,7 @@ import (
 
 	"dcmodel"
 	"dcmodel/internal/cliflag"
+	"dcmodel/internal/spec"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func main() {
 	log.SetPrefix("crossexam: ")
 	var (
 		in       = flag.String("in", "", "input trace CSV (empty = simulate)")
+		specRef  = flag.String("spec", "", "cross-examine a workload spec (preset name or JSON/YAML file) instead of the default simulation")
 		requests = flag.Int("requests", 3000, "requests to simulate when -in is empty")
 		rate     = flag.Float64("rate", 20, "arrival rate for simulation")
 		n        = flag.Int("n", 0, "synthetic requests per approach (0 = trace size)")
@@ -50,11 +53,41 @@ func main() {
 		cliflag.PositiveFloat("rate", *rate),
 	)
 
+	if *in != "" && *specRef != "" {
+		cliflag.Check("-in and -spec are mutually exclusive")
+	}
+
+	// -spec: resolve once; explicit -requests/-seed override the spec.
+	var scenario *spec.Spec
+	var specOpts spec.Options
+	if *specRef != "" {
+		var err error
+		scenario, err = spec.Resolve(*specRef)
+		if err != nil {
+			cliflag.Fatal(err)
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "requests":
+				specOpts.Requests = *requests
+			case "seed":
+				specOpts.Seed = *seed
+			}
+		})
+	}
+
 	var (
 		tr  *dcmodel.Trace
 		err error
 	)
-	if *in == "" {
+	switch {
+	case scenario != nil:
+		var c *spec.Compiled
+		c, err = scenario.Compile(specOpts)
+		if err == nil {
+			tr, err = c.Generate(*workers)
+		}
+	case *in == "":
 		tr, err = dcmodel.Simulate(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
 			RunConfig: dcmodel.RunConfig{
 				Mix:      dcmodel.Table2Mix(),
@@ -63,7 +96,7 @@ func main() {
 			},
 			Rate: *rate,
 		})
-	} else {
+	default:
 		var f *os.File
 		f, err = os.Open(*in)
 		if err == nil {
@@ -97,7 +130,20 @@ func main() {
 			cliflag.Fatal(fmt.Errorf("crossexam: -faults: %w", err))
 		}
 		faultyTr := tr
-		if *in == "" {
+		switch {
+		case scenario != nil:
+			// Regenerate the scenario with the fault engine armed.
+			faultyOpts := specOpts
+			faultyOpts.Faults = &fc
+			var c *spec.Compiled
+			c, err = scenario.Compile(faultyOpts)
+			if err == nil {
+				faultyTr, err = c.Generate(*workers)
+			}
+			if err != nil {
+				cliflag.Fatal(err)
+			}
+		case *in == "":
 			faultyTr, err = dcmodel.Simulate(dcmodel.DefaultGFSConfig(), dcmodel.GFSRun{
 				RunConfig: dcmodel.RunConfig{
 					Mix:      dcmodel.Table2Mix(),

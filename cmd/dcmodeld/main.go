@@ -42,6 +42,7 @@ import (
 	"dcmodel/internal/fault"
 	"dcmodel/internal/obs"
 	"dcmodel/internal/serve"
+	"dcmodel/internal/spec"
 )
 
 func main() {
@@ -62,6 +63,7 @@ func main() {
 		regions    = flag.Int("regions", def.StorageRegions, "storage Markov states (shared by trainer and drift quantization)")
 		diskBlocks = flag.Int64("disk-blocks", def.DiskBlocks, "fixed LBN address-space size for region quantization")
 		faultsJSON = flag.String("faults", "", "fault scenario to arm at boot, as /v1/faults JSON (e.g. '{\"mtbf\":2,\"mttr\":0.5}')")
+		warmSpec   = flag.String("warm-spec", "", "workload spec (preset name or JSON/YAML file) generated and ingested at boot, so models are warm before the first client request")
 		traceEvery = flag.Int("trace-every", 0, "sample 1 in N requests into live span traces served at /v1/traces (0 = tracing off)")
 		traceCap   = flag.Int("trace-cap", 128, "sampled traces kept in the ring buffer (oldest evicted)")
 		pprof      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -118,6 +120,26 @@ func main() {
 	s, err := serve.New(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *warmSpec != "" {
+		sp, err := spec.Resolve(*warmSpec)
+		if err != nil {
+			cliflag.Fatal(err)
+		}
+		c, err := sp.Compile(spec.Options{})
+		if err != nil {
+			cliflag.Fatal(err)
+		}
+		tr, err := c.Generate(*workers)
+		if err != nil {
+			cliflag.Fatal(err)
+		}
+		retrained, reason, err := s.Ingest(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("warmed window with %d requests from spec %s (retrained=%v, reason=%q)",
+			tr.Len(), c.Name, retrained, reason)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

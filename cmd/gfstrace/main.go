@@ -5,6 +5,7 @@
 //
 //	gfstrace -requests 4000 -rate 20 -mix table2 -format csv > trace.csv
 //	gfstrace -requests 4000 -shards 8 -workers 4 > trace.csv  # sharded, same output for any -workers
+//	gfstrace -spec presets/webtier.json > trace.csv           # declarative scenario (preset or file)
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"dcmodel/internal/spec"
 	"dcmodel/internal/workload"
 
 	"dcmodel"
@@ -24,6 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gfstrace: ")
 	var (
+		specRef     = flag.String("spec", "", "workload spec: a preset name or a JSON/YAML spec file (overrides -rate/-mix/-arrivals/-servers/...)")
 		requests    = flag.Int("requests", 4000, "number of requests to simulate")
 		rate        = flag.Float64("rate", 20, "mean arrival rate (requests/second)")
 		servers     = flag.Int("servers", 1, "number of chunkservers")
@@ -49,50 +52,17 @@ func main() {
 		cliflag.PositiveFloat("rate", *rate),
 	)
 
-	var mix *dcmodel.Mix
-	switch *mixName {
-	case "table2":
-		mix = dcmodel.Table2Mix()
-	case "web":
-		mix = dcmodel.WebMix()
-	case "oltp":
-		mix = workload.OLTPMix()
-	default:
-		log.Fatalf("unknown mix %q (want table2, web or oltp)", *mixName)
+	var (
+		tr  *dcmodel.Trace
+		err error
+	)
+	if *specRef != "" {
+		tr, err = generateFromSpec(*specRef, *workers, explicitOverrides(*requests, *seed))
+	} else {
+		tr, err = simulateFromFlags(*mixName, *arrivals, *rate, *requests, *servers, *files, *replication, *shards, *workers, *seed)
 	}
-	var arr dcmodel.Arrivals
-	switch *arrivals {
-	case "poisson":
-		arr = workload.Poisson{Rate: *rate}
-	case "mmpp":
-		arr = workload.MMPP2{
-			Rate: [2]float64{*rate * 2, *rate / 4},
-			Hold: [2]float64{1, 2},
-		}
-	case "selfsimilar":
-		arr = workload.SelfSimilar{
-			Sources: 16, OnRate: *rate / 4, MeanOn: 1, MeanOff: 3, Alpha: 1.4,
-		}
-	default:
-		log.Fatalf("unknown arrival process %q", *arrivals)
-	}
-
-	cfg := dcmodel.DefaultGFSConfig()
-	cfg.Chunkservers = *servers
-	cfg.Files = *files
-	cfg.Replication = *replication
-	tr, err := dcmodel.Simulate(cfg, dcmodel.GFSRun{
-		RunConfig: dcmodel.RunConfig{
-			Mix:      mix,
-			Requests: *requests,
-			Seed:     *seed,
-			Shards:   *shards,
-			Workers:  *workers,
-		},
-		Arrivals: arr,
-	})
 	if err != nil {
-		log.Fatal(err)
+		cliflag.Fatal(err)
 	}
 
 	var w io.Writer = os.Stdout
@@ -118,4 +88,74 @@ func main() {
 	s := tr.Summarize()
 	fmt.Fprintf(os.Stderr, "gfstrace: %d requests, %d classes, %.2fs duration, mean latency %.3fms\n",
 		s.Requests, len(s.Classes), s.Duration, 1000*s.MeanLatency)
+}
+
+// explicitOverrides returns spec.Options carrying only the -requests and
+// -seed values the user actually set on the command line, so a spec's own
+// values win unless explicitly overridden.
+func explicitOverrides(requests int, seed int64) spec.Options {
+	var opts spec.Options
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "requests":
+			opts.Requests = requests
+		case "seed":
+			opts.Seed = seed
+		}
+	})
+	return opts
+}
+
+// generateFromSpec resolves a -spec reference and generates its trace.
+func generateFromSpec(ref string, workers int, opts spec.Options) (*dcmodel.Trace, error) {
+	s, err := spec.Resolve(ref)
+	if err != nil {
+		return nil, err
+	}
+	c, err := s.Compile(opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Generate(workers)
+}
+
+// simulateFromFlags is the classic flag-driven single-mix simulation.
+func simulateFromFlags(mixName, arrivals string, rate float64, requests, servers, files, replication, shards, workers int, seed int64) (*dcmodel.Trace, error) {
+	var mix *dcmodel.Mix
+	switch mixName {
+	case "table2":
+		mix = dcmodel.Table2Mix()
+	case "web":
+		mix = dcmodel.WebMix()
+	case "oltp":
+		mix = workload.OLTPMix()
+	default:
+		log.Fatalf("unknown mix %q (want table2, web or oltp)", mixName)
+	}
+	var arr dcmodel.Arrivals
+	switch arrivals {
+	case "poisson":
+		arr = workload.Poisson{Rate: rate}
+	case "mmpp":
+		arr = workload.DefaultMMPP(rate)
+	case "selfsimilar":
+		arr = workload.DefaultSelfSimilar(rate)
+	default:
+		log.Fatalf("unknown arrival process %q", arrivals)
+	}
+
+	cfg := dcmodel.DefaultGFSConfig()
+	cfg.Chunkservers = servers
+	cfg.Files = files
+	cfg.Replication = replication
+	return dcmodel.Simulate(cfg, dcmodel.GFSRun{
+		RunConfig: dcmodel.RunConfig{
+			Mix:      mix,
+			Requests: requests,
+			Seed:     seed,
+			Shards:   shards,
+			Workers:  workers,
+		},
+		Arrivals: arr,
+	})
 }

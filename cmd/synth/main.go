@@ -6,6 +6,7 @@
 //	synth -in trace.csv -model kooza -n 10000 > synthetic.csv
 //	synth -model-file model.json -model in-depth -n 10000 > synthetic.csv
 //	synth -in trace.csv -n 10000 -shards 8 -workers 4 > synthetic.csv
+//	synth -spec webtier -n 10000 > synthetic.csv  # train on a spec-generated trace
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"dcmodel"
 	"dcmodel/internal/cliflag"
+	"dcmodel/internal/spec"
 )
 
 func main() {
@@ -25,6 +27,7 @@ func main() {
 	log.SetPrefix("synth: ")
 	var (
 		in        = flag.String("in", "-", "input trace (CSV; '-' for stdin)")
+		specRef   = flag.String("spec", "", "generate the training trace from a workload spec (preset name or JSON/YAML file) instead of reading -in")
 		modelFile = flag.String("model-file", "", "load a saved model instead of training (skips -in; -model selects the decoder)")
 		modelName = flag.String("model", "kooza", "model: kooza, in-breadth or in-depth")
 		n         = flag.Int("n", 4000, "number of synthetic requests")
@@ -58,9 +61,14 @@ func main() {
 			cliflag.Fatal(err)
 		}
 	} else {
-		tr, err := readTrace(*in)
+		var tr *dcmodel.Trace
+		if *specRef != "" {
+			tr, err = traceFromSpec(*specRef, *seed, *workers)
+		} else {
+			tr, err = readTrace(*in)
+		}
 		if err != nil {
-			log.Fatal(err)
+			cliflag.Fatal(err)
 		}
 		m, err = dcmodel.Train(tr, approach)
 		if err != nil {
@@ -106,6 +114,28 @@ func writeOut(synth *dcmodel.Trace, out, label string, replayIt bool) {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "synth: wrote %d synthetic requests (%s model)\n", synth.Len(), label)
+}
+
+// traceFromSpec generates the training trace from a workload spec. The
+// explicitly-set -seed overrides the spec's seed; the spec's own request
+// count is kept (the -n flag sizes the synthetic output, not the training
+// input).
+func traceFromSpec(ref string, seed int64, workers int) (*dcmodel.Trace, error) {
+	s, err := spec.Resolve(ref)
+	if err != nil {
+		return nil, err
+	}
+	var opts spec.Options
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			opts.Seed = seed
+		}
+	})
+	c, err := s.Compile(opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Generate(workers)
 }
 
 func readTrace(path string) (*dcmodel.Trace, error) {

@@ -1,13 +1,15 @@
 // Selfsimilar: Feitelson-style network-workload characterization.
 //
-// Three arrival processes with the same mean rate — Poisson, a 2-state
-// MMPP, and a self-similar ON/OFF superposition — are generated and
-// characterized the way the network-modeling literature prescribes:
-// distribution fitting of interarrivals via the Kolmogorov-Smirnov test,
-// burstiness (index of dispersion for counts, peak-to-mean), and
-// self-similarity (Hurst exponent by R/S and aggregate-variance). It shows
-// why Sengupta et al. warn that real traffic "diverges from the
-// commonly-used Poisson distribution".
+// Three arrival processes with the same nominal rate — Poisson, a 2-state
+// MMPP, and a self-similar ON/OFF superposition — are generated from
+// declarative arrival specs (the exact processes `-arrivals` selects in
+// the CLI tools and presets select in scenarios) and characterized the
+// way the network-modeling literature prescribes: distribution fitting of
+// interarrivals via the Kolmogorov-Smirnov test, burstiness (index of
+// dispersion for counts, peak-to-mean), and self-similarity (Hurst
+// exponent by R/S and aggregate-variance). It shows why Sengupta et al.
+// warn that real traffic "diverges from the commonly-used Poisson
+// distribution".
 //
 // Run with: go run ./examples/selfsimilar
 package main
@@ -17,6 +19,7 @@ import (
 	"log"
 	"math/rand"
 
+	"dcmodel/internal/spec"
 	"dcmodel/internal/stats"
 	"dcmodel/internal/workload"
 )
@@ -27,14 +30,22 @@ func main() {
 	const n = 40000
 	const rate = 50.0
 
-	ss := workload.SelfSimilar{Sources: 32, OnRate: rate / 32 * 3, MeanOn: 1, MeanOff: 2, Alpha: 1.4}
+	// The canonical processes at one nominal rate, built exactly as the
+	// spec engine builds them — no hand-tuned parameter drift.
+	arrivals := func(process string) workload.Arrivals {
+		arr, err := spec.BuildArrivals(spec.ArrivalSpec{Process: process, Rate: rate})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return arr
+	}
 	sources := []struct {
 		name  string
 		times []float64
 	}{
-		{"poisson", workload.Poisson{Rate: rate}.Times(n, r)},
-		{"mmpp", workload.MMPP2{Rate: [2]float64{rate * 2.5, rate / 4}, Hold: [2]float64{1, 2}}.Times(n, r)},
-		{"self-similar", ss.Times(n, r)},
+		{"poisson", arrivals("poisson").Times(n, r)},
+		{"mmpp", arrivals("mmpp").Times(n, r)},
+		{"self-similar", arrivals("selfsimilar").Times(n, r)},
 	}
 
 	fmt.Println("Arrival-process characterization (Feitelson methodology)")

@@ -7,11 +7,12 @@
 // agree — the in-depth strength: accurate latency/throughput prediction.
 //
 // Part 2 drives the same tiers with two request streams of identical mean
-// rate: an infinite-source constant stream and a SURGE-like session
-// workload with heavy-tailed think times. The tail latencies differ
-// sharply — Joo et al.'s conclusion that "the accuracy of the model in
-// capturing user behavior ... [is] instrumental for the fidelity of the
-// observed results".
+// rate: an infinite-source constant stream and the "webtier" scenario
+// preset's browsers client — phased self-similar traffic over a diurnal
+// cycle with a flash crowd. The tail latencies differ sharply — Joo et
+// al.'s conclusion that "the accuracy of the model in capturing user
+// behavior ... [is] instrumental for the fidelity of the observed
+// results".
 //
 // Part 3 closes the loop with a Yaksha-style PI admission controller
 // keeping the db tier's response time at a target under overload.
@@ -24,9 +25,10 @@ import (
 	"log"
 	"math/rand"
 
+	"dcmodel/internal/prand"
 	"dcmodel/internal/queueing"
+	"dcmodel/internal/spec"
 	"dcmodel/internal/stats"
-	"dcmodel/internal/workload"
 )
 
 func main() {
@@ -68,14 +70,28 @@ func main() {
 	fmt.Printf("mean response: analytic %.2f ms, simulated %.2f ms\n\n",
 		1000*sol.MeanResponse, 1000*stats.Mean(sim.Responses()))
 
-	// ---- Part 2: infinite source vs SURGE sessions ----
-	surge := workload.DefaultSurge(4000)
-	reqs, err := surge.Generate(r)
+	// ---- Part 2: infinite source vs the webtier preset's browsers ----
+	// The preset's browsers client is self-similar traffic modulated by a
+	// diurnal phase schedule (night/morning/peak/flash-crowd/evening).
+	preset, err := spec.Preset("webtier")
 	if err != nil {
 		log.Fatal(err)
 	}
-	surgeTimes := workload.RequestTimes(reqs)
-	meanRate := float64(len(surgeTimes)) / surgeTimes[len(surgeTimes)-1]
+	compiled, err := preset.Compile(spec.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var browsers *spec.CompiledClient
+	for i := range compiled.Clients {
+		if compiled.Clients[i].Name == "browsers" {
+			browsers = &compiled.Clients[i]
+		}
+	}
+	if browsers == nil {
+		log.Fatal("webtier preset lost its browsers client")
+	}
+	browserTimes := browsers.Arrivals.Times(4000, prand.New(compiled.Seed, 0))
+	meanRate := float64(len(browserTimes)) / browserTimes[len(browserTimes)-1]
 	runWith := func(arrivalTimes []float64) []float64 {
 		c := cfg
 		c.Interarrival = nil
@@ -91,9 +107,13 @@ func main() {
 		}
 		return res.Responses()
 	}
-	infTimes := workload.Deterministic{Interval: 1 / meanRate}.Times(len(surgeTimes), r)
+	steady, err := spec.BuildArrivals(spec.ArrivalSpec{Process: "deterministic", Rate: meanRate})
+	if err != nil {
+		log.Fatal(err)
+	}
+	infTimes := steady.Times(len(browserTimes), r)
 	infResp := runWith(infTimes)
-	surgeResp := runWith(surgeTimes)
+	browserResp := runWith(browserTimes)
 	fmt.Println("Part 2 — identical mean load, different user models (Joo et al.)")
 	fmt.Printf("%-18s | %-10s | %-10s | %-10s\n", "workload", "mean ms", "p95 ms", "p99 ms")
 	for _, row := range []struct {
@@ -101,7 +121,7 @@ func main() {
 		resp []float64
 	}{
 		{"infinite-source", infResp},
-		{"SURGE sessions", surgeResp},
+		{"diurnal browsers", browserResp},
 	} {
 		fmt.Printf("%-18s | %10.2f | %10.2f | %10.2f\n", row.name,
 			1000*stats.Mean(row.resp),
@@ -109,8 +129,8 @@ func main() {
 			1000*stats.Quantile(row.resp, 0.99))
 	}
 	idcInf := stats.IndexOfDispersion(infTimes, 1)
-	idcSurge := stats.IndexOfDispersion(surgeTimes, 1)
-	fmt.Printf("burstiness (IDC@1s): infinite-source %.2f vs SURGE %.2f\n\n", idcInf, idcSurge)
+	idcBrowsers := stats.IndexOfDispersion(browserTimes, 1)
+	fmt.Printf("burstiness (IDC@1s): infinite-source %.2f vs diurnal browsers %.2f\n\n", idcInf, idcBrowsers)
 
 	// ---- Part 3: PI admission control under overload ----
 	ctl, err := queueing.NewPIController(0.05, 0.02, 0.05) // 50 ms target

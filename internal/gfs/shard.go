@@ -107,6 +107,41 @@ func SimulateSharded(cfg Config, rc RunConfig, shards, workers int, seed int64) 
 	return mergeShards(traces, cfg.Chunkservers), nil
 }
 
+// SimulateMulti is the heterogeneous sibling of SimulateSharded: partition
+// s runs its own RunConfig rcs[s] (its own mix, arrival process, request
+// count) against an independent instance of the configured cluster, and
+// the partition traces merge exactly like shards. Each partition's rand
+// and fault sub-streams are keyed by its index, never by the worker
+// count, so the merged trace is a fixed function of (cfg, rcs, seed). The
+// spec engine uses this to compose multi-client scenarios.
+func SimulateMulti(cfg Config, rcs []RunConfig, workers int, seed int64) (*trace.Trace, error) {
+	if len(rcs) == 0 {
+		return nil, fmt.Errorf("gfs: need >= 1 run config")
+	}
+	traces := make([]*trace.Trace, len(rcs))
+	err := par.Do(len(rcs), workers, func(s int) error {
+		if rcs[s].Requests < 1 {
+			return fmt.Errorf("gfs: partition %d: need >= 1 request, got %d", s, rcs[s].Requests)
+		}
+		cluster, err := NewCluster(cfg)
+		if err != nil {
+			return fmt.Errorf("gfs: partition %d: %w", s, err)
+		}
+		src := rcs[s]
+		src.FaultStream = uint64(s)
+		tr, err := cluster.Run(src, prand.New(seed, uint64(s)))
+		if err != nil {
+			return fmt.Errorf("gfs: partition %d: %w", s, err)
+		}
+		traces[s] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeShards(traces, cfg.Chunkservers), nil
+}
+
 // SimulateShardedClosed is the closed-loop counterpart of SimulateSharded:
 // rc.Users and rc.Requests are totals, partitioned across the shards (every
 // shard keeps at least one user; shards is capped at rc.Users).

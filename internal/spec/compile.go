@@ -1,0 +1,344 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"dcmodel/internal/fault"
+	"dcmodel/internal/gfs"
+	"dcmodel/internal/stats"
+	"dcmodel/internal/trace"
+	"dcmodel/internal/workload"
+)
+
+// BuildArrivals constructs the workload arrival process an ArrivalSpec
+// declares. Process-specific overrides start from the canonical defaults
+// in internal/workload (DefaultMMPP, DefaultSelfSimilar), so a spec that
+// sets only {process, rate} means the same thing everywhere in the
+// toolkit.
+func BuildArrivals(a ArrivalSpec) (workload.Arrivals, error) {
+	switch a.Process {
+	case "poisson":
+		if a.Rate <= 0 {
+			return nil, pathErr("rate", "poisson needs rate > 0, got %g", a.Rate)
+		}
+		return workload.Poisson{Rate: a.Rate}, nil
+
+	case "deterministic":
+		interval := a.Interval
+		if interval == 0 && a.Rate > 0 {
+			interval = 1 / a.Rate
+		}
+		if interval <= 0 {
+			return nil, pathErr("rate", "deterministic needs rate > 0 or interval > 0")
+		}
+		return workload.Deterministic{Interval: interval}, nil
+
+	case "mmpp":
+		if a.Rate <= 0 && len(a.Rates) == 0 {
+			return nil, pathErr("rate", "mmpp needs rate > 0 (or explicit rates), got %g", a.Rate)
+		}
+		m := workload.DefaultMMPP(a.Rate)
+		if len(a.Rates) > 0 {
+			if len(a.Rates) != 2 {
+				return nil, pathErr("rates", "mmpp needs exactly 2 state rates, got %d", len(a.Rates))
+			}
+			m.Rate = [2]float64{a.Rates[0], a.Rates[1]}
+		}
+		if len(a.Holds) > 0 {
+			if len(a.Holds) != 2 {
+				return nil, pathErr("holds", "mmpp needs exactly 2 holding times, got %d", len(a.Holds))
+			}
+			m.Hold = [2]float64{a.Holds[0], a.Holds[1]}
+		}
+		if err := m.Validate(); err != nil {
+			return nil, pathErr("", "%v", err)
+		}
+		return m, nil
+
+	case "selfsimilar":
+		if a.Rate <= 0 && a.OnRate <= 0 {
+			return nil, pathErr("rate", "selfsimilar needs rate > 0 (or explicit on_rate), got %g", a.Rate)
+		}
+		s := workload.DefaultSelfSimilar(a.Rate)
+		if a.Sources != 0 {
+			s.Sources = a.Sources
+		}
+		if a.OnRate != 0 {
+			s.OnRate = a.OnRate
+		}
+		if a.MeanOn != 0 {
+			s.MeanOn = a.MeanOn
+		}
+		if a.MeanOff != 0 {
+			s.MeanOff = a.MeanOff
+		}
+		if a.Alpha != 0 {
+			s.Alpha = a.Alpha
+		}
+		if err := s.Validate(); err != nil {
+			return nil, pathErr("", "%v", err)
+		}
+		return s, nil
+
+	case "":
+		return nil, pathErr("process", "arrival process is required (poisson, mmpp, selfsimilar, deterministic)")
+	default:
+		return nil, pathErr("process", "unknown arrival process %q (valid: poisson, mmpp, selfsimilar, deterministic)", a.Process)
+	}
+}
+
+// BuildDist constructs the size distribution a DistSpec declares.
+func BuildDist(d DistSpec) (stats.Dist, error) {
+	switch d.Dist {
+	case "fixed":
+		if d.Value < 1 {
+			return nil, pathErr("value", "fixed needs value >= 1 byte, got %g", d.Value)
+		}
+		return stats.Deterministic{Value: d.Value}, nil
+	case "lognormal":
+		if d.Sigma <= 0 {
+			return nil, pathErr("sigma", "lognormal needs sigma > 0, got %g", d.Sigma)
+		}
+		return stats.LogNormal{Mu: d.Mu, Sigma: d.Sigma}, nil
+	case "pareto":
+		if d.Xm <= 0 {
+			return nil, pathErr("xm", "pareto needs xm > 0, got %g", d.Xm)
+		}
+		if d.Alpha <= 1 {
+			return nil, pathErr("alpha", "pareto needs alpha > 1 for a finite mean, got %g", d.Alpha)
+		}
+		return stats.Pareto{Xm: d.Xm, Alpha: d.Alpha}, nil
+	case "exponential":
+		if d.Mean <= 0 {
+			return nil, pathErr("mean", "exponential needs mean > 0, got %g", d.Mean)
+		}
+		return stats.Exponential{Rate: 1 / d.Mean}, nil
+	case "uniform":
+		if d.A < 0 || d.B <= d.A {
+			return nil, pathErr("a", "uniform needs 0 <= a < b, got [%g, %g]", d.A, d.B)
+		}
+		return stats.Uniform{A: d.A, B: d.B}, nil
+	case "weibull":
+		if d.Shape <= 0 || d.Scale <= 0 {
+			return nil, pathErr("shape", "weibull needs shape > 0 and scale > 0, got k=%g lambda=%g", d.Shape, d.Scale)
+		}
+		return stats.Weibull{K: d.Shape, Lambda: d.Scale}, nil
+	case "":
+		return nil, pathErr("dist", "size distribution is required (fixed, lognormal, pareto, exponential, uniform, weibull)")
+	default:
+		return nil, pathErr("dist", "unknown distribution %q (valid: fixed, lognormal, pareto, exponential, uniform, weibull)", d.Dist)
+	}
+}
+
+// Options tune compilation without editing the spec document. Zero values
+// defer to the spec.
+type Options struct {
+	// Requests overrides Spec.Requests when > 0.
+	Requests int
+	// Seed overrides Spec.Seed when > 0.
+	Seed int64
+	// Faults, when non-nil, arms fault injection on every client's run.
+	Faults *fault.Config
+}
+
+// CompiledClient is one client resolved to concrete workload machinery.
+type CompiledClient struct {
+	// Name and SLO are copied from the spec.
+	Name string
+	SLO  SLO
+	// Weight is the effective weight (0 in the spec means 1).
+	Weight float64
+	// Requests is the client's share of the total.
+	Requests int
+	// Arrivals is the client's arrival process with any phase schedule
+	// already applied.
+	Arrivals workload.Arrivals
+	// Mix is the client's request-class mix; class names are
+	// "<client>/<class>".
+	Mix *workload.Mix
+}
+
+// Compiled is a spec resolved against internal/workload and internal/gfs:
+// ready to Generate.
+type Compiled struct {
+	// Spec is the source document.
+	Spec *Spec
+	// Name, Seed and Requests are the effective values after Options.
+	Name     string
+	Seed     int64
+	Requests int
+	// Cluster is the resolved simulated-cluster configuration (per client
+	// partition).
+	Cluster gfs.Config
+	// Faults is the armed fault-injection config, if any.
+	Faults *fault.Config
+	// Clients hold each client's generation machinery, in spec order.
+	Clients []CompiledClient
+}
+
+// Compile validates the spec and resolves it into generation machinery.
+func (s *Spec) Compile(opts Options) (*Compiled, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiled{
+		Spec:     s,
+		Name:     s.Name,
+		Seed:     s.Seed,
+		Requests: s.Requests,
+		Cluster:  s.clusterConfig(),
+		Faults:   opts.Faults,
+	}
+	if opts.Requests > 0 {
+		c.Requests = opts.Requests
+	}
+	if opts.Seed > 0 {
+		c.Seed = opts.Seed
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Requests < len(s.Clients) {
+		return nil, pathErr("requests", "%d requests cannot cover %d clients", c.Requests, len(s.Clients))
+	}
+
+	weights := make([]float64, len(s.Clients))
+	for i, cl := range s.Clients {
+		weights[i] = cl.Weight
+		if weights[i] == 0 {
+			weights[i] = 1
+		}
+	}
+	quotas := clientQuota(c.Requests, weights)
+
+	for i, cl := range s.Clients {
+		arr, err := BuildArrivals(cl.Arrivals)
+		if err != nil {
+			return nil, prefixPath(err, fmt.Sprintf("clients[%d].arrivals", i))
+		}
+		phases, cycle := s.Phases, s.Cycle
+		if len(cl.Phases) > 0 {
+			phases, cycle = cl.Phases, cl.Cycle
+		}
+		arr = Phased(arr, phases, cycle)
+
+		classes := make([]workload.ClassSpec, len(cl.Mix))
+		for j, mc := range cl.Mix {
+			size, err := BuildDist(mc.Size)
+			if err != nil {
+				return nil, prefixPath(err, fmt.Sprintf("clients[%d].mix[%d].size", i, j))
+			}
+			op := trace.OpRead
+			if mc.Op == "write" {
+				op = trace.OpWrite
+			}
+			classes[j] = workload.ClassSpec{
+				Name:           cl.Name + "/" + mc.Name,
+				Weight:         mc.Weight,
+				Op:             op,
+				Size:           size,
+				SequentialProb: mc.Sequential,
+			}
+		}
+		mix, err := workload.NewMix(classes)
+		if err != nil {
+			return nil, prefixPath(err, fmt.Sprintf("clients[%d].mix", i))
+		}
+
+		slo := cl.SLO
+		if slo == "" {
+			slo = SLOBestEffort
+		}
+		c.Clients = append(c.Clients, CompiledClient{
+			Name:     cl.Name,
+			SLO:      slo,
+			Weight:   weights[i],
+			Requests: quotas[i],
+			Arrivals: arr,
+			Mix:      mix,
+		})
+	}
+	return c, nil
+}
+
+// clusterConfig resolves the spec's cluster overrides onto
+// gfs.DefaultConfig.
+func (s *Spec) clusterConfig() gfs.Config {
+	cfg := gfs.DefaultConfig()
+	c := s.Cluster
+	if c == nil {
+		return cfg
+	}
+	if c.Chunkservers > 0 {
+		cfg.Chunkservers = c.Chunkservers
+	}
+	if c.Files > 0 {
+		cfg.Files = c.Files
+	}
+	if c.Replication > 0 {
+		cfg.Replication = c.Replication
+	}
+	if c.PopularitySkew > 0 {
+		cfg.PopularitySkew = c.PopularitySkew
+	}
+	if c.SegmentBytes > 0 {
+		cfg.SegmentBytes = c.SegmentBytes
+	}
+	if c.SegmentSkew > 0 {
+		cfg.SegmentSkew = c.SegmentSkew
+	}
+	if c.CacheHitProb > 0 {
+		cfg.CacheHitProb = c.CacheHitProb
+	}
+	return cfg
+}
+
+// clientQuota apportions total requests across clients proportionally to
+// weight using the largest-remainder method, then enforces a minimum of
+// one request per client. Deterministic: remainder ties break toward the
+// lower index, and the min-1 floor steals from the current maximum.
+func clientQuota(total int, weights []float64) []int {
+	n := len(weights)
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	out := make([]int, n)
+	rem := make([]float64, n)
+	assigned := 0
+	for i, w := range weights {
+		ideal := float64(total) * w / sum
+		out[i] = int(ideal)
+		rem[i] = ideal - float64(out[i])
+		assigned += out[i]
+	}
+	// Distribute the leftover by descending fractional part, lower index
+	// first on ties.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rem[order[a]] > rem[order[b]] })
+	for k := 0; assigned < total; k++ {
+		out[order[k%n]]++
+		assigned++
+	}
+	// Min-1 floor: every client generates at least one request.
+	for i := range out {
+		for out[i] < 1 {
+			maxIdx := 0
+			for j := range out {
+				if out[j] > out[maxIdx] {
+					maxIdx = j
+				}
+			}
+			if out[maxIdx] <= 1 {
+				break // total < n; caller rejects this earlier
+			}
+			out[maxIdx]--
+			out[i]++
+		}
+	}
+	return out
+}

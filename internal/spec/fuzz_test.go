@@ -1,0 +1,69 @@
+package spec
+
+import (
+	"bytes"
+	"testing"
+
+	"dcmodel/presets"
+)
+
+// fuzzSeeds returns the seed corpus shared by both fuzz targets: every
+// shipped preset, a YAML document, and a few adversarial fragments.
+func fuzzSeeds() [][]byte {
+	seeds := [][]byte{
+		[]byte(sampleYAML),
+		[]byte(`{"name":"x","requests":1,"clients":[]}`),
+		[]byte("{"),
+		[]byte("- - -\n"),
+		[]byte("a:\n b: [1, 2\n"),
+		[]byte("\t"),
+		[]byte("key: 'unterminated\n"),
+		[]byte(`{"name": 1e999}`),
+	}
+	for _, name := range presets.Names() {
+		if b, ok := presets.Read(name); ok {
+			seeds = append(seeds, b)
+		}
+	}
+	return seeds
+}
+
+// FuzzSpecParse asserts Parse and Validate never panic: any input either
+// parses (and validates or returns structured errors) or fails cleanly.
+func FuzzSpecParse(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Validation must also be panic-free on anything that parses.
+		_ = s.Validate()
+	})
+}
+
+// FuzzSpecRoundTrip asserts render->parse is a fixed point: any input
+// that parses must render to a canonical form that reparses to the same
+// document, and rendering that reparse reproduces the same bytes.
+func FuzzSpecRoundTrip(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		r1 := Render(s)
+		s2, err := ParseJSON(r1)
+		if err != nil {
+			t.Fatalf("canonical render does not reparse: %v\nrender:\n%s", err, r1)
+		}
+		r2 := Render(s2)
+		if !bytes.Equal(r1, r2) {
+			t.Fatalf("render is not a fixed point:\nfirst:\n%s\nsecond:\n%s", r1, r2)
+		}
+	})
+}

@@ -1,0 +1,26 @@
+package spec
+
+import (
+	"dcmodel/internal/gfs"
+	"dcmodel/internal/trace"
+)
+
+// Generate simulates the compiled scenario and returns the merged trace.
+// Each client drives its own independent partition of the configured
+// cluster with a SplitMix64 sub-stream keyed by the client's index, and
+// partitions merge by arrival time with a deterministic tie-break —
+// exactly the gfs.SimulateSharded scheme, with heterogeneous per-client
+// run configs. Workers bounds concurrency only (<= 0 = GOMAXPROCS, 1 =
+// serial): the output is byte-identical at any worker count.
+func (c *Compiled) Generate(workers int) (*trace.Trace, error) {
+	rcs := make([]gfs.RunConfig, len(c.Clients))
+	for i, cl := range c.Clients {
+		rcs[i] = gfs.RunConfig{
+			Mix:      cl.Mix,
+			Arrivals: cl.Arrivals,
+			Requests: cl.Requests,
+			Faults:   c.Faults,
+		}
+	}
+	return gfs.SimulateMulti(c.Cluster, rcs, workers, c.Seed)
+}

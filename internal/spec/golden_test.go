@@ -1,0 +1,73 @@
+package spec
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcmodel/internal/trace"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files under testdata/")
+
+// goldenRows is how many span rows (after the header) each preset golden
+// pins: enough to cover every client and class, small enough to diff.
+const goldenRows = 40
+
+// goldenRequests keeps golden generation fast while covering all clients.
+const goldenRequests = 240
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/spec/ -run Golden -update` to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file (re-run with -update if intentional)\n got:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+// TestSpecPresetGolden pins the first spans of every preset's generated
+// trace: any drift in parsing, compilation, arrival processes, quota
+// apportionment or the merge order shows up as a golden diff.
+func TestSpecPresetGolden(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := Preset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := s.Compile(Options{Requests: goldenRequests})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := c.Generate(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := trace.WriteCSV(&buf, tr); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.SplitN(buf.String(), "\n", goldenRows+2)
+			head := strings.Join(lines[:min(len(lines)-1, goldenRows+1)], "\n") + "\n"
+			checkGolden(t, name+".golden.csv", head)
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dcmodel/internal/errs"
+)
+
+// Error is one parse or validation problem. Syntax errors carry the
+// offending line and column; validation errors carry the JSON field path
+// (e.g. "clients[0].arrivals.rate"). Every Error is an errs.ErrBadConfig,
+// so cliflag.Fatal exits 2 ("fix your invocation") on a bad spec.
+type Error struct {
+	// Line and Col locate a syntax error in the source document (1-based;
+	// 0 when unknown).
+	Line, Col int
+	// Path is the dotted field path of a validation or type error.
+	Path string
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	switch {
+	case e.Path != "" && e.Line > 0:
+		return fmt.Sprintf("spec: line %d:%d: %s: %s", e.Line, e.Col, e.Path, e.Msg)
+	case e.Path != "":
+		return fmt.Sprintf("spec: %s: %s", e.Path, e.Msg)
+	case e.Line > 0:
+		return fmt.Sprintf("spec: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	default:
+		return "spec: " + e.Msg
+	}
+}
+
+// Unwrap marks every spec error as a configuration error.
+func (e *Error) Unwrap() error { return errs.ErrBadConfig }
+
+// lineCol converts a byte offset into 1-based line and column numbers.
+func lineCol(data []byte, off int64) (line, col int) {
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	line, col = 1, 1
+	for _, b := range data[:off] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// decodeJSON unmarshals data into a Spec, rejecting unknown fields and
+// mapping encoding/json errors onto *Error. src is nil when the JSON was
+// machine-generated from YAML (no meaningful offsets).
+func decodeJSON(data []byte, src []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, jsonError(src, err)
+	}
+	// A spec is one document: trailing non-space content is an error.
+	if dec.More() {
+		e := &Error{Msg: "trailing data after the spec document"}
+		if src != nil {
+			e.Line, e.Col = lineCol(src, dec.InputOffset())
+		}
+		return nil, e
+	}
+	return &s, nil
+}
+
+// jsonError converts an encoding/json error into an *Error with line/col
+// (when src is the original document) and field context.
+func jsonError(src []byte, err error) error {
+	switch e := err.(type) {
+	case *json.SyntaxError:
+		out := &Error{Msg: e.Error()}
+		if src != nil {
+			out.Line, out.Col = lineCol(src, e.Offset)
+		}
+		return out
+	case *json.UnmarshalTypeError:
+		out := &Error{Path: e.Field, Msg: fmt.Sprintf("cannot decode %s into %s", e.Value, e.Type)}
+		if src != nil {
+			out.Line, out.Col = lineCol(src, e.Offset)
+		}
+		return out
+	default:
+		// DisallowUnknownFields and wrapper errors: keep the message,
+		// which already names the field.
+		return &Error{Msg: strings.TrimPrefix(err.Error(), "json: ")}
+	}
+}
+
+// ParseJSON parses a JSON spec document. Syntax and type errors are
+// line/column-precise; unknown fields are rejected by name.
+func ParseJSON(data []byte) (*Spec, error) {
+	return decodeJSON(data, data)
+}
+
+// ParseYAML parses a spec written in the package's YAML subset (see
+// yaml.go for the grammar). Structural errors are line-precise.
+func ParseYAML(data []byte) (*Spec, error) {
+	v, err := yamlToAny(data)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		// yamlToAny only emits JSON-compatible values; unreachable.
+		return nil, &Error{Msg: err.Error()}
+	}
+	return decodeJSON(b, nil)
+}
+
+// Parse sniffs the document format — JSON when the first non-space byte
+// is '{', the YAML subset otherwise — and parses it. Parse is syntactic
+// only; call Validate (or use Load/Resolve) for semantic checks.
+func Parse(data []byte) (*Spec, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		return ParseJSON(data)
+	}
+	return ParseYAML(data)
+}
+
+// Render produces the canonical JSON form of a spec: indented,
+// field-ordered, newline-terminated. Parse(Render(s)) is the identity on
+// the Spec value, which makes render->parse a fixed point (the
+// FuzzSpecRoundTrip property).
+func Render(s *Spec) []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// Spec contains only JSON-marshalable fields; unreachable.
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Load reads and parses a spec file, selecting the format by extension
+// (.json / .yaml / .yml; anything else is sniffed), and validates it.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	var s *Spec
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".json":
+		s, err = ParseJSON(data)
+	case ".yaml", ".yml":
+		s, err = ParseYAML(data)
+	default:
+		s, err = Parse(data)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

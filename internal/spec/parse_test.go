@@ -1,0 +1,290 @@
+package spec
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dcmodel/internal/errs"
+)
+
+// sampleYAML exercises every YAML-subset feature: comments, quoting,
+// nested mappings, block sequences of mappings, flow sequences, booleans
+// and the document marker.
+const sampleYAML = `---
+# sample spec exercising the YAML subset
+name: yamltest
+description: 'it''s a #sample'  # trailing comment
+seed: 7
+requests: 100
+cluster:
+  chunkservers: 2
+  cache_hit_prob: 0.5
+phases:
+  - name: "night"
+    duration: 10
+    rate_scale: 0.5
+  - name: day
+    duration: 5
+    rate_scale: 2.0
+cycle: true
+clients:
+  - name: a
+    weight: 3
+    slo: interactive
+    arrivals:
+      process: mmpp
+      rate: 20
+      rates: [40, 5]
+      holds: [1, 2]
+    mix:
+      - name: get
+        weight: 1
+        op: read
+        size:
+          dist: lognormal
+          mu: 9.5
+          sigma: 1.2
+        sequential: 0.2
+  - name: b
+    arrivals:
+      process: poisson
+      rate: 5
+    mix:
+      - name: put
+        weight: 1
+        op: write
+        size:
+          dist: fixed
+          value: 4096
+`
+
+func TestSpecParseYAMLSample(t *testing.T) {
+	s, err := ParseYAML([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "yamltest" || s.Seed != 7 || s.Requests != 100 || !s.Cycle {
+		t.Errorf("header fields wrong: %+v", s)
+	}
+	if s.Description != "it's a #sample" {
+		t.Errorf("single-quote escaping broke: %q", s.Description)
+	}
+	if s.Cluster == nil || s.Cluster.Chunkservers != 2 || s.Cluster.CacheHitProb != 0.5 {
+		t.Errorf("cluster wrong: %+v", s.Cluster)
+	}
+	if len(s.Phases) != 2 || s.Phases[0].Name != "night" || s.Phases[1].RateScale != 2 {
+		t.Errorf("phases wrong: %+v", s.Phases)
+	}
+	if len(s.Clients) != 2 {
+		t.Fatalf("want 2 clients, got %d", len(s.Clients))
+	}
+	a := s.Clients[0]
+	if a.SLO != SLOInteractive || a.Weight != 3 {
+		t.Errorf("client a wrong: %+v", a)
+	}
+	if !reflect.DeepEqual(a.Arrivals.Rates, []float64{40, 5}) || !reflect.DeepEqual(a.Arrivals.Holds, []float64{1, 2}) {
+		t.Errorf("flow sequences wrong: %+v", a.Arrivals)
+	}
+	if a.Mix[0].Size.Dist != "lognormal" || a.Mix[0].Size.Sigma != 1.2 {
+		t.Errorf("nested size wrong: %+v", a.Mix[0].Size)
+	}
+	if s.Clients[1].Mix[0].Size.Value != 4096 {
+		t.Errorf("client b size wrong: %+v", s.Clients[1].Mix[0].Size)
+	}
+}
+
+func TestSpecYAMLEquivalentToJSON(t *testing.T) {
+	y, err := ParseYAML([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := ParseJSON(Render(y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(y, j) {
+		t.Errorf("YAML and its canonical JSON parse differently:\n%+v\n%+v", y, j)
+	}
+}
+
+func TestSpecYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, wantSub string
+		wantLine           int
+	}{
+		{"tab indent", "name: x\n\tseed: 1\n", "tab indentation", 2},
+		{"flow mapping", "name: x\ncluster: {chunkservers: 2}\n", "flow mappings", 2},
+		{"unterminated quote", "name: \"oops\n", "unterminated quoted string", 1},
+		{"duplicate key", "name: x\nname: y\n", "duplicate key", 2},
+		{"bad indent", "cluster:\n  chunkservers: 1\n    files: 2\n", "indentation", 3},
+		{"list in mapping", "cluster:\n  - 1\n  chunkservers: 2\n", "", 3},
+		{"nested flow", "phases: [[1], 2]\n", "nested flow", 1},
+		{"unterminated flow", "phases: [1, 2\n", "missing ']'", 1},
+		{"no key", "cluster:\n  justaword\n", "expected 'key: value'", 2},
+		{"empty doc", "# only a comment\n", "empty document", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseYAML([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("parse accepted %q", tc.doc)
+			}
+			var e *Error
+			if !errors.As(err, &e) {
+				t.Fatalf("want *Error, got %T: %v", err, err)
+			}
+			if tc.wantSub != "" && !strings.Contains(e.Msg, tc.wantSub) {
+				t.Errorf("error %q does not mention %q", e.Msg, tc.wantSub)
+			}
+			if tc.wantLine > 0 && e.Line != tc.wantLine {
+				t.Errorf("error on line %d, want %d: %v", e.Line, tc.wantLine, err)
+			}
+			if !errors.Is(err, errs.ErrBadConfig) {
+				t.Errorf("spec error should unwrap to ErrBadConfig")
+			}
+		})
+	}
+}
+
+func TestSpecParseJSONSyntaxErrorLineCol(t *testing.T) {
+	doc := "{\n  \"name\": \"x\",\n  \"requests\": oops\n}\n"
+	_, err := ParseJSON([]byte(doc))
+	if err == nil {
+		t.Fatal("parse accepted bad JSON")
+	}
+	var e *Error
+	if !errors.As(err, &e) {
+		t.Fatalf("want *Error, got %T", err)
+	}
+	if e.Line != 3 {
+		t.Errorf("syntax error located at line %d, want 3: %v", e.Line, err)
+	}
+}
+
+func TestSpecParseJSONTypeError(t *testing.T) {
+	doc := `{"name": "x", "requests": "lots"}`
+	_, err := ParseJSON([]byte(doc))
+	var e *Error
+	if !errors.As(err, &e) {
+		t.Fatalf("want *Error, got %T: %v", err, err)
+	}
+	if !strings.Contains(e.Path, "requests") {
+		t.Errorf("type error path %q does not name the field", e.Path)
+	}
+}
+
+func TestSpecParseJSONUnknownField(t *testing.T) {
+	doc := `{"name": "x", "requests": 1, "rps": 50}`
+	_, err := ParseJSON([]byte(doc))
+	if err == nil || !strings.Contains(err.Error(), "rps") {
+		t.Errorf("unknown field not rejected by name: %v", err)
+	}
+}
+
+func TestSpecParseJSONTrailingData(t *testing.T) {
+	doc := `{"name": "x", "requests": 1, "clients": []} {"second": true}`
+	_, err := ParseJSON([]byte(doc))
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing document not rejected: %v", err)
+	}
+}
+
+func TestSpecParseSniffsFormat(t *testing.T) {
+	if _, err := Parse([]byte(sampleYAML)); err != nil {
+		t.Errorf("sniffed YAML failed: %v", err)
+	}
+	data, _ := Preset("webtier")
+	if _, err := Parse(Render(data)); err != nil {
+		t.Errorf("sniffed JSON failed: %v", err)
+	}
+}
+
+func TestSpecRenderParseFixedPoint(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1 := Render(s)
+		s2, err := ParseJSON(r1)
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v", name, err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Errorf("%s: render->parse changed the spec", name)
+		}
+		if r2 := Render(s2); string(r1) != string(r2) {
+			t.Errorf("%s: render is not a fixed point", name)
+		}
+	}
+}
+
+func TestSpecLoad(t *testing.T) {
+	dir := t.TempDir()
+	yml := filepath.Join(dir, "s.yaml")
+	if err := os.WriteFile(yml, []byte(sampleYAML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(yml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsn := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(jsn, Render(s), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(jsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Error("Load(.yaml) and Load(.json) of the same spec disagree")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("Load of a missing file succeeded")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"name": "x"}`), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Error("Load skipped validation")
+	}
+}
+
+func TestSpecResolve(t *testing.T) {
+	// A preset name, with or without directory/extension decoration.
+	for _, ref := range []string{"webtier", "presets/webtier.json", "webtier.yaml"} {
+		s, err := Resolve(ref)
+		if err != nil {
+			// presets/webtier.json resolves as a real file from the repo
+			// root; from the package dir it falls back to the preset name.
+			t.Fatalf("Resolve(%q): %v", ref, err)
+		}
+		if s.Name != "webtier" {
+			t.Errorf("Resolve(%q) = spec %q", ref, s.Name)
+		}
+	}
+	if _, err := Resolve("no-such-scenario"); err == nil || !strings.Contains(err.Error(), "webtier") {
+		t.Errorf("unknown ref should list valid presets, got: %v", err)
+	}
+	// A real file wins over preset-name fallback.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "webtier.yaml")
+	doc := strings.Replace(sampleYAML, "name: yamltest", "name: local-override", 1)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Resolve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "local-override" {
+		t.Errorf("Resolve(existing file) ignored the file, got spec %q", s.Name)
+	}
+}

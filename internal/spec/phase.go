@@ -1,0 +1,83 @@
+package spec
+
+import (
+	"math/rand"
+	"sort"
+
+	"dcmodel/internal/workload"
+)
+
+// Phase schedules modulate an arrival process by time-rescaling: a phase
+// with RateScale c compresses real time by c, so arrivals land c times as
+// densely while the base process's draw sequence — and therefore the
+// determinism contract — is untouched. The base process runs on an
+// "operational" clock tau; the schedule maps tau back to real time t via
+// the inverse of the cumulative scale function. Because every RateScale
+// is positive the map is strictly increasing, so arrival order is
+// preserved exactly.
+
+// phased wraps a base arrival process with a phase schedule.
+type phased struct {
+	base  workload.Arrivals
+	sched []PhaseSpec
+	cycle bool
+
+	// realBP[k] / opBP[k] are the cumulative real and operational times at
+	// the start of segment k; both have len(sched)+1 entries, the last
+	// being the schedule totals.
+	realBP, opBP []float64
+}
+
+// Phased applies a phase schedule to base. An empty schedule returns base
+// unchanged. With cycle the schedule repeats indefinitely; otherwise time
+// past the last phase runs at nominal (scale 1) rate.
+func Phased(base workload.Arrivals, phases []PhaseSpec, cycle bool) workload.Arrivals {
+	if len(phases) == 0 {
+		return base
+	}
+	p := &phased{base: base, sched: phases, cycle: cycle}
+	p.realBP = make([]float64, len(phases)+1)
+	p.opBP = make([]float64, len(phases)+1)
+	for k, ph := range phases {
+		p.realBP[k+1] = p.realBP[k] + ph.Duration
+		p.opBP[k+1] = p.opBP[k] + ph.Duration*ph.RateScale
+	}
+	return p
+}
+
+// realTime maps an operational instant tau to real time.
+func (p *phased) realTime(tau float64) float64 {
+	totOp, totReal := p.opBP[len(p.opBP)-1], p.realBP[len(p.realBP)-1]
+	var base float64
+	if tau >= totOp {
+		if !p.cycle {
+			// Past the schedule: continue at nominal rate.
+			return totReal + (tau - totOp)
+		}
+		cycles := int(tau / totOp)
+		base = float64(cycles) * totReal
+		tau -= float64(cycles) * totOp
+	}
+	// Find the segment holding tau: the last k with opBP[k] <= tau.
+	k := sort.SearchFloat64s(p.opBP, tau)
+	if k == len(p.opBP) || p.opBP[k] != tau {
+		k--
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(p.sched) {
+		k = len(p.sched) - 1
+	}
+	return base + p.realBP[k] + (tau-p.opBP[k])/p.sched[k].RateScale
+}
+
+// Times implements workload.Arrivals: the base process's times are read
+// as operational instants and mapped through the schedule.
+func (p *phased) Times(n int, r *rand.Rand) []float64 {
+	out := p.base.Times(n, r)
+	for i, tau := range out {
+		out[i] = p.realTime(tau)
+	}
+	return out
+}

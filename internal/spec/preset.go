@@ -1,0 +1,47 @@
+package spec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dcmodel/presets"
+)
+
+// Preset parses and validates the named embedded preset.
+func Preset(name string) (*Spec, error) {
+	data, ok := presets.Read(name)
+	if !ok {
+		return nil, pathErr("", "unknown preset %q (valid: %s)", name, strings.Join(presets.Names(), ", "))
+	}
+	s, err := ParseJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("preset %s: %w", name, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("preset %s: %w", name, err)
+	}
+	return s, nil
+}
+
+// Names lists the embedded preset names.
+func Names() []string { return presets.Names() }
+
+// Resolve turns a -spec argument into a validated spec: a path to an
+// existing file loads that file; otherwise the argument (with any
+// directory and extension stripped, so "presets/webtier.json" works even
+// outside the repo) names an embedded preset.
+func Resolve(arg string) (*Spec, error) {
+	if arg == "" {
+		return nil, pathErr("", "empty spec reference")
+	}
+	if _, err := os.Stat(arg); err == nil {
+		return Load(arg)
+	}
+	name := strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
+	if _, ok := presets.Read(name); ok {
+		return Preset(name)
+	}
+	return nil, pathErr("", "spec %q is neither a readable file nor a preset (presets: %s)", arg, strings.Join(presets.Names(), ", "))
+}

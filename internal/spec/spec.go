@@ -1,0 +1,182 @@
+// Package spec is the declarative workload-spec engine: one JSON (or thin
+// YAML-subset) document describes a complete multi-client scenario —
+// per-client arrival process (Poisson / MMPP / self-similar /
+// deterministic), request-class mix with size distributions, SLO class,
+// and a phase schedule (diurnal cycles, surges, flash crowds) — and
+// compiles into the existing internal/workload and internal/trace types.
+//
+// One spec artifact drives every consumer the same way: `gfstrace -spec`,
+// `synth -spec` and `crossexam -spec` generate their workload from it,
+// `loadgen -spec` streams it into a running dcmodeld, and `dcmodeld
+// -warm-spec` pre-warms the daemon's window with it at boot.
+//
+// The pipeline is Parse (or Load / Resolve) -> Validate -> Compile ->
+// Generate:
+//
+//	s, err := spec.Resolve("presets/webtier.json") // path or preset name
+//	c, err := s.Compile(spec.Options{})
+//	tr, err := c.Generate(0) // workers; output identical for any value
+//
+// Determinism contract: identical spec + seed produce a byte-identical
+// trace at any worker count. Each client drives its own independent GFS
+// cluster partition with a SplitMix64 sub-stream keyed by the client's
+// index (never by worker count or scheduling), and partitions merge with
+// a deterministic tie-break, exactly like gfs.SimulateSharded.
+package spec
+
+// SLO is a client's service-level-objective class. It labels the client's
+// share of the workload for load generators and scorers; it does not
+// change how requests are simulated.
+type SLO string
+
+// The SLO classes a spec may assign to a client.
+const (
+	SLOInteractive SLO = "interactive"
+	SLOThroughput  SLO = "throughput"
+	SLOBatch       SLO = "batch"
+	SLOBestEffort  SLO = "best-effort"
+)
+
+// SLOs lists the valid SLO classes in canonical order.
+func SLOs() []SLO {
+	return []SLO{SLOInteractive, SLOThroughput, SLOBatch, SLOBestEffort}
+}
+
+// Spec is the root of a workload-spec document.
+type Spec struct {
+	// Name identifies the scenario (preset files use their file name).
+	Name string `json:"name"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// Seed is the master random seed; 0 means 1. Identical spec + seed
+	// generate byte-identical traces at any worker count.
+	Seed int64 `json:"seed,omitempty"`
+	// Requests is the total request count across all clients.
+	Requests int `json:"requests"`
+	// Cluster optionally overrides the simulated-cluster shape; nil keeps
+	// gfs.DefaultConfig.
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
+	// Phases is the spec-wide phase schedule applied to every client that
+	// does not declare its own (diurnal cycles, surges, flash crowds).
+	Phases []PhaseSpec `json:"phases,omitempty"`
+	// Cycle repeats the spec-wide schedule indefinitely; false extends
+	// past the last phase at nominal (scale 1) rate.
+	Cycle bool `json:"cycle,omitempty"`
+	// Clients are the concurrent workload sources composing the scenario.
+	Clients []ClientSpec `json:"clients"`
+}
+
+// ClusterSpec overrides fields of the simulated GFS cluster. Zero-valued
+// fields keep the gfs.DefaultConfig value.
+type ClusterSpec struct {
+	// Chunkservers is the per-client-partition chunkserver count.
+	Chunkservers int `json:"chunkservers,omitempty"`
+	// Files is the namespace size.
+	Files int `json:"files,omitempty"`
+	// Replication is the replicas per chunk.
+	Replication int `json:"replication,omitempty"`
+	// PopularitySkew is the Zipf skew of file popularity.
+	PopularitySkew float64 `json:"popularity_skew,omitempty"`
+	// SegmentBytes quantizes offsets to hot/cold segments of this size.
+	SegmentBytes int64 `json:"segment_bytes,omitempty"`
+	// SegmentSkew is the Zipf skew of segment popularity.
+	SegmentSkew float64 `json:"segment_skew,omitempty"`
+	// CacheHitProb is the page-cache hit probability for reads.
+	CacheHitProb float64 `json:"cache_hit_prob,omitempty"`
+}
+
+// ClientSpec is one workload source of the scenario.
+type ClientSpec struct {
+	// Name labels the client; generated request classes are
+	// "<client>/<class>".
+	Name string `json:"name"`
+	// Weight is the client's share of Spec.Requests; 0 means 1.
+	Weight float64 `json:"weight,omitempty"`
+	// SLO is the client's service class; empty means best-effort.
+	SLO SLO `json:"slo,omitempty"`
+	// Arrivals is the client's arrival process.
+	Arrivals ArrivalSpec `json:"arrivals"`
+	// Phases overrides the spec-wide phase schedule for this client.
+	Phases []PhaseSpec `json:"phases,omitempty"`
+	// Cycle repeats this client's schedule (only consulted when Phases is
+	// set).
+	Cycle bool `json:"cycle,omitempty"`
+	// Mix is the client's request-class mix.
+	Mix []ClassSpec `json:"mix"`
+}
+
+// ArrivalSpec declares an arrival process. Rate is the nominal rate in
+// requests/second and is required by every process; the remaining fields
+// are per-process overrides of the canonical internal/workload defaults.
+type ArrivalSpec struct {
+	// Process is one of "poisson", "mmpp", "selfsimilar",
+	// "deterministic".
+	Process string `json:"process"`
+	// Rate is the nominal arrival rate (requests/second).
+	Rate float64 `json:"rate,omitempty"`
+	// Interval overrides 1/Rate for the deterministic process.
+	Interval float64 `json:"interval,omitempty"`
+	// Rates and Holds override the two MMPP state rates and mean holding
+	// times (both need exactly two entries).
+	Rates []float64 `json:"rates,omitempty"`
+	Holds []float64 `json:"holds,omitempty"`
+	// Sources, OnRate, MeanOn, MeanOff and Alpha override the
+	// self-similar superposition's parameters.
+	Sources int     `json:"sources,omitempty"`
+	OnRate  float64 `json:"on_rate,omitempty"`
+	MeanOn  float64 `json:"mean_on,omitempty"`
+	MeanOff float64 `json:"mean_off,omitempty"`
+	Alpha   float64 `json:"alpha,omitempty"`
+}
+
+// ClassSpec is one request class of a client's mix.
+type ClassSpec struct {
+	// Name labels the class within the client.
+	Name string `json:"name"`
+	// Weight is the class's share of the client's request stream.
+	Weight float64 `json:"weight"`
+	// Op is "read" or "write".
+	Op string `json:"op"`
+	// Size is the request-size distribution in bytes.
+	Size DistSpec `json:"size"`
+	// Sequential is the probability an I/O continues sequentially from
+	// the class's previous I/O, in [0, 1].
+	Sequential float64 `json:"sequential,omitempty"`
+}
+
+// DistSpec declares a size distribution. Dist selects the family; only
+// that family's parameter fields are consulted.
+type DistSpec struct {
+	// Dist is one of "fixed", "lognormal", "pareto", "exponential",
+	// "uniform", "weibull".
+	Dist string `json:"dist"`
+	// Value is the fixed size (fixed).
+	Value float64 `json:"value,omitempty"`
+	// Mu and Sigma are the log-space parameters (lognormal).
+	Mu    float64 `json:"mu,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+	// Xm and Alpha are the scale and shape (pareto).
+	Xm    float64 `json:"xm,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+	// Mean is the mean size (exponential).
+	Mean float64 `json:"mean,omitempty"`
+	// A and B are the bounds (uniform).
+	A float64 `json:"a,omitempty"`
+	B float64 `json:"b,omitempty"`
+	// Shape and Scale are the Weibull k and lambda.
+	Shape float64 `json:"shape,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// PhaseSpec is one segment of a phase schedule: for Duration seconds of
+// real time the client's instantaneous arrival rate is scaled by
+// RateScale (interarrival gaps divided by it).
+type PhaseSpec struct {
+	// Name labels the phase (e.g. "night", "flash-crowd").
+	Name string `json:"name,omitempty"`
+	// Duration is the phase length in seconds of real time.
+	Duration float64 `json:"duration"`
+	// RateScale multiplies the nominal arrival rate during the phase
+	// (must be > 0).
+	RateScale float64 `json:"rate_scale"`
+}

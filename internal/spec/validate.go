@@ -1,0 +1,149 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// pathErr builds a field-path validation error.
+func pathErr(path, format string, args ...any) error {
+	return &Error{Path: path, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the spec semantically and returns every problem found,
+// joined (errors.Join), each carrying its dotted field path. A nil return
+// means the spec compiles.
+func (s *Spec) Validate() error {
+	var problems []error
+	bad := func(path, format string, args ...any) {
+		problems = append(problems, pathErr(path, format, args...))
+	}
+
+	if s.Name == "" {
+		bad("name", "spec needs a name")
+	}
+	if s.Requests < 1 {
+		bad("requests", "need >= 1 request, got %d", s.Requests)
+	}
+	if s.Seed < 0 {
+		bad("seed", "seed must be >= 0, got %d", s.Seed)
+	}
+	if s.Cluster != nil {
+		validateCluster(s.Cluster, "cluster", bad)
+	}
+	validatePhases(s.Phases, "phases", bad)
+
+	if len(s.Clients) == 0 {
+		bad("clients", "spec needs at least one client")
+	}
+	seen := map[string]bool{}
+	for i, c := range s.Clients {
+		p := fmt.Sprintf("clients[%d]", i)
+		if c.Name == "" {
+			bad(p+".name", "client needs a name")
+		} else if seen[c.Name] {
+			bad(p+".name", "duplicate client name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Weight < 0 {
+			bad(p+".weight", "weight must be >= 0, got %g", c.Weight)
+		}
+		if !validSLO(c.SLO) {
+			bad(p+".slo", "unknown SLO class %q (valid: %v)", c.SLO, SLOs())
+		}
+		if _, err := BuildArrivals(c.Arrivals); err != nil {
+			problems = append(problems, prefixPath(err, p+".arrivals"))
+		}
+		validatePhases(c.Phases, p+".phases", bad)
+		if len(c.Mix) == 0 {
+			bad(p+".mix", "client needs at least one mix class")
+		}
+		for j, cl := range c.Mix {
+			cp := fmt.Sprintf("%s.mix[%d]", p, j)
+			if cl.Name == "" {
+				bad(cp+".name", "class needs a name")
+			}
+			if cl.Weight <= 0 {
+				bad(cp+".weight", "weight must be > 0, got %g", cl.Weight)
+			}
+			if cl.Op != "read" && cl.Op != "write" {
+				bad(cp+".op", "op must be \"read\" or \"write\", got %q", cl.Op)
+			}
+			if _, err := BuildDist(cl.Size); err != nil {
+				problems = append(problems, prefixPath(err, cp+".size"))
+			}
+			if cl.Sequential < 0 || cl.Sequential > 1 {
+				bad(cp+".sequential", "sequential probability %g outside [0, 1]", cl.Sequential)
+			}
+		}
+	}
+	return errors.Join(problems...)
+}
+
+// validSLO reports whether s names an SLO class (empty = best-effort).
+func validSLO(s SLO) bool {
+	if s == "" {
+		return true
+	}
+	for _, v := range SLOs() {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// validatePhases checks one phase schedule.
+func validatePhases(phases []PhaseSpec, path string, bad func(path, format string, args ...any)) {
+	for k, ph := range phases {
+		p := fmt.Sprintf("%s[%d]", path, k)
+		if ph.Duration <= 0 {
+			bad(p+".duration", "duration must be > 0, got %g", ph.Duration)
+		}
+		if ph.RateScale <= 0 {
+			bad(p+".rate_scale", "rate_scale must be > 0, got %g", ph.RateScale)
+		}
+	}
+}
+
+// validateCluster checks cluster overrides.
+func validateCluster(c *ClusterSpec, path string, bad func(path, format string, args ...any)) {
+	if c.Chunkservers < 0 {
+		bad(path+".chunkservers", "must be >= 0, got %d", c.Chunkservers)
+	}
+	if c.Files < 0 {
+		bad(path+".files", "must be >= 0, got %d", c.Files)
+	}
+	if c.Replication < 0 {
+		bad(path+".replication", "must be >= 0, got %d", c.Replication)
+	}
+	if c.PopularitySkew < 0 {
+		bad(path+".popularity_skew", "must be >= 0, got %g", c.PopularitySkew)
+	}
+	if c.SegmentBytes < 0 {
+		bad(path+".segment_bytes", "must be >= 0, got %d", c.SegmentBytes)
+	}
+	if c.SegmentSkew < 0 {
+		bad(path+".segment_skew", "must be >= 0, got %g", c.SegmentSkew)
+	}
+	if c.CacheHitProb < 0 || c.CacheHitProb > 1 {
+		bad(path+".cache_hit_prob", "probability %g outside [0, 1]", c.CacheHitProb)
+	}
+}
+
+// prefixPath prepends prefix to err's field path when err is an *Error
+// (dotting into sub-builders' relative paths); other errors pass through
+// wrapped at the prefix.
+func prefixPath(err error, prefix string) error {
+	var e *Error
+	if errors.As(err, &e) {
+		out := *e
+		if out.Path == "" {
+			out.Path = prefix
+		} else {
+			out.Path = prefix + "." + out.Path
+		}
+		return &out
+	}
+	return pathErr(prefix, "%v", err)
+}

@@ -110,6 +110,26 @@ func (m MMPP2) MeanRate() float64 {
 	return w0*m.Rate[0] + (1-w0)*m.Rate[1]
 }
 
+// DefaultMMPP returns the canonical bursty two-state MMPP around a nominal
+// rate: a 2x-rate ON-ish state held ~1 s and a rate/4 background state held
+// ~2 s. This is the single shared parameterization the spec engine, the
+// cmd tools and the examples all use, so "mmpp at rate r" means the same
+// process everywhere.
+func DefaultMMPP(rate float64) MMPP2 {
+	return MMPP2{
+		Rate: [2]float64{rate * 2, rate / 4},
+		Hold: [2]float64{1, 2},
+	}
+}
+
+// DefaultSelfSimilar returns the canonical self-similar superposition at a
+// nominal long-run rate: 16 ON/OFF sources with Pareto(alpha=1.4) periods
+// and a 25% duty cycle, so MeanRate() equals rate. The single shared
+// parameterization of "selfsimilar at rate r" across the toolkit.
+func DefaultSelfSimilar(rate float64) SelfSimilar {
+	return SelfSimilar{Sources: 16, OnRate: rate / 4, MeanOn: 1, MeanOff: 3, Alpha: 1.4}
+}
+
 // SelfSimilar generates long-range-dependent arrivals by superposing
 // ON/OFF sources with heavy-tailed (Pareto) period lengths — the classical
 // construction of self-similar network traffic.

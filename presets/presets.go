@@ -1,0 +1,49 @@
+// Package presets embeds the shipped workload-scenario library: one JSON
+// spec per named scenario, parseable by internal/spec. The files live in
+// this directory so both the CLI tools (which read them from disk as
+// presets/<name>.json) and the library (which reads them from the embedded
+// filesystem, independent of the working directory) see the same bytes.
+//
+// The taxonomy follows the workload classes the datacenter-modeling
+// literature exercises: interactive serving (chat), shared-prefix
+// retrieval (rag), batch processing (mapreduce), many-to-one incast
+// (incast), diurnal web traffic (webtier) and memory-bound analytics
+// (analytics).
+package presets
+
+import (
+	"embed"
+	"sort"
+	"strings"
+)
+
+//go:embed *.json
+var fs embed.FS
+
+// Names returns the embedded preset names (file base names without the
+// .json extension), sorted.
+func Names() []string {
+	entries, err := fs.ReadDir(".")
+	if err != nil {
+		// The embedded FS always lists "."; unreachable by construction.
+		panic(err)
+	}
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".json"); ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Read returns the raw spec bytes of the named preset and whether it
+// exists.
+func Read(name string) ([]byte, bool) {
+	b, err := fs.ReadFile(name + ".json")
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
