@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race chaos obs spec cover cover-spec bench bench-json fuzz fuzz-smoke examples artifacts serve loadtest clean help
+.PHONY: all build vet test test-race race chaos obs spec cover cover-spec bench bench-json bench-compare fuzz fuzz-smoke examples artifacts serve loadtest clean help
 
 all: build vet test
 
@@ -25,7 +25,9 @@ help:
 	@echo "  cover      go test -cover ./... + the internal/spec coverage floor"
 	@echo "  cover-spec enforce the $(SPEC_COVER_FLOOR)% statement-coverage floor on internal/spec"
 	@echo "  bench      regenerate every table/figure + ablations (-bench=. -benchmem)"
-	@echo "  bench-json rerun the hot-path benchmarks and refresh BENCH_PR2.json"
+	@echo "  bench-json rerun the hot-path benchmarks and refresh BENCH_PR7.json"
+	@echo "             (trace-v2 codec + batched synthesis vs the frozen PR 2 baseline)"
+	@echo "  bench-compare  quick benchstat-style table vs the frozen baseline (no file written)"
 	@echo "  fuzz       run the codec, sharded-simulator and spec fuzz targets (30s each)"
 	@echo "  fuzz-smoke quick CI fuzz pass over the same targets (10s each)"
 	@echo "  examples   run every example program"
@@ -101,22 +103,49 @@ cover-spec:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# The benchmark packages BENCH_PR2.json records: the synthesis hot paths
-# (alias-method sampling, Markov stepping, DES, trace codec) plus the
+# The benchmark packages the BENCH_*.json records cover: the synthesis hot
+# paths (alias-method sampling, Markov stepping, DES, trace codec) plus the
 # end-to-end Table 2 pipeline in the root package.
 BENCH_JSON_PKGS = . ./internal/markov/ ./internal/stats/ ./internal/workload/ ./internal/queueing/ ./internal/trace/
 
-# Refreshes the "current" section of BENCH_PR2.json in place; the frozen
-# pre-optimization "baseline" section is preserved (see cmd/bench2json).
+# Baseline-name mapping for BENCH_PR7.json: the trace-v2 codec and the
+# batch synthesis/stepping APIs replace the CSV codec and the scalar APIs
+# on the same hot paths, so each inherits the frozen baseline of the
+# measurement it supersedes (colon-separated: bench names contain '=').
+BENCH_RENAMES = \
+	-rename BenchmarkWriteCSV:BenchmarkWriteBinary \
+	-rename BenchmarkReadCSV:BenchmarkReadBinary \
+	-rename BenchmarkKoozaSynthesize:BenchmarkKoozaSynthesizeBatch \
+	-rename BenchmarkSynthTable2Scale:BenchmarkSynthTable2ScaleBatch \
+	-rename BenchmarkChainStep/states=8:BenchmarkChainStepN/states=8 \
+	-rename BenchmarkChainStep/states=32:BenchmarkChainStepN/states=32 \
+	-rename BenchmarkChainStep/states=128:BenchmarkChainStepN/states=128 \
+	-rename BenchmarkChainStep/states=1024:BenchmarkChainStepN/states=1024
+
+# Regenerates BENCH_PR7.json: "current" is remeasured, "baseline" is the
+# frozen pre-optimization section of BENCH_PR2.json (see cmd/bench2json),
+# and the benchstat-style comparison is printed.
+# -p 1 keeps the package test binaries from benchmarking concurrently
+# and contending for cores (go test parallelizes across packages).
 bench-json:
-	$(GO) test -bench=. -benchmem -run=xxx -benchtime=2s $(BENCH_JSON_PKGS) > bench_raw.txt
-	$(GO) run ./cmd/bench2json -in bench_raw.txt -out BENCH_PR2.json
+	$(GO) test -p 1 -bench=. -benchmem -run=xxx -benchtime=2s $(BENCH_JSON_PKGS) > bench_raw.txt
+	$(GO) run ./cmd/bench2json -in bench_raw.txt -out BENCH_PR7.json -baseline-json BENCH_PR2.json \
+		-print $(BENCH_RENAMES) \
+		-note "Baseline imported from BENCH_PR2.json (frozen pre-optimization numbers); current regenerated by 'make bench-json' after the trace-v2 codec + batched-synthesis pass (PR 7)."
+	rm -f bench_raw.txt
+
+# Quick comparison against the frozen baseline without touching the
+# checked-in record — the CI log's benchstat-style table.
+bench-compare:
+	$(GO) test -p 1 -bench=. -benchmem -run=xxx -benchtime=0.3s $(BENCH_JSON_PKGS) > bench_raw.txt
+	$(GO) run ./cmd/bench2json -in bench_raw.txt -baseline-json BENCH_PR2.json -print $(BENCH_RENAMES)
 	rm -f bench_raw.txt
 
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz=FuzzReadJSON -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -fuzz=FuzzBinaryCodec -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz=FuzzShardedCodecRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz=FuzzSpanReader -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz=FuzzSpecParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/spec/

@@ -15,9 +15,19 @@
 //	bench2json -in bench_raw.txt -out BENCH_PR2.json
 //
 // The baseline section comes from -baseline (raw benchmark output captured
-// before the change). Without -baseline, an existing -out file keeps its
-// baseline section, so re-running `make bench-json` refreshes "current"
-// while the frozen pre-change numbers stay put.
+// before the change) or -baseline-json (the frozen baseline section of an
+// earlier checked-in record, e.g. BENCH_PR2.json — how later records chain
+// back to the original pre-optimization numbers). Without either, an
+// existing -out file keeps its baseline section, so re-running `make
+// bench-json` refreshes "current" while the frozen pre-change numbers stay
+// put.
+//
+// -rename old:new copies the baseline entry `old` to `new`, so a benchmark
+// that was renamed — or a new implementation that replaces an old one on
+// the same hot path (WriteBinary vs WriteCSV) — gets a speedup computed
+// against the measurement it supersedes. -print renders a benchstat-style
+// baseline-vs-current table for every benchmark with both measurements;
+// with no -out, -print emits only the table.
 package main
 
 import (
@@ -109,12 +119,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench2json: ")
 	var (
-		in       = flag.String("in", "", "raw benchmark output (empty = stdin)")
-		out      = flag.String("out", "", "output JSON path (empty = stdout)")
-		baseline = flag.String("baseline", "", "raw benchmark output recorded before the change")
-		note     = flag.String("note", "", "free-form note stored in the record")
+		in           = flag.String("in", "", "raw benchmark output (empty = stdin)")
+		out          = flag.String("out", "", "output JSON path (empty = stdout, or table-only with -print)")
+		baseline     = flag.String("baseline", "", "raw benchmark output recorded before the change")
+		baselineJSON = flag.String("baseline-json", "", "earlier benchmark record whose frozen baseline section seeds this record's baseline (e.g. BENCH_PR2.json)")
+		note         = flag.String("note", "", "free-form note stored in the record")
+		printTable   = flag.Bool("print", false, "print a benchstat-style baseline vs current table")
+		renames      renameFlags
 	)
+	flag.Var(&renames, "rename", "old:new baseline copy (repeatable); gives a renamed or replacement benchmark a speedup vs the measurement it supersedes")
 	flag.Parse()
+	if *baseline != "" && *baselineJSON != "" {
+		log.Fatal("-baseline and -baseline-json are mutually exclusive")
+	}
 
 	var (
 		current map[string]Result
@@ -144,6 +161,19 @@ func main() {
 		if file.Baseline, err = parseFile(*baseline); err != nil {
 			log.Fatal(err)
 		}
+	case *baselineJSON != "":
+		data, err := os.ReadFile(*baselineJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var prev File
+		if err := json.Unmarshal(data, &prev); err != nil {
+			log.Fatalf("%s: %v", *baselineJSON, err)
+		}
+		if len(prev.Baseline) == 0 {
+			log.Fatalf("%s has no baseline section", *baselineJSON)
+		}
+		file.Baseline = prev.Baseline
 	case *out != "":
 		// Keep the frozen baseline of an existing record.
 		if data, err := os.ReadFile(*out); err == nil {
@@ -157,6 +187,14 @@ func main() {
 			}
 		}
 	}
+	for _, rn := range renames {
+		res, ok := file.Baseline[rn.old]
+		if !ok {
+			log.Fatalf("-rename %s:%s: no baseline entry %q", rn.old, rn.new, rn.old)
+		}
+		file.Baseline[rn.new] = res
+	}
+
 	names := make([]string, 0, len(current))
 	for name := range current {
 		names = append(names, name)
@@ -167,6 +205,9 @@ func main() {
 			file.Speedup[name] = base.NsPerOp / current[name].NsPerOp
 		}
 	}
+	if *printTable {
+		printComparison(os.Stdout, file, names)
+	}
 
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
@@ -174,11 +215,67 @@ func main() {
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		os.Stdout.Write(data)
+		if !*printTable {
+			os.Stdout.Write(data)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%d benchmarks, %d with baseline)\n", *out, len(current), len(file.Speedup))
+}
+
+// renameFlags collects repeated -rename old:new flags. The separator is a
+// colon because benchmark names routinely contain '=' and '/'
+// (BenchmarkChainStep/states=8) but never ':'.
+type renameFlags []struct{ old, new string }
+
+func (r *renameFlags) String() string { return fmt.Sprintf("%d renames", len(*r)) }
+
+func (r *renameFlags) Set(v string) error {
+	old, new, ok := strings.Cut(v, ":")
+	if !ok || old == "" || new == "" {
+		return fmt.Errorf("want old:new, got %q", v)
+	}
+	*r = append(*r, struct{ old, new string }{old, new})
+	return nil
+}
+
+// printComparison renders the benchstat-style table: every benchmark with
+// both a baseline and a current measurement, fastest-relative-gain first.
+func printComparison(w io.Writer, file File, names []string) {
+	rows := make([]string, 0, len(names))
+	for _, name := range names {
+		if _, ok := file.Speedup[name]; ok {
+			rows = append(rows, name)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return file.Speedup[rows[i]] > file.Speedup[rows[j]] })
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "no benchmarks with both baseline and current measurements")
+		return
+	}
+	fmt.Fprintf(w, "%-52s %14s %14s %9s\n", "name", "baseline", "current", "speedup")
+	for _, name := range rows {
+		fmt.Fprintf(w, "%-52s %14s %14s %8.2fx\n",
+			strings.TrimPrefix(name, "Benchmark"),
+			formatNs(file.Baseline[name].NsPerOp),
+			formatNs(file.Current[name].NsPerOp),
+			file.Speedup[name])
+	}
+}
+
+// formatNs renders a ns/op value with benchstat's unit scaling.
+func formatNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.4gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.4gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.4gns", ns)
+	}
 }

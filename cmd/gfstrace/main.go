@@ -14,6 +14,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"dcmodel/internal/spec"
 	"dcmodel/internal/workload"
@@ -35,7 +36,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		mixName     = flag.String("mix", "table2", "request mix: table2, web or oltp")
 		arrivals    = flag.String("arrivals", "poisson", "arrival process: poisson, mmpp or selfsimilar")
-		format      = flag.String("format", "csv", "output format: csv or json")
+		format      = flag.String("format", "csv", "output format: csv, json or binary (trace-v2; implied by a .dct -o path)")
 		out         = flag.String("o", "-", "output path ('-' for stdout)")
 		shards      = flag.Int("shards", 1, "partition clients across this many independent cluster partitions")
 		workers     = flag.Int("workers", 0, "concurrent shards (0 = GOMAXPROCS, 1 = serial); needs -shards > 1")
@@ -74,13 +75,29 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+	// A .dct output path selects the binary codec unless -format was set
+	// explicitly (flag.Visit reports only flags present on the command
+	// line, the same pattern explicitOverrides uses).
+	if strings.HasSuffix(*out, ".dct") {
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "format" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			*format = "binary"
+		}
+	}
 	switch *format {
 	case "csv":
 		err = dcmodel.WriteTraceCSV(w, tr)
 	case "json":
 		err = dcmodel.WriteTraceJSON(w, tr)
+	case "binary":
+		err = dcmodel.WriteTraceBinary(w, tr)
 	default:
-		log.Fatalf("unknown format %q (want csv or json)", *format)
+		log.Fatalf("unknown format %q (want csv, json or binary)", *format)
 	}
 	if err != nil {
 		log.Fatal(err)

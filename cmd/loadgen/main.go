@@ -1,14 +1,15 @@
 // Command loadgen generates a workload from a declarative spec and streams
 // it into a running dcmodeld over HTTP: the trace is generated up front
 // (deterministic for a given spec + seed at any -workers), split into
-// batches, and each batch POSTed to /v1/ingest as CSV — exercising the
-// daemon's sliding window, drift detection and online retraining with a
-// scenario you can put under version control.
+// batches, and each batch POSTed to /v1/ingest as CSV or as the binary
+// trace-v2 codec — exercising the daemon's sliding window, drift detection
+// and online retraining with a scenario you can put under version control.
 //
 // Usage:
 //
 //	loadgen -spec presets/webtier.json -url http://localhost:8080
 //	loadgen -spec incast -requests 10000 -batch 1000
+//	loadgen -spec webtier -format binary     # trace-v2 ingest bodies
 //	loadgen -spec rag -dry-run > trace.csv   # inspect without a daemon
 package main
 
@@ -40,7 +41,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent generation partitions (0 = GOMAXPROCS); output is identical for any value")
 		batch    = flag.Int("batch", 500, "requests per ingest POST")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
-		dryRun   = flag.Bool("dry-run", false, "write the generated trace as CSV to stdout instead of POSTing it")
+		format   = flag.String("format", "csv", "ingest body codec: csv or binary (trace-v2)")
+		dryRun   = flag.Bool("dry-run", false, "write the generated trace to stdout in the -format codec instead of POSTing it")
 	)
 	flag.Parse()
 	cliflag.Check(
@@ -52,6 +54,10 @@ func main() {
 	if *specRef == "" {
 		cliflag.Check("-spec is required (a preset name or a spec file)")
 	}
+	if *format != "csv" && *format != "binary" {
+		cliflag.Check(fmt.Sprintf("-format must be csv or binary, got %q", *format))
+	}
+	binary := *format == "binary"
 
 	s, err := spec.Resolve(*specRef)
 	if err != nil {
@@ -68,7 +74,12 @@ func main() {
 	summarize(os.Stderr, c, tr)
 
 	if *dryRun {
-		if err := trace.WriteCSV(os.Stdout, tr); err != nil {
+		if binary {
+			err = trace.WriteBinary(os.Stdout, tr)
+		} else {
+			err = trace.WriteCSV(os.Stdout, tr)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -83,7 +94,7 @@ func main() {
 			hi = tr.Len()
 		}
 		part := &trace.Trace{Requests: tr.Requests[lo:hi]}
-		resp, err := post(client, target, part)
+		resp, err := post(client, target, part, binary)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -107,13 +118,23 @@ type ingestResponse struct {
 	Reason    string `json:"reason"`
 }
 
-// post sends one trace batch as CSV and decodes the ingest reply.
-func post(client *http.Client, target string, part *trace.Trace) (*ingestResponse, error) {
+// post sends one trace batch (CSV, or trace-v2 when binary is set, with
+// the matching Content-Type so the daemon picks the right decoder) and
+// decodes the ingest reply.
+func post(client *http.Client, target string, part *trace.Trace, binary bool) (*ingestResponse, error) {
 	var buf bytes.Buffer
-	if err := trace.WriteCSV(&buf, part); err != nil {
+	contentType := "text/csv"
+	var err error
+	if binary {
+		contentType = trace.ContentTypeV2
+		err = trace.WriteBinary(&buf, part)
+	} else {
+		err = trace.WriteCSV(&buf, part)
+	}
+	if err != nil {
 		return nil, err
 	}
-	resp, err := client.Post(target, "text/csv", &buf)
+	resp, err := client.Post(target, contentType, &buf)
 	if err != nil {
 		return nil, err
 	}

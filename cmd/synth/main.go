@@ -16,6 +16,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"strings"
 
 	"dcmodel"
 	"dcmodel/internal/cliflag"
@@ -26,13 +27,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("synth: ")
 	var (
-		in        = flag.String("in", "-", "input trace (CSV; '-' for stdin)")
+		in        = flag.String("in", "-", "input trace (CSV, or binary trace-v2 for .dct paths; '-' for stdin)")
 		specRef   = flag.String("spec", "", "generate the training trace from a workload spec (preset name or JSON/YAML file) instead of reading -in")
 		modelFile = flag.String("model-file", "", "load a saved model instead of training (skips -in; -model selects the decoder)")
 		modelName = flag.String("model", "kooza", "model: kooza, in-breadth or in-depth")
 		n         = flag.Int("n", 4000, "number of synthetic requests")
 		seed      = flag.Int64("seed", 1, "random seed")
-		out       = flag.String("o", "-", "output path ('-' for stdout)")
+		out       = flag.String("o", "-", "output path ('-' for stdout; .dct writes binary trace-v2)")
 		replayIt  = flag.Bool("replay", false, "replay the synthetic workload on the default platform before writing (fills timing)")
 		shards    = flag.Int("shards", 1, "partition synthesis into this many independently-seeded shards")
 		workers   = flag.Int("workers", 0, "concurrent shards (0 = GOMAXPROCS, 1 = serial); needs -shards > 1")
@@ -76,11 +77,13 @@ func main() {
 		}
 	}
 
+	// Bulk generation rides the batch path (byte-identical to scalar
+	// Synthesize at the same seed, sharded or not).
 	var synth *dcmodel.Trace
 	if *shards > 1 {
-		synth, err = dcmodel.SynthesizeSharded(m.Synthesize, *n, *shards, *workers, *seed)
+		synth, err = dcmodel.SynthesizeSharded(m.SynthesizeBatch, *n, *shards, *workers, *seed)
 	} else {
-		synth, err = m.Synthesize(*n, rand.New(rand.NewSource(*seed)))
+		synth, err = m.SynthesizeBatch(*n, rand.New(rand.NewSource(*seed)))
 	}
 	if err != nil {
 		cliflag.Fatal(err)
@@ -110,7 +113,12 @@ func writeOut(synth *dcmodel.Trace, out, label string, replayIt bool) {
 		defer f.Close()
 		w = f
 	}
-	if err := dcmodel.WriteTraceCSV(w, synth); err != nil {
+	if strings.HasSuffix(out, ".dct") {
+		err = dcmodel.WriteTraceBinary(w, synth)
+	} else {
+		err = dcmodel.WriteTraceCSV(w, synth)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "synth: wrote %d synthetic requests (%s model)\n", synth.Len(), label)
@@ -147,5 +155,8 @@ func readTrace(path string) (*dcmodel.Trace, error) {
 		return nil, err
 	}
 	defer f.Close()
+	if strings.HasSuffix(path, ".dct") {
+		return dcmodel.ReadTraceBinary(f)
+	}
 	return dcmodel.ReadTraceCSV(f)
 }

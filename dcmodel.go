@@ -369,7 +369,9 @@ func crossexamApproach(tr *Trace, a Approach) crossexam.Approach {
 			if err != nil {
 				return fmt.Errorf("dcmodel: %s: %w", a, err)
 			}
-			ca.Synthesize, ca.NumParams = m.Synthesize, m.NumParams()
+			// Cross-examination synthesizes whole traces, so it rides the
+			// batch path (byte-identical to scalar at the same seed).
+			ca.Synthesize, ca.NumParams = m.SynthesizeBatch, m.NumParams()
 			return nil
 		},
 	}

@@ -168,6 +168,55 @@ func (m *Model) Synthesize(n int, r *rand.Rand) (*trace.Trace, error) {
 	return tr, nil
 }
 
+// synthSlabRequests mirrors kooza's batch granularity: each span-arena
+// reservation covers this many requests at once.
+const synthSlabRequests = 4096
+
+// SynthesizeBatch is the batch flavor of Synthesize: same draw order, same
+// seed in, byte-identical trace out. The per-request span count is a model
+// constant here, so each arena reservation covers a whole slab of requests
+// exactly, and the Interarrival interface dispatch is hoisted out of the
+// loop.
+func (m *Model) SynthesizeBatch(n int, r *rand.Rand) (*trace.Trace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("inbreadth: synthesize needs n >= 1, got %d", n)
+	}
+	st := newWalker(m, r)
+	tr := &trace.Trace{Requests: make([]trace.Request, 0, n)}
+	counts := make([]int, len(assumedOrder))
+	var total int
+	for j, sub := range assumedOrder {
+		counts[j] = int(m.SpansPerRequest[sub] + 0.5)
+		total += counts[j]
+	}
+	var arena trace.SpanArena
+	inter := m.Interarrival
+	var now float64
+	for i := 0; i < n; i++ {
+		if i%synthSlabRequests == 0 {
+			slab := n - i
+			if slab > synthSlabRequests {
+				slab = synthSlabRequests
+			}
+			arena.Reserve(slab * total)
+		}
+		gap := inter.Rand(r)
+		if gap < 0 {
+			gap = 0
+		}
+		now += gap
+		req := trace.Request{ID: int64(i), Class: "all", Arrival: now}
+		req.Spans = arena.Take(total)
+		for j, sub := range assumedOrder {
+			for k := 0; k < counts[j]; k++ {
+				req.Spans = append(req.Spans, st.span(sub, now, r))
+			}
+		}
+		tr.Requests = append(tr.Requests, req)
+	}
+	return tr, nil
+}
+
 // walker carries the Markov walk state across the synthetic stream.
 type walker struct {
 	m            *Model

@@ -1,0 +1,47 @@
+package markov
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStepNMatchesScalar pins the batch contract: same seed, StepN is
+// byte-identical to N scalar Step calls, on frozen and unfrozen chains.
+func TestStepNMatchesScalar(t *testing.T) {
+	seq := make([]int, 5000)
+	r := rand.New(rand.NewSource(1))
+	for i := 1; i < len(seq); i++ {
+		seq[i] = (seq[i-1] + r.Intn(5) - 2 + 16) % 16
+	}
+	c, err := Train([][]int{seq}, 16, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfrozen := &Chain{N: c.N, Trans: c.Trans, Initial: c.Initial, Visits: c.Visits}
+
+	for name, ch := range map[string]*Chain{"frozen": c, "unfrozen": unfrozen} {
+		r1 := rand.New(rand.NewSource(11))
+		state := ch.Start(r1)
+		want := make([]int, 3000)
+		for i := range want {
+			state = ch.Step(state, r1)
+			want[i] = state
+		}
+		finalScalar := state
+
+		r2 := rand.New(rand.NewSource(11))
+		got := make([]int, 3000)
+		finalBatch := ch.StepN(ch.Start(r2), r2, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s step %d: StepN %d, scalar %d", name, i, got[i], want[i])
+			}
+		}
+		if finalBatch != finalScalar {
+			t.Fatalf("%s final state: StepN %d, scalar %d", name, finalBatch, finalScalar)
+		}
+		if r1.Float64() != r2.Float64() {
+			t.Fatalf("%s: RNG streams diverged after the batch", name)
+		}
+	}
+}

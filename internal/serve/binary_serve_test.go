@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dcmodel/internal/trace"
+)
+
+// TestBinaryIngestAndServe covers the trace-v2 content negotiation end to
+// end: binary ingest trains the same model a CSV ingest would, synthesize
+// serves format=binary byte-for-byte equal to the CSV output's trace, and
+// replay echoes the negotiated codec.
+func TestBinaryIngestAndServe(t *testing.T) {
+	tr := gfsTrace(t, 400, 1)
+	var bin bytes.Buffer
+	if err := trace.WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := quietConfig()
+	cfg.Window = 2048
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Ingest via the binary codec (with a media-type parameter, which the
+	// negotiation must ignore).
+	resp, err := http.Post(ts.URL+"/v1/ingest", trace.ContentTypeV2+"; q=1", bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing struct {
+		Ingested  int  `json:"ingested"`
+		Retrained bool `json:"retrained"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ing.Ingested != 400 || !ing.Retrained {
+		t.Fatalf("binary ingest: status=%d ingested=%d retrained=%v", resp.StatusCode, ing.Ingested, ing.Retrained)
+	}
+
+	// format=binary synthesize must carry the trace-v2 media type and
+	// decode to the same trace the CSV output describes.
+	get := func(url string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+	respB, binBody := get(ts.URL + "/v1/synthesize?n=200&seed=7&format=binary")
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("binary synthesize status = %d: %s", respB.StatusCode, binBody)
+	}
+	if ct := respB.Header.Get("Content-Type"); ct != trace.ContentTypeV2 {
+		t.Fatalf("binary synthesize Content-Type = %q", ct)
+	}
+	respC, csvBody := get(ts.URL + "/v1/synthesize?n=200&seed=7&format=csv")
+	if respC.StatusCode != http.StatusOK {
+		t.Fatalf("csv synthesize status = %d", respC.StatusCode)
+	}
+	fromBin, err := trace.ReadBinary(bytes.NewReader(binBody))
+	if err != nil {
+		t.Fatalf("decode binary synthesize body: %v", err)
+	}
+	var reCSV bytes.Buffer
+	if err := trace.WriteCSV(&reCSV, fromBin); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reCSV.Bytes(), csvBody) {
+		t.Fatal("binary and csv synthesize outputs describe different traces")
+	}
+
+	// Replay negotiation: a binary body comes back as a binary re-timed
+	// trace with the same request count.
+	resp, err = http.Post(ts.URL+"/v1/replay", trace.ContentTypeV2, bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary replay status = %d: %s", resp.StatusCode, replayed)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != trace.ContentTypeV2 {
+		t.Fatalf("binary replay Content-Type = %q", ct)
+	}
+	timed, err := trace.ReadBinary(bytes.NewReader(replayed))
+	if err != nil {
+		t.Fatalf("decode replayed binary trace: %v", err)
+	}
+	if timed.Len() != tr.Len() {
+		t.Fatalf("replay kept %d of %d requests", timed.Len(), tr.Len())
+	}
+
+	// A corrupt binary body is a 400 with everything decoded before the
+	// defect kept — the same partial-ingest contract as CSV.
+	cut := bin.Bytes()[:bin.Len()/2]
+	resp, err = http.Post(ts.URL+"/v1/ingest", trace.ContentTypeV2, bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bad struct {
+		Ingested int    `json:"ingested"`
+		Error    string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&bad); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || bad.Error == "" {
+		t.Fatalf("truncated binary ingest: status=%d error=%q", resp.StatusCode, bad.Error)
+	}
+}
+
+// TestBinaryIngestMatchesCSVIngest trains one daemon over CSV and one over
+// trace-v2 from the same trace and asserts the resulting models synthesize
+// identical workloads — the codec cannot leak into the model.
+func TestBinaryIngestMatchesCSVIngest(t *testing.T) {
+	tr := gfsTrace(t, 400, 3)
+	var bin bytes.Buffer
+	if err := trace.WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	csv := traceCSV(t, tr)
+
+	synth := func(contentType string, body []byte) []byte {
+		cfg := quietConfig()
+		cfg.Window = 2048
+		s := newTestServer(t, cfg)
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		resp, err := http.Post(ts.URL+"/v1/ingest", contentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest (%s) status = %d", contentType, resp.StatusCode)
+		}
+		resp, err = http.Get(ts.URL + "/v1/synthesize?n=300&seed=9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("synthesize (%s): status=%d err=%v", contentType, resp.StatusCode, err)
+		}
+		return out
+	}
+	if !bytes.Equal(synth("text/csv", csv), synth(trace.ContentTypeV2, bin.Bytes())) {
+		t.Fatal("models trained via CSV and binary ingest synthesize different traces")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"dcmodel/internal/crossexam"
@@ -180,8 +181,37 @@ func (s *Server) enqueue(w http.ResponseWriter, r *http.Request, job func(ctx co
 	}
 }
 
+// traceDecoder is the streaming contract shared by the CSV SpanReader and
+// the trace-v2 BinarySpanReader: one request per Next, io.EOF at the end.
+type traceDecoder interface {
+	Next() (trace.Request, error)
+}
+
+// isBinaryTrace reports whether the request body is a trace-v2 stream
+// (Content-Type: application/x-dcmodel-trace-v2, media-type parameters
+// ignored). Anything else is treated as CSV, the default interchange
+// format.
+func isBinaryTrace(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == trace.ContentTypeV2
+}
+
+// ingestBatchRequests is how many decoded requests are applied to the
+// window per ingestMu acquisition: large enough to amortize the lock,
+// small enough that concurrent ingests interleave instead of serializing
+// behind one slow client.
+const ingestBatchRequests = 256
+
 // handleIngest streams trace spans from the request body into the sliding
-// window, running the online-training decision once the batch is in.
+// window, running the online-training decision once the batch is in. The
+// body is CSV by default; Content-Type: application/x-dcmodel-trace-v2
+// selects the binary columnar codec. Decoding runs OUTSIDE ingestMu — a
+// batch of requests is decoded from the (possibly slow) client stream,
+// then applied under a short lock — so one stalled uploader cannot block
+// concurrent ingests or the metrics scrape path.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
@@ -193,11 +223,28 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	span := obs.SpanFrom(r.Context())
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes)
-	dec := trace.NewSpanReader(body)
+	var dec traceDecoder
+	if isBinaryTrace(r) {
+		dec = trace.NewBinarySpanReader(body)
+	} else {
+		dec = trace.NewSpanReader(body)
+	}
 	var ingested int
 	var decodeErr error
 	stop := s.stage(span, "ingest.decode")
-	s.ingestMu.Lock()
+	batch := make([]trace.Request, 0, ingestBatchRequests)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		s.ingestMu.Lock()
+		for i := range batch {
+			s.ingestOne(batch[i])
+		}
+		s.ingestMu.Unlock()
+		ingested += len(batch)
+		batch = batch[:0]
+	}
 	for {
 		req, err := dec.Next()
 		if err == io.EOF {
@@ -207,16 +254,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			decodeErr = err
 			break
 		}
-		s.ingestOne(req)
-		ingested++
+		batch = append(batch, req)
+		if len(batch) == ingestBatchRequests {
+			flush()
+		}
 	}
+	// Everything decoded before a defect is kept, same as before the
+	// batched path: the trailing partial batch flushes here.
+	flush()
 	stop()
 	span.Annotate("ingested=%d", ingested)
 	retrained, reason, trainErr := false, "", error(nil)
 	if ingested > 0 {
+		s.ingestMu.Lock()
 		retrained, reason, trainErr = s.maybeRetrainLocked(span)
+		s.ingestMu.Unlock()
 	}
-	s.ingestMu.Unlock()
 
 	n, capacity, total, _ := s.win.stats()
 	resp := map[string]any{
@@ -271,8 +324,8 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	if format == "" {
 		format = "csv"
 	}
-	if format != "csv" && format != "json" {
-		httpError(w, http.StatusBadRequest, "format must be csv or json, got %q", format)
+	if format != "csv" && format != "json" && format != "binary" {
+		httpError(w, http.StatusBadRequest, "format must be csv, json or binary, got %q", format)
 		return
 	}
 	doReplay := r.URL.Query().Get("replay") == "1"
@@ -282,14 +335,16 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "%v: ingest a trace first", errs.ErrModelNotTrained)
 		return
 	}
+	// The daemon serves bulk traces, so it rides the batch synthesis path
+	// (byte-identical to the scalar one at the same seed).
 	var synthesize func(int, *rand.Rand) (*trace.Trace, error)
 	switch modelName {
 	case "kooza":
-		synthesize = ms.Kooza.Synthesize
+		synthesize = ms.Kooza.SynthesizeBatch
 	case "inbreadth":
-		synthesize = ms.InBreadth.Synthesize
+		synthesize = ms.InBreadth.SynthesizeBatch
 	case "indepth":
-		synthesize = ms.InDepth.Synthesize
+		synthesize = ms.InDepth.SynthesizeBatch
 	default:
 		httpError(w, http.StatusBadRequest, "model must be kooza, inbreadth or indepth, got %q", modelName)
 		return
@@ -320,9 +375,12 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		}
 		stop = s.stage(span, "encode")
 		var buf bytes.Buffer
-		if format == "json" {
+		switch format {
+		case "json":
 			err = trace.WriteJSON(&buf, synth)
-		} else {
+		case "binary":
+			err = trace.WriteBinary(&buf, synth)
+		default:
 			err = trace.WriteCSV(&buf, synth)
 		}
 		stop()
@@ -332,9 +390,12 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		return func(w http.ResponseWriter) {
-			if format == "json" {
+			switch format {
+			case "json":
 				w.Header().Set("Content-Type", "application/json")
-			} else {
+			case "binary":
+				w.Header().Set("Content-Type", trace.ContentTypeV2)
+			default:
 				w.Header().Set("Content-Type", "text/csv")
 			}
 			w.Write(buf.Bytes())
@@ -387,9 +448,9 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		defer stop()
 		snap := s.win.snapshot()
 		approaches := []crossexam.Approach{
-			{Name: "in-breadth", Knobs: 3, Synthesize: ms.InBreadth.Synthesize, NumParams: ms.InBreadth.NumParams()},
-			{Name: "in-depth", Knobs: 1, SelfTimed: true, Synthesize: ms.InDepth.Synthesize, NumParams: ms.InDepth.NumParams()},
-			{Name: "KOOZA", Knobs: 5, Synthesize: ms.Kooza.Synthesize, NumParams: ms.Kooza.NumParams()},
+			{Name: "in-breadth", Knobs: 3, Synthesize: ms.InBreadth.SynthesizeBatch, NumParams: ms.InBreadth.NumParams()},
+			{Name: "in-depth", Knobs: 1, SelfTimed: true, Synthesize: ms.InDepth.SynthesizeBatch, NumParams: ms.InDepth.NumParams()},
+			{Name: "KOOZA", Knobs: 5, Synthesize: ms.Kooza.SynthesizeBatch, NumParams: ms.Kooza.NumParams()},
 		}
 		// Workers=1: the daemon's parallelism budget belongs to the pool,
 		// not to nested fan-outs inside one job.
@@ -416,7 +477,9 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReplay replays a streamed trace on the simulated platform and
-// returns the re-timed trace.
+// returns the re-timed trace. The body is negotiated like /v1/ingest (CSV
+// default, Content-Type: application/x-dcmodel-trace-v2 for the binary
+// codec) and the response echoes the request's format.
 func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
@@ -424,8 +487,15 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	}
 	span := obs.SpanFrom(r.Context())
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes)
+	binary := isBinaryTrace(r)
 	stop := s.stage(span, "replay.decode")
-	tr, err := trace.ReadCSV(body)
+	var tr *trace.Trace
+	var err error
+	if binary {
+		tr, err = trace.ReadBinary(body)
+	} else {
+		tr, err = trace.ReadCSV(body)
+	}
 	stop()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "decode: %v", err)
@@ -450,7 +520,11 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		}
 		stop = s.stage(span, "encode")
 		var buf bytes.Buffer
-		err = trace.WriteCSV(&buf, timed)
+		if binary {
+			err = trace.WriteBinary(&buf, timed)
+		} else {
+			err = trace.WriteCSV(&buf, timed)
+		}
 		stop()
 		if err != nil {
 			return func(w http.ResponseWriter) {
@@ -458,7 +532,11 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		return func(w http.ResponseWriter) {
-			w.Header().Set("Content-Type", "text/csv")
+			if binary {
+				w.Header().Set("Content-Type", trace.ContentTypeV2)
+			} else {
+				w.Header().Set("Content-Type", "text/csv")
+			}
 			w.Write(buf.Bytes())
 		}
 	})

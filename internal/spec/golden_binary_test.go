@@ -1,0 +1,57 @@
+package spec
+
+import (
+	"bytes"
+	"testing"
+
+	"dcmodel/internal/trace"
+)
+
+// TestSpecPresetGoldenBinary pins the trace-v2 binary encoding of every
+// preset, the `.dct` counterpart of the CSV goldens: the first goldenRows
+// requests of each preset's trace are encoded with WriteBinary and
+// compared byte-for-byte against testdata/<preset>.golden.dct. Any drift
+// in the wire format — header layout, column order, varint or float-delta
+// encoding — shows up as a golden diff, and the golden bytes are decoded
+// back to prove the fixture itself round-trips losslessly. Regenerate
+// with the same -update flag as the CSV goldens.
+func TestSpecPresetGoldenBinary(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := Preset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := s.Compile(Options{Requests: goldenRequests})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := c.Generate(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			head := &trace.Trace{Requests: tr.Requests[:min(tr.Len(), goldenRows)]}
+			var bin bytes.Buffer
+			if err := trace.WriteBinary(&bin, head); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, name+".golden.dct", bin.String())
+
+			back, err := trace.ReadBinary(bytes.NewReader(bin.Bytes()))
+			if err != nil {
+				t.Fatalf("golden binary failed to decode: %v", err)
+			}
+			var want, got bytes.Buffer
+			if err := trace.WriteCSV(&want, head); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.WriteCSV(&got, back); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want.Bytes(), got.Bytes()) {
+				t.Fatal("golden binary round trip not lossless")
+			}
+		})
+	}
+}

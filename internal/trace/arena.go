@@ -19,6 +19,15 @@ const arenaChunkSpans = 1024
 // the arena. The capacity is capped with a three-index slice, so a caller
 // that appends beyond n gets a private reallocated slice instead of
 // clobbering the next request's spans.
+// Reserve sizes the arena so the next n spans' worth of Take calls carve
+// from one contiguous chunk with no further allocation. Batch producers
+// (SynthesizeBatch, the trace-v2 block decoder) call it once per batch.
+func (a *SpanArena) Reserve(n int) {
+	if n > cap(a.chunk)-len(a.chunk) {
+		a.chunk = make([]Span, 0, n)
+	}
+}
+
 func (a *SpanArena) Take(n int) []Span {
 	if n <= 0 {
 		return nil

@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// binaryTestTrace covers the codec's corners: empty-span requests, negative
+// LBN/Bytes/Server, out-of-order IDs (negative deltas), repeated and
+// distinct classes, retries/failover annotations, zero and subnormal floats.
+func binaryTestTrace() *Trace {
+	return &Trace{Requests: []Request{
+		{ID: 7, Class: "read64K", Server: 2, Arrival: 0.125, Retries: 3, FailedOver: true,
+			Spans: []Span{
+				{Subsystem: Network, Start: 0.125, Duration: 1e-3, Op: OpNone, Bytes: 64 << 10, Util: 0.5},
+				{Subsystem: Storage, Start: 0.126, Duration: 2e-3, Op: OpWrite, Bytes: -1, LBN: 1 << 40, Bank: 7, Util: 1},
+			}},
+		{ID: 3, Class: "", Server: -1, Arrival: 0.125}, // no spans, empty class, id goes backwards
+		{ID: 8, Class: "read64K", Server: 0, Arrival: 7.25, Retries: 0,
+			Spans: []Span{
+				{Subsystem: CPU, Start: 7.25, Duration: 0, Op: OpRead, Bytes: 0, LBN: -9, Bank: -2, Util: math.SmallestNonzeroFloat64},
+			}},
+		{ID: 9, Class: "scan", Server: 1, Arrival: 7.5,
+			Spans: []Span{
+				{Subsystem: Memory, Start: 7.5, Duration: 0.25, Op: OpWrite, Bytes: 1, Util: 0},
+			}},
+	}}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for name, tr := range map[string]*Trace{
+		"corners": binaryTestTrace(),
+		"empty":   {},
+		"bench":   benchCodecTrace(),
+	} {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			t.Fatalf("%s: WriteBinary: %v", name, err)
+		}
+		got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: ReadBinary: %v", name, err)
+		}
+		if len(got.Requests) != len(tr.Requests) {
+			t.Fatalf("%s: round trip kept %d of %d requests", name, len(got.Requests), len(tr.Requests))
+		}
+		for i := range tr.Requests {
+			if !reflect.DeepEqual(got.Requests[i], tr.Requests[i]) {
+				t.Errorf("%s: request %d round-tripped to\n%+v\nwant\n%+v", name, i, got.Requests[i], tr.Requests[i])
+			}
+		}
+	}
+}
+
+// TestBinaryMultiBlock pushes past the request flush threshold so the
+// stream holds several blocks, including delta chains that reset per block.
+func TestBinaryMultiBlock(t *testing.T) {
+	tr := &Trace{Requests: make([]Request, 3*binaryBlockRequests+17)}
+	for i := range tr.Requests {
+		tr.Requests[i] = Request{
+			ID: int64(i), Class: "c", Arrival: float64(i) / 100,
+			Spans: []Span{{Subsystem: Subsystem(i % 4), Start: float64(i) / 100, Op: Op(i % 3), Bytes: int64(i)}},
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("multi-block round trip diverged (got %d requests, want %d)", len(got.Requests), len(tr.Requests))
+	}
+}
+
+// TestBinaryCSVInterchange pins the interchange contract: CSV -> binary ->
+// CSV is byte-identical, including traces parsed from the legacy 12-column
+// layout (which re-emit in the current 14-column form, same as ReadCSV).
+func TestBinaryCSVInterchange(t *testing.T) {
+	var csv1 bytes.Buffer
+	if err := WriteCSV(&csv1, binaryTestTrace()); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadCSV(bytes.NewReader(csv1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ReadBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv2 bytes.Buffer
+	if err := WriteCSV(&csv2, tr2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv1.Bytes(), csv2.Bytes()) {
+		t.Fatalf("csv -> binary -> csv not byte-identical:\n%s\nvs\n%s", csv1.Bytes(), csv2.Bytes())
+	}
+
+	legacy := "req_id,class,server,arrival,subsystem,start,duration,op,bytes,lbn,bank,util\n" +
+		"1,legacy,0,0.5,storage,0.5,0.001,read,4096,77,3,0.25\n" +
+		"1,legacy,0,0.5,cpu,0.501,0.002,none,0,0,0,0.5\n"
+	ltr, err := ReadCSV(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy parse: %v", err)
+	}
+	bin.Reset()
+	if err := WriteBinary(&bin, ltr); err != nil {
+		t.Fatal(err)
+	}
+	ltr2, err := ReadBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ltr, ltr2) {
+		t.Fatalf("legacy 12-col trace did not survive the binary round trip")
+	}
+	if ltr2.Requests[0].Retries != 0 || ltr2.Requests[0].FailedOver {
+		t.Fatalf("legacy trace grew failure annotations: %+v", ltr2.Requests[0])
+	}
+}
+
+// TestBinarySpanReaderStreaming exercises the SpanReader-mirroring
+// contract: one request per Next, io.EOF at the clean end, sticky errors.
+func TestBinarySpanReaderStreaming(t *testing.T) {
+	tr := binaryTestTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	d := NewBinarySpanReader(bytes.NewReader(buf.Bytes()))
+	for i := range tr.Requests {
+		req, err := d.Next()
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(req, tr.Requests[i]) {
+			t.Fatalf("Next %d: got %+v want %+v", i, req, tr.Requests[i])
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := d.Next(); err != io.EOF {
+			t.Fatalf("Next after end: got %v, want io.EOF", err)
+		}
+	}
+
+	// A truncated stream must yield a sticky non-EOF error.
+	cut := buf.Bytes()[:buf.Len()-3]
+	d = NewBinarySpanReader(bytes.NewReader(cut))
+	var firstErr error
+	for {
+		_, err := d.Next()
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == io.EOF {
+		t.Fatal("truncated stream decoded cleanly")
+	}
+	if _, err := d.Next(); err != firstErr {
+		t.Fatalf("error not sticky: got %v then %v", firstErr, err)
+	}
+}
+
+func TestBinaryRejectsMalformed(t *testing.T) {
+	tr := binaryTestTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	mut := func(mutate func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return mutate(b)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   mut(func(b []byte) []byte { b[0] = 'X'; return b }),
+		"bad version": mut(func(b []byte) []byte { b[4] = 99; return b }),
+		"bad marker":  mut(func(b []byte) []byte { b[5] = 0x7f; return b }),
+		"no end":      mut(func(b []byte) []byte { return b[:len(b)-1] }),
+		"header only": []byte(binaryMagic + "\x01"),
+		"huge block":  []byte(binaryMagic + "\x01\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"),
+		"zero block":  []byte(binaryMagic + "\x01\x01\x00"),
+		"lying count": []byte(binaryMagic + "\x01\x01\x02\xff\x7f\x00"), // 2-byte block claiming 16383 requests
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: malformed stream decoded without error", name)
+		}
+	}
+
+	// "header only" with nothing after it is truncation, but the header
+	// followed by the end marker is a valid empty trace.
+	got, err := ReadBinary(strings.NewReader(binaryMagic + "\x01\x00"))
+	if err != nil || len(got.Requests) != 0 {
+		t.Fatalf("empty stream: got %v, %v", got, err)
+	}
+
+	// Flipping any single payload byte must never panic; it may decode (a
+	// float or counter changed) or error, both acceptable.
+	for i := 5; i < len(valid); i++ {
+		b := append([]byte(nil), valid...)
+		b[i] ^= 0x40
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("byte %d flip: panic %v", i, r)
+				}
+			}()
+			ReadBinary(bytes.NewReader(b))
+		}()
+	}
+}
+
+// TestBinaryWriteRejectsInvalid: the 2-bit columns cannot represent
+// out-of-range enums, so the writer must reject them like the CSV String()
+// methods would on the way back in.
+func TestBinaryWriteRejectsInvalid(t *testing.T) {
+	for name, tr := range map[string]*Trace{
+		"subsystem": {Requests: []Request{{Spans: []Span{{Subsystem: 9}}}}},
+		"op":        {Requests: []Request{{Spans: []Span{{Op: 5}}}}},
+		"retries":   {Requests: []Request{{Retries: -1}}},
+	} {
+		if err := WriteBinary(io.Discard, tr); err == nil {
+			t.Errorf("%s: invalid trace encoded without error", name)
+		}
+	}
+}
+
+func BenchmarkWriteBinary(b *testing.B) {
+	tr := benchCodecTrace()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteBinary(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBinary(b *testing.B) {
+	tr := benchCodecTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
