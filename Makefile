@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race chaos obs spec cover cover-spec bench bench-json bench-compare fuzz fuzz-smoke examples artifacts serve loadtest clean help
+.PHONY: all build vet test test-race race chaos obs spec cluster cover cover-spec bench bench-json bench-compare fuzz fuzz-smoke vulncheck examples artifacts serve loadtest clean help
 
 all: build vet test
 
@@ -22,6 +22,9 @@ help:
 	@echo "             trace determinism, 96-client scrape lifecycle)"
 	@echo "  spec       workload-spec gate: vet + the internal/spec suite"
 	@echo "             (parser, golden presets, worker-count determinism) under -race"
+	@echo "  cluster    distributed-cluster gate: the coordinator/worker suite"
+	@echo "             under -race (hash-ring routing, exact-merge byte-identity,"
+	@echo "             mid-run kill with zero dropped requests)"
 	@echo "  cover      go test -cover ./... + the internal/spec coverage floor"
 	@echo "  cover-spec enforce the $(SPEC_COVER_FLOOR)% statement-coverage floor on internal/spec"
 	@echo "  bench      regenerate every table/figure + ablations (-bench=. -benchmem)"
@@ -30,6 +33,7 @@ help:
 	@echo "  bench-compare  quick benchstat-style table vs the frozen baseline (no file written)"
 	@echo "  fuzz       run the codec, sharded-simulator and spec fuzz targets (30s each)"
 	@echo "  fuzz-smoke quick CI fuzz pass over the same targets (10s each)"
+	@echo "  vulncheck  govulncheck over the whole module (installed on demand)"
 	@echo "  examples   run every example program"
 	@echo "  artifacts  record test + bench output to *_output.txt"
 	@echo "  serve      run the dcmodeld model-serving daemon on :8080"
@@ -83,6 +87,14 @@ obs:
 spec:
 	$(GO) vet ./internal/spec/ ./presets/
 	$(GO) test -race -count=1 -run TestSpec ./internal/spec/
+
+# Cluster gate: the distributed coordinator/worker subsystem under the
+# race detector — consistent-hash routing, the exact-merge determinism
+# contract (merged model byte-identical to single-node training for any
+# worker count and interleaving), and fault-scheduled mid-run kills with
+# zero dropped requests.
+cluster:
+	$(GO) test -race -count=1 ./internal/cluster/
 
 cover: cover-spec
 	$(GO) test -cover ./...
@@ -154,6 +166,13 @@ fuzz:
 # The CI smoke pass: same targets, 10 seconds each.
 fuzz-smoke:
 	$(MAKE) fuzz FUZZTIME=10s
+
+# Known-vulnerability scan over the module and its (stdlib-only)
+# dependency graph. Installs govulncheck on demand; CI runs this on every
+# push.
+vulncheck:
+	@command -v govulncheck >/dev/null 2>&1 || $(GO) install golang.org/x/vuln/cmd/govulncheck@latest
+	govulncheck ./...
 
 examples:
 	@for ex in quickstart storagestudy webtier selfsimilar serverconfig incast tracing memorymodel; do \

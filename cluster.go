@@ -1,0 +1,60 @@
+package dcmodel
+
+import "dcmodel/internal/cluster"
+
+// Distributed cluster re-exports (cmd/dcmodel-cluster is a thin wrapper
+// over these; embedders can run coordinator and workers in-process).
+// The cluster mirrors the paper's GFS master/chunkserver topology: the
+// coordinator consistent-hash-routes ingested request streams across
+// worker shards, assembles a global model by exact merge of each shard's
+// sufficient statistics, and replicates it so any node answers queries.
+// The merged model is byte-identical regardless of worker count and
+// routing interleaving — including across mid-run worker kills.
+type (
+	// ClusterCoordinator fronts the cluster: routed ingest, exact model
+	// merge, replication, scored query routing, and breaker-style local
+	// degradation when every worker is down.
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterCoordinatorConfig tunes a ClusterCoordinator.
+	ClusterCoordinatorConfig = cluster.CoordinatorConfig
+	// ClusterWorker is one data node: it trains its shard online and
+	// serves queries from the replicated global model.
+	ClusterWorker = cluster.Worker
+	// ClusterWorkerConfig tunes a ClusterWorker.
+	ClusterWorkerConfig = cluster.WorkerConfig
+	// ClusterModel is the exactly-mergeable workload model the cluster
+	// trains and replicates.
+	ClusterModel = cluster.Model
+	// ClusterModelConfig fixes the quantization every node must share.
+	ClusterModelConfig = cluster.ModelConfig
+	// RoutingScorer scores candidate workers for routed queries; see
+	// ParseRoutingScorers for the built-in policies.
+	RoutingScorer = cluster.Scorer
+)
+
+// NewClusterCoordinator builds a coordinator over cfg.Workers.
+func NewClusterCoordinator(cfg ClusterCoordinatorConfig) (*ClusterCoordinator, error) {
+	return cluster.NewCoordinator(cfg)
+}
+
+// NewClusterWorker builds a worker (zero config fields defaulted).
+func NewClusterWorker(cfg ClusterWorkerConfig) (*ClusterWorker, error) {
+	return cluster.NewWorker(cfg)
+}
+
+// NewClusterModel builds an empty exactly-mergeable model; embedders can
+// train shards themselves and Merge them without any HTTP in between.
+func NewClusterModel(cfg ClusterModelConfig) (*ClusterModel, error) {
+	return cluster.NewModel(cfg)
+}
+
+// ParseRoutingScorers resolves a -routing-scorers flag value: a
+// comma-separated subset of queue-depth, model-staleness and
+// shard-affinity (empty selects all three).
+func ParseRoutingScorers(list string) ([]RoutingScorer, error) {
+	return cluster.ParseScorers(list)
+}
+
+// DefaultClusterModelConfig returns the quantization defaults shared
+// with the single-node serving daemon.
+func DefaultClusterModelConfig() ClusterModelConfig { return cluster.DefaultModelConfig() }

@@ -55,11 +55,12 @@ type Result struct {
 
 // File is the schema of the checked-in benchmark record.
 type File struct {
-	Go       string             `json:"go"`
-	Note     string             `json:"note,omitempty"`
-	Baseline map[string]Result  `json:"baseline"`
-	Current  map[string]Result  `json:"current"`
-	Speedup  map[string]float64 `json:"speedup_ns_per_op"`
+	Go         string             `json:"go"`
+	GoMaxProcs int                `json:"gomaxprocs,omitempty"`
+	Note       string             `json:"note,omitempty"`
+	Baseline   map[string]Result  `json:"baseline"`
+	Current    map[string]Result  `json:"current"`
+	Speedup    map[string]float64 `json:"speedup_ns_per_op"`
 }
 
 // benchLine matches one benchmark result line; the -N GOMAXPROCS suffix is
@@ -150,11 +151,12 @@ func main() {
 	}
 
 	file := File{
-		Go:       runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
-		Note:     *note,
-		Baseline: map[string]Result{},
-		Current:  current,
-		Speedup:  map[string]float64{},
+		Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note:       *note,
+		Baseline:   map[string]Result{},
+		Current:    current,
+		Speedup:    map[string]float64{},
 	}
 	switch {
 	case *baseline != "":

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strconv"
+	"time"
+)
+
+// Backpressure handling for 429 replies: the daemon sheds load with
+// Retry-After when its work queue is full, and a well-behaved generator
+// backs off instead of failing the run.
+const (
+	// maxRetries bounds how often one batch is retried before the run
+	// gives up.
+	maxRetries = 8
+	// baseDelay seeds the exponential backoff used when the server
+	// sends no (or an unusable) Retry-After.
+	baseDelay = 100 * time.Millisecond
+	// maxDelay caps any single wait, server-suggested or computed.
+	maxDelay = 5 * time.Second
+)
+
+// backoffDelay returns how long to wait before retry `attempt`
+// (0-based). A parseable Retry-After header (delta-seconds form) is
+// honored; otherwise the delay doubles per attempt from baseDelay. Both
+// paths are capped at maxDelay.
+func backoffDelay(attempt int, retryAfter string) time.Duration {
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+		d := time.Duration(secs) * time.Second
+		if d > maxDelay {
+			return maxDelay
+		}
+		return d
+	}
+	d := baseDelay << attempt
+	if d > maxDelay || d <= 0 {
+		return maxDelay
+	}
+	return d
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayHonorsRetryAfter(t *testing.T) {
+	if got := backoffDelay(0, "2"); got != 2*time.Second {
+		t.Errorf("Retry-After 2 -> %s, want 2s", got)
+	}
+	if got := backoffDelay(5, "1"); got != time.Second {
+		t.Errorf("Retry-After overrides the attempt count: got %s, want 1s", got)
+	}
+	if got := backoffDelay(0, "3600"); got != maxDelay {
+		t.Errorf("huge Retry-After -> %s, want the %s cap", got, maxDelay)
+	}
+	if got := backoffDelay(0, "0"); got != 0 {
+		t.Errorf("Retry-After 0 -> %s, want immediate retry", got)
+	}
+}
+
+func TestBackoffDelayExponential(t *testing.T) {
+	for attempt, want := range []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+	} {
+		if got := backoffDelay(attempt, ""); got != want {
+			t.Errorf("attempt %d -> %s, want %s", attempt, got, want)
+		}
+	}
+	if got := backoffDelay(20, ""); got != maxDelay {
+		t.Errorf("late attempt -> %s, want the %s cap", got, maxDelay)
+	}
+	if got := backoffDelay(200, ""); got != maxDelay {
+		t.Errorf("overflowing shift -> %s, want the %s cap", got, maxDelay)
+	}
+}
+
+func TestBackoffDelayIgnoresBadHeader(t *testing.T) {
+	for _, bad := range []string{"soon", "-1", "1.5", "Wed, 21 Oct 2026 07:28:00 GMT"} {
+		if got := backoffDelay(0, bad); got != baseDelay {
+			t.Errorf("unusable Retry-After %q -> %s, want the %s base", bad, got, baseDelay)
+		}
+	}
+}

@@ -120,7 +120,9 @@ type ingestResponse struct {
 
 // post sends one trace batch (CSV, or trace-v2 when binary is set, with
 // the matching Content-Type so the daemon picks the right decoder) and
-// decodes the ingest reply.
+// decodes the ingest reply. A 429 is backpressure, not an error: the
+// batch is retried with bounded exponential backoff, honoring the
+// daemon's Retry-After suggestion.
 func post(client *http.Client, target string, part *trace.Trace, binary bool) (*ingestResponse, error) {
 	var buf bytes.Buffer
 	contentType := "text/csv"
@@ -134,23 +136,32 @@ func post(client *http.Client, target string, part *trace.Trace, binary bool) (*
 	if err != nil {
 		return nil, err
 	}
-	resp, err := client.Post(target, contentType, &buf)
-	if err != nil {
-		return nil, err
+	payload := buf.Bytes()
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(target, contentType, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < maxRetries {
+			delay := backoffDelay(attempt, resp.Header.Get("Retry-After"))
+			log.Printf("server busy (429), retry %d/%d in %s", attempt+1, maxRetries, delay)
+			time.Sleep(delay)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("loadgen: %s: %s: %s", target, resp.Status, bytes.TrimSpace(body))
+		}
+		var out ingestResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			return nil, fmt.Errorf("loadgen: decoding ingest reply: %w", err)
+		}
+		return &out, nil
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("loadgen: %s: %s: %s", target, resp.Status, bytes.TrimSpace(body))
-	}
-	var out ingestResponse
-	if err := json.Unmarshal(body, &out); err != nil {
-		return nil, fmt.Errorf("loadgen: decoding ingest reply: %w", err)
-	}
-	return &out, nil
 }
 
 // summarize prints the per-client composition of the generated trace.

@@ -1,0 +1,465 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dcmodel/internal/fault"
+	"dcmodel/internal/trace"
+)
+
+// testCluster is a coordinator plus n real workers on loopback HTTP.
+type testCluster struct {
+	coord   *Coordinator
+	front   *httptest.Server
+	workers []*httptest.Server
+}
+
+func startCluster(t *testing.T, n int, mutate func(*CoordinatorConfig)) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		w, err := NewWorker(WorkerConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		tc.workers = append(tc.workers, srv)
+		urls[i] = srv.URL
+	}
+	cfg := CoordinatorConfig{Workers: urls}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.coord = coord
+	tc.front = httptest.NewServer(coord.Handler())
+	t.Cleanup(tc.front.Close)
+	return tc
+}
+
+// ingestChunk POSTs one request slice to the coordinator in trace-v2
+// binary form and fails the test on any non-200 or short count.
+func ingestChunk(t *testing.T, url string, reqs []trace.Request) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, &trace.Trace{Requests: reqs}); err != nil {
+		t.Error(err)
+		return
+	}
+	resp, err := http.Post(url+"/v1/ingest", trace.ContentTypeV2, &buf)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("ingest status %d: %s", resp.StatusCode, body)
+		return
+	}
+	var out struct {
+		Ingested int `json:"ingested"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Errorf("ingest response: %v", err)
+		return
+	}
+	if out.Ingested != len(reqs) {
+		t.Errorf("ingested %d of %d requests", out.Ingested, len(reqs))
+	}
+}
+
+// mergedModel triggers a merge and fetches the coordinator's global
+// model bytes.
+func mergedModel(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/merge", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("merge status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(url + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model status %d", resp.StatusCode)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// getBody is a GET helper returning status and body.
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// chunks splits a request slice into k contiguous chunks.
+func chunks(reqs []trace.Request, k int) [][]trace.Request {
+	out := make([][]trace.Request, 0, k)
+	per := (len(reqs) + k - 1) / k
+	for i := 0; i < len(reqs); i += per {
+		end := i + per
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		out = append(out, reqs[i:end])
+	}
+	return out
+}
+
+// TestClusterMergeMatchesSingleNode is the acceptance test's determinism
+// half: for every worker count, a trace ingested through the cluster via
+// concurrent interleaved bodies merges to a model byte-identical to one
+// model trained on the whole trace in order.
+func TestClusterMergeMatchesSingleNode(t *testing.T) {
+	tr := testTrace(t, 2400, 13)
+	want := modelBytes(t, DefaultModelConfig(), tr.Requests)
+
+	for _, n := range []int{1, 2, 3, 5} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			tc := startCluster(t, n, nil)
+			var wg sync.WaitGroup
+			for _, chunk := range chunks(tr.Requests, 6) {
+				wg.Add(1)
+				go func(reqs []trace.Request) {
+					defer wg.Done()
+					ingestChunk(t, tc.front.URL, reqs)
+				}(chunk)
+			}
+			wg.Wait()
+			got := mergedModel(t, tc.front.URL)
+			if !bytes.Equal(got, want) {
+				t.Fatal("cluster-merged model differs from single-node training")
+			}
+
+			// Every worker now holds the replicated global model and
+			// answers queries identically at a fixed seed.
+			var first []byte
+			for i, ws := range tc.workers {
+				code, body := getBody(t, ws.URL+"/v1/synthesize?n=200&seed=9&format=binary")
+				if code != http.StatusOK {
+					t.Fatalf("worker %d synthesize status %d", i, code)
+				}
+				if first == nil {
+					first = body
+				} else if !bytes.Equal(first, body) {
+					t.Fatalf("worker %d synthesized a different trace than worker 0", i)
+				}
+			}
+			// And the coordinator's routed query matches too.
+			code, body := getBody(t, tc.front.URL+"/v1/synthesize?n=200&seed=9&format=binary")
+			if code != http.StatusOK {
+				t.Fatalf("coordinator synthesize status %d", code)
+			}
+			if !bytes.Equal(first, body) {
+				t.Fatal("coordinator-routed synthesis differs from direct worker query")
+			}
+		})
+	}
+}
+
+// TestClusterCSVIngest pins the CSV ingest path end to end.
+func TestClusterCSVIngest(t *testing.T) {
+	tr := testTrace(t, 300, 21)
+	want := modelBytes(t, DefaultModelConfig(), tr.Requests)
+	tc := startCluster(t, 2, nil)
+
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(tc.front.URL+"/v1/ingest", "text/csv", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("csv ingest status %d", resp.StatusCode)
+	}
+	if got := mergedModel(t, tc.front.URL); !bytes.Equal(got, want) {
+		t.Fatal("csv-ingested model differs from single-node training")
+	}
+}
+
+// faultClock is an injectable manual clock for deterministic kills.
+type faultClock struct{ bits atomic.Uint64 }
+
+func (c *faultClock) now() float64  { return math.Float64frombits(c.bits.Load()) }
+func (c *faultClock) set(v float64) { c.bits.Store(math.Float64bits(v)) }
+
+// TestClusterKillMidRun is the acceptance test's fault half: a worker
+// killed by the armed fault schedule mid-ingest loses nothing — its
+// routed requests are re-replicated from the coordinator's log and the
+// final merged model stays byte-identical to single-node training.
+func TestClusterKillMidRun(t *testing.T) {
+	tr := testTrace(t, 2400, 17)
+	want := modelBytes(t, DefaultModelConfig(), tr.Requests)
+
+	fcfg := &fault.Config{MTBF: 30, MTTR: 1e9, Seed: 1}
+	// Rebuild the coordinator's schedule to find the first kill time.
+	sched, err := fault.NewSchedule(fcfg.WithDefaults(), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, tKill := -1, math.Inf(1)
+	for i := 0; i < 3; i++ {
+		if next := sched.NextFailure(i, 0); next < tKill {
+			victim, tKill = i, next
+		}
+	}
+	afterKill := tKill + 1e-3
+	down := 0
+	for i := 0; i < 3; i++ {
+		if sched.DownAt(i, afterKill) {
+			down++
+		}
+	}
+	if down != 1 {
+		t.Fatalf("expected exactly 1 worker down just after t=%.3f, got %d", tKill, down)
+	}
+
+	clock := &faultClock{}
+	tc := startCluster(t, 3, func(cfg *CoordinatorConfig) {
+		cfg.Faults = fcfg
+		cfg.FaultClock = clock.now
+	})
+
+	half := len(tr.Requests) / 2
+	for _, chunk := range chunks(tr.Requests[:half], 3) {
+		ingestChunk(t, tc.front.URL, chunk)
+	}
+	clock.set(afterKill) // the schedule now holds the victim down
+	for _, chunk := range chunks(tr.Requests[half:], 3) {
+		ingestChunk(t, tc.front.URL, chunk)
+	}
+
+	if got := mergedModel(t, tc.front.URL); !bytes.Equal(got, want) {
+		t.Fatal("merged model after a mid-run kill differs from single-node training")
+	}
+
+	code, body := getBody(t, tc.front.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	var stats ClusterStats
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers[victim].Up {
+		t.Errorf("victim worker %d still marked up", victim)
+	}
+	if stats.Redistributed == 0 {
+		t.Error("no requests were re-replicated; the kill never bit")
+	}
+	up := 0
+	for _, w := range stats.Workers {
+		if w.Up {
+			up++
+		}
+	}
+	if up != 2 {
+		t.Errorf("workers up = %d, want 2", up)
+	}
+
+	// The survivors still serve queries after the kill.
+	code, _ = getBody(t, tc.front.URL+"/v1/synthesize?n=50&seed=3")
+	if code != http.StatusOK {
+		t.Fatalf("post-kill synthesize status %d", code)
+	}
+}
+
+// TestClusterTotalLossDegrades pins the breaker-style floor: with every
+// worker dead the coordinator absorbs ingest into its own shard and
+// answers queries from the merged model itself — still byte-identical,
+// still zero dropped requests.
+func TestClusterTotalLossDegrades(t *testing.T) {
+	tr := testTrace(t, 600, 23)
+	want := modelBytes(t, DefaultModelConfig(), tr.Requests)
+
+	// MTBF small enough that the only worker dies almost immediately.
+	fcfg := &fault.Config{MTBF: 5, MTTR: 1e9, Seed: 2}
+	sched, err := fault.NewSchedule(fcfg.WithDefaults(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterKill := sched.NextFailure(0, 0) + 1e-3
+
+	clock := &faultClock{}
+	tc := startCluster(t, 1, func(cfg *CoordinatorConfig) {
+		cfg.Faults = fcfg
+		cfg.FaultClock = clock.now
+	})
+
+	half := len(tr.Requests) / 2
+	ingestChunk(t, tc.front.URL, tr.Requests[:half])
+	clock.set(afterKill)
+	ingestChunk(t, tc.front.URL, tr.Requests[half:])
+
+	if got := mergedModel(t, tc.front.URL); !bytes.Equal(got, want) {
+		t.Fatal("degraded-mode model differs from single-node training")
+	}
+
+	code, body := getBody(t, tc.front.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	var hz struct {
+		WorkersUp int  `json:"workers_up"`
+		Degraded  bool `json:"degraded"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.WorkersUp != 0 || !hz.Degraded {
+		t.Fatalf("healthz = %+v, want 0 workers up and degraded", hz)
+	}
+
+	// Queries are answered locally from the merged model.
+	code, _ = getBody(t, tc.front.URL+"/v1/characterize")
+	if code != http.StatusOK {
+		t.Fatalf("degraded characterize status %d", code)
+	}
+	code, _ = getBody(t, tc.front.URL+"/v1/synthesize?n=50&seed=5")
+	if code != http.StatusOK {
+		t.Fatalf("degraded synthesize status %d", code)
+	}
+}
+
+// TestWorkerEndpoints walks one worker's HTTP surface directly.
+func TestWorkerEndpoints(t *testing.T) {
+	w, err := NewWorker(WorkerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+	tr := testTrace(t, 200, 29)
+
+	// Queries 503 before a model is replicated.
+	code, _ := getBody(t, srv.URL+"/v1/synthesize?n=10")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-install synthesize status %d, want 503", code)
+	}
+
+	// Ingest CSV directly.
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/ingest", "text/csv", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("worker ingest status %d", resp.StatusCode)
+	}
+	if got := w.ShardRequests(); got != int64(len(tr.Requests)) {
+		t.Fatalf("shard requests = %d, want %d", got, len(tr.Requests))
+	}
+
+	// Pull the shard model and install it back as the global replica.
+	code, blob := getBody(t, srv.URL+"/v1/model")
+	if code != http.StatusOK {
+		t.Fatalf("model pull status %d", code)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/model", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(GenerationHeader, "7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model install status %d", resp.StatusCode)
+	}
+	if got := w.Generation(); got != 7 {
+		t.Fatalf("generation = %d, want 7", got)
+	}
+
+	// Now the worker serves queries, stamped with the generation.
+	resp, err = http.Get(srv.URL + "/v1/characterize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("characterize status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(GenerationHeader); got != "7" {
+		t.Fatalf("characterize generation header = %q, want 7", got)
+	}
+
+	// Reset clears the shard but not the installed replica.
+	resp, err = http.Post(srv.URL+"/v1/reset", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := w.ShardRequests(); got != 0 {
+		t.Fatalf("shard requests after reset = %d, want 0", got)
+	}
+	code, _ = getBody(t, srv.URL+"/v1/synthesize?n=10")
+	if code != http.StatusOK {
+		t.Fatalf("post-reset synthesize status %d, want 200", code)
+	}
+
+	// Corrupt installs are rejected.
+	resp, err = http.Post(srv.URL+"/v1/model", ContentTypeModel, strings.NewReader("garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage install status %d, want 400", resp.StatusCode)
+	}
+
+	// Metrics render.
+	code, metrics := getBody(t, srv.URL+"/metrics")
+	if code != http.StatusOK || !strings.Contains(string(metrics), "dcmodel_cluster_worker_ingested_total") {
+		t.Fatalf("metrics missing worker counters (status %d)", code)
+	}
+}

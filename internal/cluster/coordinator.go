@@ -1,0 +1,841 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"dcmodel/internal/errs"
+	"dcmodel/internal/fault"
+	"dcmodel/internal/obs"
+	"dcmodel/internal/trace"
+)
+
+// QueueDepthHeader lets workers piggyback their in-flight load on ingest
+// responses; the coordinator's queue-depth routing scorer consumes it
+// without extra RPCs.
+const QueueDepthHeader = "X-Dcmodel-Queue-Depth"
+
+// routeBatchSize bounds how many decoded requests are routed under one
+// lock acquisition, so concurrent ingest bodies interleave at batch
+// granularity (the determinism contract makes the interleaving
+// unobservable in the merged model).
+const routeBatchSize = 256
+
+// CoordinatorConfig configures the cluster coordinator (the master
+// role).
+type CoordinatorConfig struct {
+	// Workers lists worker base URLs (e.g. http://10.0.0.7:9071). At
+	// least one is required.
+	Workers []string
+	// VNodes is the virtual-node count per worker on the hash ring
+	// (0 selects DefaultVNodes).
+	VNodes int
+	// Scorers pick the query-serving worker; nil selects all built-in
+	// scorers (ParseScorers("")).
+	Scorers []Scorer
+	// MergeEvery triggers an automatic merge+replicate cycle after this
+	// many routed requests (0 selects 4096; negative disables automatic
+	// merges — /v1/merge and lazy query merges still work).
+	MergeEvery int
+	// Model is the shared quantization config, replicated to workers'
+	// expectations.
+	Model ModelConfig
+	// Faults arms a kill schedule over the workers: a worker whose
+	// schedule says "down" at delivery time is treated exactly like a
+	// crashed process (re-routing, re-replication, reset on rejoin).
+	Faults *fault.Config
+	// FaultClock returns elapsed seconds on the fault timeline; nil
+	// uses wall-clock time since construction. Tests inject a manual
+	// clock to make kills deterministic.
+	FaultClock func() float64
+	// Cooldown is how long a transport-dead worker stays excluded
+	// before the next delivery probes it again (half-open), in seconds.
+	// 0 selects 1s.
+	Cooldown float64
+	// Client performs worker RPCs; nil selects a 30s-timeout client.
+	Client *http.Client
+	// MaxSynth caps one /v1/synthesize response.
+	MaxSynth int
+	// Obs arms live request tracing (sampled span trees on /v1/traces),
+	// mirroring the single-node daemon.
+	Obs *obs.Options
+}
+
+// withDefaults fills zero fields.
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	c.Model = c.Model.withDefaults()
+	if c.Scorers == nil {
+		c.Scorers, _ = ParseScorers("")
+	}
+	if c.MergeEvery == 0 {
+		c.MergeEvery = 4096
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 1
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.MaxSynth == 0 {
+		c.MaxSynth = 100000
+	}
+	return c
+}
+
+// member is the coordinator's view of one worker. All fields are guarded
+// by Coordinator.routeMu.
+type member struct {
+	url string
+	// up reports the transport view: false after a failed delivery
+	// until a successful half-open probe.
+	up bool
+	// downUntil is the elapsed time before which no probe is attempted.
+	downUntil float64
+	// log holds every request delivered to this worker since its shard
+	// was last (re)set — the re-replication source when it dies. This
+	// is the GFS master's chunk-location log, at request granularity.
+	log []trace.Request
+	// generation is the merge generation last installed on the worker.
+	generation int64
+	// queueDepth is the worker's last piggybacked in-flight load.
+	queueDepth int64
+}
+
+// Coordinator fronts the cluster: it consistent-hash-routes ingested
+// request streams to worker shards, assembles the exactly-merged global
+// model, replicates it to every worker, and routes queries to the best
+// worker by the configured scorers — or serves them itself from the
+// merged model when no worker is up (breaker-style degradation).
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	ring   *Ring
+	sched  *fault.Schedule
+	client *http.Client
+	start  time.Time
+
+	// routeMu serializes routing, membership changes and merges: the
+	// exactly-once accounting (log append before delivery, redistribute
+	// on death, reset on rejoin) needs one writer.
+	routeMu     sync.Mutex
+	members     []*member
+	local       *Model // coordinator's own shard: requests absorbed while no worker was up
+	global      *Model // last merged global model
+	globalBytes []byte
+	generation  int64
+	sinceMerge  int
+
+	reg           *obs.Registry
+	routed        *obs.LabeledCounter
+	deaths        *obs.LabeledCounter
+	queryRouted   *obs.LabeledCounter
+	redistributed *obs.Counter
+	degraded      *obs.Counter
+	merges        *obs.Counter
+	spanner       *obs.Spanner
+	traces        *obs.TraceRing
+
+	mux *http.ServeMux
+}
+
+// NewCoordinator builds a coordinator over cfg.Workers.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) < 1 {
+		return nil, fmt.Errorf("cluster: coordinator needs >= 1 worker: %w", errs.ErrBadConfig)
+	}
+	ring, err := NewRing(len(cfg.Workers), cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	local, err := NewModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		ring:   ring,
+		client: cfg.Client,
+		start:  time.Now(),
+		local:  local,
+	}
+	if cfg.Faults != nil {
+		fc := cfg.Faults.WithDefaults()
+		if c.sched, err = fault.NewSchedule(fc, len(cfg.Workers), 0); err != nil {
+			return nil, err
+		}
+	}
+	for _, u := range cfg.Workers {
+		c.members = append(c.members, &member{url: u, up: true})
+	}
+
+	c.reg = obs.NewRegistry()
+	c.routed = c.reg.LabeledCounter("dcmodel_cluster_routed_total", "Requests routed to each worker shard.", "worker")
+	c.deaths = c.reg.LabeledCounter("dcmodel_cluster_worker_deaths_total", "Times each worker was marked down.", "worker")
+	c.queryRouted = c.reg.LabeledCounter("dcmodel_cluster_query_routed_total", "Queries routed to each worker.", "worker")
+	c.redistributed = c.reg.Counter("dcmodel_cluster_redistributed_total", "Requests re-replicated from a dead worker's routing log.")
+	c.degraded = c.reg.Counter("dcmodel_cluster_degraded_total", "Requests absorbed by the coordinator itself with no worker up.")
+	c.merges = c.reg.Counter("dcmodel_cluster_merges_total", "Merge+replicate cycles completed.")
+	c.reg.OnScrape(func(set func(name string, v float64)) {
+		c.routeMu.Lock()
+		up := 0
+		for _, m := range c.members {
+			if m.up {
+				up++
+			}
+		}
+		gen := c.generation
+		c.routeMu.Unlock()
+		set("dcmodel_cluster_workers_up", float64(up))
+		set("dcmodel_cluster_generation", float64(gen))
+	})
+	if cfg.Obs != nil {
+		o := cfg.Obs.WithDefaults()
+		c.traces = obs.NewTraceRing(o.TraceCapacity)
+		if c.spanner, err = obs.NewSpanner(o.SampleEvery, obs.Tee(c.traces, o.Recorder)); err != nil {
+			return nil, err
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", c.handleIngest)
+	mux.HandleFunc("/v1/merge", c.handleMerge)
+	mux.HandleFunc("/v1/model", c.handleModel)
+	mux.HandleFunc("/v1/synthesize", c.handleQuery("synthesize"))
+	mux.HandleFunc("/v1/characterize", c.handleQuery("characterize"))
+	mux.HandleFunc("/v1/stats", c.handleStats)
+	mux.HandleFunc("/v1/traces", c.handleTraces)
+	mux.HandleFunc("/healthz", c.handleHealthz)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) { c.reg.WriteText(w) })
+	c.mux = mux
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP surface.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Generation returns the current merge generation.
+func (c *Coordinator) Generation() int64 {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	return c.generation
+}
+
+// WorkersUp returns how many workers the coordinator considers routable.
+func (c *Coordinator) WorkersUp() int {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	n := 0
+	t := c.elapsed()
+	for i, m := range c.members {
+		if m.up && !c.faultDown(i, t) {
+			n++
+		}
+	}
+	return n
+}
+
+// elapsed returns the fault-timeline position in seconds.
+func (c *Coordinator) elapsed() float64 {
+	if c.cfg.FaultClock != nil {
+		return c.cfg.FaultClock()
+	}
+	return time.Since(c.start).Seconds()
+}
+
+// faultDown reports whether the armed schedule holds worker i down at t.
+func (c *Coordinator) faultDown(i int, t float64) bool {
+	return c.sched != nil && c.sched.DownAt(i, t)
+}
+
+// usable reports whether worker i can receive deliveries at elapsed t,
+// attempting a half-open revive of transport-dead workers whose cooldown
+// has passed. Fault-scheduled deaths are only OBSERVED here; reapLocked
+// performs the kill (and the log redistribution that must accompany it).
+// Callers hold routeMu.
+func (c *Coordinator) usable(i int, t float64) bool {
+	m := c.members[i]
+	if c.faultDown(i, t) {
+		return false
+	}
+	if m.up {
+		return true
+	}
+	if t < m.downUntil {
+		return false
+	}
+	// Half-open probe: a rejoining worker is reset before it is routed
+	// to again — its pre-death shard was already re-replicated to the
+	// survivors, so reusing it would double-count.
+	if err := c.post(m.url+"/v1/reset", "", nil); err != nil {
+		m.downUntil = t + c.cfg.Cooldown
+		return false
+	}
+	m.up = true
+	m.log = nil
+	m.generation = 0
+	m.queueDepth = 0
+	return true
+}
+
+// reapLocked executes the armed fault schedule: every up worker the
+// schedule holds down at elapsed t is killed and its routing log
+// re-replicated to the survivors. Callers hold routeMu and must call
+// this before trusting membership on a write path (routing or merging).
+func (c *Coordinator) reapLocked(t float64) {
+	if c.sched == nil {
+		return
+	}
+	var orphans []trace.Request
+	for i, m := range c.members {
+		if m.up && c.faultDown(i, t) {
+			c.kill(i, c.sched.NextUp(i, t))
+			orphans = append(orphans, c.takeLog(i)...)
+		}
+	}
+	if len(orphans) > 0 {
+		c.redistributed.Add(int64(len(orphans)))
+		c.redistributeLocked(orphans)
+	}
+}
+
+// kill marks worker i down until downUntil and returns nothing; the
+// caller redistributes its log. Callers hold routeMu.
+func (c *Coordinator) kill(i int, downUntil float64) {
+	m := c.members[i]
+	if !m.up {
+		return
+	}
+	m.up = false
+	m.downUntil = downUntil
+	c.deaths.Add(1, strconv.Itoa(i))
+}
+
+// takeLog detaches and returns worker i's routing log. Callers hold
+// routeMu.
+func (c *Coordinator) takeLog(i int) []trace.Request {
+	m := c.members[i]
+	log := m.log
+	m.log = nil
+	return log
+}
+
+// routeBatch routes a decoded request batch: owner assignment by
+// consistent hash over usable workers, log append BEFORE delivery, and
+// on a failed delivery the dead worker's whole log is redistributed to
+// the survivors (or absorbed locally when none remain). It returns how
+// many of the batch's requests were absorbed by the coordinator itself.
+func (c *Coordinator) routeBatch(batch []trace.Request, span *obs.LiveSpan) int {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+
+	degraded := 0
+	pending := batch
+	for len(pending) > 0 {
+		t := c.elapsed()
+		c.reapLocked(t)
+		// Partition the pending requests by ring owner among usable
+		// workers; unroutable requests train the coordinator's own
+		// shard (breaker-style degradation).
+		buckets := make(map[int][]trace.Request)
+		for _, req := range pending {
+			owner := c.ring.OwnerExcluding(Key(req.ID, req.Class), func(w int) bool { return !c.usable(w, t) })
+			if owner < 0 {
+				c.local.Observe(req)
+				c.degraded.Inc()
+				degraded++
+				continue
+			}
+			buckets[owner] = append(buckets[owner], req)
+		}
+		pending = nil
+		for owner, reqs := range buckets {
+			m := c.members[owner]
+			// Log append precedes delivery: if the POST fails (or times
+			// out ambiguously) the worker is marked down and the log —
+			// including this batch — is re-replicated, so an
+			// acknowledged-but-unrecorded delivery cannot happen.
+			m.log = append(m.log, reqs...)
+			child := span.Child(fmt.Sprintf("route:worker-%d", owner))
+			err := c.deliver(m, reqs)
+			if err != nil {
+				child.Annotate("dead: %v", err)
+				child.End()
+				c.kill(owner, c.elapsed()+c.cfg.Cooldown)
+				orphans := c.takeLog(owner)
+				c.redistributed.Add(int64(len(orphans)))
+				pending = append(pending, orphans...)
+				continue
+			}
+			child.Annotate("n=%d", len(reqs))
+			child.End()
+			c.routed.Add(int64(len(reqs)), strconv.Itoa(owner))
+			c.sinceMerge += len(reqs)
+		}
+	}
+	if c.cfg.MergeEvery > 0 && c.sinceMerge >= c.cfg.MergeEvery {
+		// Best-effort: a failed merge leaves the previous generation
+		// serving and the next cycle retries.
+		_ = c.mergeLocked()
+	}
+	return degraded
+}
+
+// deliver POSTs one request batch to a worker in trace-v2 binary form.
+// Callers hold routeMu.
+func (c *Coordinator) deliver(m *member, reqs []trace.Request) error {
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, &trace.Trace{Requests: reqs}); err != nil {
+		return err
+	}
+	resp, err := c.client.Post(m.url+"/v1/ingest", trace.ContentTypeV2, &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("worker returned %d", resp.StatusCode)
+	}
+	if qd := resp.Header.Get(QueueDepthHeader); qd != "" {
+		if v, err := strconv.ParseInt(qd, 10, 64); err == nil {
+			m.queueDepth = v
+		}
+	}
+	return nil
+}
+
+// post is a bodyless-or-blob POST helper returning an error on any
+// non-200.
+func (c *Coordinator) post(url, contentType string, body []byte) error {
+	resp, err := c.client.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s returned %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// mergeLocked assembles the global model from the coordinator's own
+// shard plus every usable worker's shard, bumps the generation, and
+// replicates the merged model to the workers. A worker dying mid-merge
+// restarts the assembly after its log is redistributed, so every
+// generation counts every request exactly once. Callers hold routeMu.
+func (c *Coordinator) mergeLocked() error {
+	for {
+		t := c.elapsed()
+		c.reapLocked(t)
+		global, err := NewModel(c.cfg.Model)
+		if err != nil {
+			return err
+		}
+		if err := global.Merge(c.local); err != nil {
+			return err
+		}
+		died := false
+		for i := range c.members {
+			if !c.usable(i, t) {
+				continue
+			}
+			shard, err := c.pullModel(c.members[i].url)
+			if err != nil {
+				c.kill(i, c.elapsed()+c.cfg.Cooldown)
+				c.redeliverLocked(i)
+				died = true
+				break
+			}
+			if err := global.Merge(shard); err != nil {
+				return err
+			}
+		}
+		if died {
+			continue
+		}
+		blob, err := global.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		c.generation++
+		c.global, c.globalBytes = global, blob
+		c.sinceMerge = 0
+		c.merges.Inc()
+		for i, m := range c.members {
+			if !c.usable(i, t) {
+				continue
+			}
+			if err := c.postModel(m.url, blob, c.generation); err != nil {
+				// Its shard is already inside this generation; the
+				// redistribution only affects the NEXT one, which is
+				// rebuilt from scratch — still exactly once.
+				c.kill(i, c.elapsed()+c.cfg.Cooldown)
+				c.redeliverLocked(i)
+				continue
+			}
+			m.generation = c.generation
+		}
+		return nil
+	}
+}
+
+// redeliverLocked re-replicates a dead worker's routing log to the
+// survivors. Callers hold routeMu.
+func (c *Coordinator) redeliverLocked(dead int) {
+	orphans := c.takeLog(dead)
+	if len(orphans) == 0 {
+		return
+	}
+	c.redistributed.Add(int64(len(orphans)))
+	c.redistributeLocked(orphans)
+}
+
+// redistributeLocked routes orphaned requests to the surviving workers,
+// absorbing them locally when none remain. Callers hold routeMu.
+func (c *Coordinator) redistributeLocked(orphans []trace.Request) {
+	pending := orphans
+	for len(pending) > 0 {
+		t := c.elapsed()
+		buckets := make(map[int][]trace.Request)
+		for _, req := range pending {
+			owner := c.ring.OwnerExcluding(Key(req.ID, req.Class), func(w int) bool { return !c.usable(w, t) })
+			if owner < 0 {
+				c.local.Observe(req)
+				c.degraded.Inc()
+				continue
+			}
+			buckets[owner] = append(buckets[owner], req)
+		}
+		pending = nil
+		for owner, reqs := range buckets {
+			m := c.members[owner]
+			m.log = append(m.log, reqs...)
+			if err := c.deliver(m, reqs); err != nil {
+				c.kill(owner, c.elapsed()+c.cfg.Cooldown)
+				next := c.takeLog(owner)
+				c.redistributed.Add(int64(len(next)))
+				pending = append(pending, next...)
+				continue
+			}
+			c.routed.Add(int64(len(reqs)), strconv.Itoa(owner))
+		}
+	}
+}
+
+// pullModel fetches and decodes one worker's shard model.
+func (c *Coordinator) pullModel(url string) (*Model, error) {
+	resp, err := c.client.Get(url + "/v1/model")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("%s/v1/model returned %d", url, resp.StatusCode)
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxModelBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) > maxModelBytes {
+		return nil, fmt.Errorf("%s shard model exceeds %d bytes", url, maxModelBytes)
+	}
+	return UnmarshalModel(blob)
+}
+
+// postModel replicates the merged model to one worker.
+func (c *Coordinator) postModel(url string, blob []byte, generation int64) error {
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/model", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", ContentTypeModel)
+	req.Header.Set(GenerationHeader, strconv.FormatInt(generation, 10))
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/v1/model returned %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// handleIngest decodes a CSV or trace-v2 body and routes it across the
+// worker shards.
+func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	span := c.spanner.StartRequest("cluster:ingest", 0)
+	dec := trace.NewRequestReader(io.LimitReader(r.Body, maxIngestBytes), r.Header.Get("Content-Type"))
+	total, degraded := 0, 0
+	batch := make([]trace.Request, 0, routeBatchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		degraded += c.routeBatch(batch, span)
+		total += len(batch)
+		batch = batch[:0]
+	}
+	for {
+		req, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			span.Annotate("decode error: %v", err)
+			span.Finish()
+			httpError(w, http.StatusBadRequest, "decode: %v", err)
+			return
+		}
+		batch = append(batch, req)
+		if len(batch) == routeBatchSize {
+			flush()
+		}
+	}
+	flush()
+	span.Annotate("requests=%d degraded=%d", total, degraded)
+	span.Finish()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ingested":         total,
+		"routed":           total - degraded,
+		"absorbed_locally": degraded,
+	})
+}
+
+// handleMerge runs an explicit merge+replicate cycle.
+func (c *Coordinator) handleMerge(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	c.routeMu.Lock()
+	err := c.mergeLocked()
+	gen := c.generation
+	var reqs int64
+	if c.global != nil {
+		reqs = c.global.Requests()
+	}
+	c.routeMu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "merge: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"generation": gen, "requests": reqs})
+}
+
+// handleModel serves the merged global model bytes.
+func (c *Coordinator) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	c.routeMu.Lock()
+	if c.global == nil {
+		_ = c.mergeLocked()
+	}
+	blob, gen := c.globalBytes, c.generation
+	c.routeMu.Unlock()
+	if blob == nil {
+		httpError(w, http.StatusServiceUnavailable, "%v: no merged model yet", errs.ErrModelNotTrained)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeModel)
+	w.Header().Set(GenerationHeader, strconv.FormatInt(gen, 10))
+	w.Write(blob)
+}
+
+// pickWorker scores the usable workers for a query and returns the best
+// index, or -1 when none is usable. Callers hold routeMu.
+func (c *Coordinator) pickWorker(key uint64, t float64) int {
+	owner := c.ring.OwnerExcluding(key, func(w int) bool { return !c.usable(w, t) })
+	if owner < 0 {
+		return -1
+	}
+	best, bestScore := -1, 0.0
+	for i, m := range c.members {
+		if !c.usable(i, t) {
+			continue
+		}
+		info := WorkerInfo{
+			Index:         i,
+			QueueDepth:    m.queueDepth,
+			GenerationLag: c.generation - m.generation,
+			OwnsKey:       i == owner,
+		}
+		score := 0.0
+		for _, s := range c.cfg.Scorers {
+			score += s.Score(info)
+		}
+		if best < 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// handleQuery routes /v1/synthesize and /v1/characterize to the
+// best-scoring worker, or answers locally from the merged model when no
+// worker is up — the cluster's analogue of the single-node breaker
+// staying on the last good model.
+func (c *Coordinator) handleQuery(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		n, seed, format, err := synthParams(r, c.cfg.MaxSynth)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		c.routeMu.Lock()
+		if c.generation == 0 {
+			_ = c.mergeLocked()
+		}
+		t := c.elapsed()
+		pick := c.pickWorker(Key(seed, endpoint), t)
+		var target string
+		if pick >= 0 {
+			target = c.members[pick].url
+		}
+		global := c.global
+		gen := c.generation
+		c.routeMu.Unlock()
+
+		if target != "" {
+			c.queryRouted.Add(1, strconv.Itoa(pick))
+			if c.proxy(w, target+r.URL.Path+"?"+r.URL.RawQuery) {
+				return
+			}
+			// The pick died under us; fall through to the local answer
+			// rather than failing the query. The next routing pass will
+			// mark it down.
+		}
+		if global == nil || global.Requests() == 0 {
+			httpError(w, http.StatusServiceUnavailable, "%v: ingest a trace first", errs.ErrModelNotTrained)
+			return
+		}
+		c.degraded.Inc()
+		w.Header().Set(GenerationHeader, strconv.FormatInt(gen, 10))
+		switch endpoint {
+		case "characterize":
+			writeJSON(w, http.StatusOK, global.Characterize())
+		default:
+			tr, err := global.Synthesize(n, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				httpError(w, http.StatusServiceUnavailable, "%v", err)
+				return
+			}
+			writeTrace(w, tr, format)
+		}
+	}
+}
+
+// proxy forwards a GET and streams the response; false means the
+// upstream was unreachable and the caller should answer locally.
+func (c *Coordinator) proxy(w http.ResponseWriter, url string) bool {
+	resp, err := c.client.Get(url)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// WorkerView is one worker's row in the cluster stats.
+type WorkerView struct {
+	URL        string `json:"url"`
+	Up         bool   `json:"up"`
+	Generation int64  `json:"generation"`
+	QueueDepth int64  `json:"queue_depth"`
+	Logged     int    `json:"logged_requests"`
+}
+
+// ClusterStats is the /v1/stats answer.
+type ClusterStats struct {
+	Workers       []WorkerView `json:"workers"`
+	Generation    int64        `json:"generation"`
+	Redistributed int64        `json:"redistributed_total"`
+	Degraded      int64        `json:"degraded_total"`
+	LocalRequests int64        `json:"local_requests"`
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	c.routeMu.Lock()
+	stats := ClusterStats{
+		Generation:    c.generation,
+		Redistributed: c.redistributed.Value(),
+		Degraded:      c.degraded.Value(),
+		LocalRequests: c.local.Requests(),
+	}
+	for _, m := range c.members {
+		stats.Workers = append(stats.Workers, WorkerView{
+			URL:        m.url,
+			Up:         m.up,
+			Generation: m.generation,
+			QueueDepth: m.queueDepth,
+			Logged:     len(m.log),
+		})
+	}
+	c.routeMu.Unlock()
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (c *Coordinator) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	dump := obs.TraceDump{Traces: []*obs.TreeDump{}}
+	if c.spanner != nil {
+		dump.Enabled = true
+		dump.SampleEvery = c.spanner.SampleEvery()
+		dump.Capacity = c.traces.Cap()
+		dump.Started, dump.Sampled = c.spanner.Stats()
+		for _, t := range c.traces.Snapshot() {
+			if td := obs.DumpTree(t); td != nil {
+				dump.Traces = append(dump.Traces, td)
+			}
+		}
+		dump.Held = len(dump.Traces)
+	}
+	writeJSON(w, http.StatusOK, dump)
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	up := c.WorkersUp()
+	c.routeMu.Lock()
+	gen := c.generation
+	c.routeMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":         true,
+		"workers_up": up,
+		"degraded":   up == 0,
+		"generation": gen,
+	})
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestRingBalance(t *testing.T) {
+	const workers, keys = 5, 100000
+	r, err := NewRing(workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, workers)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(Key(int64(i), "web"))]++
+	}
+	for w, n := range counts {
+		share := float64(n) / keys
+		if share < 0.5/workers || share > 2.0/workers {
+			t.Errorf("worker %d owns %.1f%% of keys; want within [%.1f%%, %.1f%%]",
+				w, 100*share, 50.0/workers, 200.0/workers)
+		}
+	}
+}
+
+// TestRingConsistency pins the consistent-hashing property: excluding one
+// worker moves exactly that worker's keys and nothing else.
+func TestRingConsistency(t *testing.T) {
+	const workers, keys = 5, 20000
+	r, err := NewRing(workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dead = 2
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := Key(int64(i), "api")
+		before := r.Owner(k)
+		after := r.OwnerExcluding(k, func(w int) bool { return w == dead })
+		if after == dead {
+			t.Fatalf("key %d still routed to the excluded worker", i)
+		}
+		if before != dead && after != before {
+			t.Fatalf("key %d moved from live worker %d to %d", i, before, after)
+		}
+		if before == dead {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the excluded worker; test is vacuous")
+	}
+}
+
+func TestRingOwnerExcludingAllDead(t *testing.T) {
+	r, err := NewRing(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.OwnerExcluding(42, func(int) bool { return true }); got != -1 {
+		t.Fatalf("all-excluded lookup = %d, want -1", got)
+	}
+	if got := r.OwnerExcluding(42, func(w int) bool { return w != 1 }); got != 1 {
+		t.Fatalf("only worker 1 alive, lookup = %d", got)
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a, _ := NewRing(4, 16)
+	b, _ := NewRing(4, 16)
+	for i := 0; i < 1000; i++ {
+		k := Key(int64(i), "batch")
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("two identically built rings disagree on key %d", i)
+		}
+	}
+}
+
+func TestRingRejectsBadShape(t *testing.T) {
+	if _, err := NewRing(0, 8); err == nil {
+		t.Error("0 workers accepted")
+	}
+	if _, err := NewRing(3, -1); err == nil {
+		t.Error("negative vnodes accepted")
+	}
+}
+
+// TestKeyClassSpreads pins that the class participates in the key: the
+// same dense ID space lands differently per class.
+func TestKeyClassSpreads(t *testing.T) {
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if Key(int64(i), "web") == Key(int64(i), "batch") {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("%d/%d keys collide across classes", same, n)
+	}
+}

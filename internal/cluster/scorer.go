@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"dcmodel/internal/errs"
+)
+
+// WorkerInfo is the routing-time view of one live worker a Scorer judges:
+// the coordinator fills it from its passive state (no extra RPCs on the
+// query path).
+type WorkerInfo struct {
+	// Index is the worker's slot in the coordinator's worker list.
+	Index int
+	// QueueDepth is the worker's last-reported in-flight ingest/query
+	// load.
+	QueueDepth int64
+	// GenerationLag is how many merge generations behind the
+	// coordinator's global model the worker's installed replica is
+	// (0 = fully fresh).
+	GenerationLag int64
+	// OwnsKey reports whether the worker owns the query's hash-ring
+	// position (shard affinity).
+	OwnsKey bool
+}
+
+// Scorer scores a candidate worker for one routed query; higher is
+// better. Scorers are additive: the coordinator sums every configured
+// scorer and routes to the best total (ties break to the lowest worker
+// index, keeping routing deterministic for a fixed cluster state).
+//
+// This is the pluggable request-routing seam (cf. BLIS --routing-scorers):
+// new policies implement Scorer and register in ParseScorers.
+type Scorer interface {
+	// Name is the flag-facing identifier.
+	Name() string
+	// Score judges one candidate.
+	Score(w WorkerInfo) float64
+}
+
+// queueDepthScorer prefers idle workers: each queued request costs one
+// point.
+type queueDepthScorer struct{}
+
+func (queueDepthScorer) Name() string { return "queue-depth" }
+func (queueDepthScorer) Score(w WorkerInfo) float64 {
+	return -float64(w.QueueDepth)
+}
+
+// stalenessScorer prefers workers serving the freshest replicated model:
+// each merge generation of lag costs two points, so a fully fresh worker
+// beats one queued request of load.
+type stalenessScorer struct{}
+
+func (stalenessScorer) Name() string { return "model-staleness" }
+func (stalenessScorer) Score(w WorkerInfo) float64 {
+	return -2 * float64(w.GenerationLag)
+}
+
+// affinityScorer prefers the hash-ring owner of the query key, keeping
+// repeat queries (same seed/shard) on one node's warm caches. The bonus
+// of 0.5 breaks ties between otherwise equal workers without overriding
+// a real load or staleness difference.
+type affinityScorer struct{}
+
+func (affinityScorer) Name() string { return "shard-affinity" }
+func (affinityScorer) Score(w WorkerInfo) float64 {
+	if w.OwnsKey {
+		return 0.5
+	}
+	return 0
+}
+
+// Scorers returns the built-in scorer set for a -routing-scorers value:
+// a comma-separated subset of queue-depth, model-staleness and
+// shard-affinity. The empty string selects all three.
+func ParseScorers(list string) ([]Scorer, error) {
+	if strings.TrimSpace(list) == "" {
+		return []Scorer{queueDepthScorer{}, stalenessScorer{}, affinityScorer{}}, nil
+	}
+	var out []Scorer
+	seen := map[string]bool{}
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: routing scorer %q listed twice: %w", name, errs.ErrBadConfig)
+		}
+		seen[name] = true
+		switch name {
+		case "queue-depth":
+			out = append(out, queueDepthScorer{})
+		case "model-staleness":
+			out = append(out, stalenessScorer{})
+		case "shard-affinity":
+			out = append(out, affinityScorer{})
+		default:
+			return nil, fmt.Errorf("cluster: unknown routing scorer %q (want queue-depth, model-staleness or shard-affinity): %w", name, errs.ErrBadConfig)
+		}
+	}
+	return out, nil
+}
+
+// ScorerNames renders a scorer list back to its flag form.
+func ScorerNames(scorers []Scorer) string {
+	names := make([]string, len(scorers))
+	for i, s := range scorers {
+		names[i] = s.Name()
+	}
+	return strings.Join(names, ",")
+}

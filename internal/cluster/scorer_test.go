@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"dcmodel/internal/errs"
+)
+
+func TestParseScorers(t *testing.T) {
+	all, err := ParseScorers("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ScorerNames(all); got != "queue-depth,model-staleness,shard-affinity" {
+		t.Fatalf("default scorer set = %q", got)
+	}
+	one, err := ParseScorers(" shard-affinity ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ScorerNames(one); got != "shard-affinity" {
+		t.Fatalf("single scorer = %q", got)
+	}
+	if _, err := ParseScorers("queue-depth,queue-depth"); !errors.Is(err, errs.ErrBadConfig) {
+		t.Errorf("duplicate scorer error = %v, want ErrBadConfig", err)
+	}
+	if _, err := ParseScorers("round-robin"); !errors.Is(err, errs.ErrBadConfig) {
+		t.Errorf("unknown scorer error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestScorerPreferences(t *testing.T) {
+	scorers, err := ParseScorers("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(w WorkerInfo) float64 {
+		var s float64
+		for _, sc := range scorers {
+			s += sc.Score(w)
+		}
+		return s
+	}
+	idle := WorkerInfo{Index: 0}
+	busy := WorkerInfo{Index: 1, QueueDepth: 5}
+	if total(idle) <= total(busy) {
+		t.Error("queue-depth scorer does not prefer the idle worker")
+	}
+	fresh := WorkerInfo{Index: 0}
+	stale := WorkerInfo{Index: 1, GenerationLag: 3}
+	if total(fresh) <= total(stale) {
+		t.Error("staleness scorer does not prefer the fresh worker")
+	}
+	owner := WorkerInfo{Index: 0, OwnsKey: true}
+	other := WorkerInfo{Index: 1}
+	if total(owner) <= total(other) {
+		t.Error("affinity scorer does not prefer the shard owner")
+	}
+	// One queued request must not override a fully fresh model: the
+	// staleness penalty (2/generation) dominates the queue penalty (1).
+	freshBusy := WorkerInfo{Index: 0, QueueDepth: 1}
+	staleIdle := WorkerInfo{Index: 1, GenerationLag: 1}
+	if total(freshBusy) <= total(staleIdle) {
+		t.Error("fresh-but-busy should beat stale-but-idle at these weights")
+	}
+}

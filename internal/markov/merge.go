@@ -1,0 +1,153 @@
+package markov
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Merge folds other's accumulated counts into a: transition counts,
+// initial-state counts, visit counts and the transition/sequence totals
+// are summed element-wise. Both accumulators must have the same state
+// count and smoothing. other is left untouched; a nil other is a no-op.
+//
+// Merge is exact, not approximate: every count is an integer-valued
+// float64 (Observe only ever adds 1), and integer addition in float64 is
+// exact and order-independent far past any realistic count, so
+//
+//	Merge(a1, ..., ak).Chain() == one accumulator fed all sequences
+//
+// bit for bit, regardless of how the sequences were partitioned across
+// the accumulators or the order the partial accumulators are merged in.
+// This is the determinism contract the cluster coordinator's model merge
+// is built on (see internal/cluster): shard ingest any way you like,
+// merge in any order, and the global model is byte-identical.
+//
+// Like Observe and Reset, Merge is not safe for concurrent use on either
+// receiver or argument; callers serialize access per accumulator.
+// Independent accumulators may be fed from independent goroutines — that
+// is the intended sharded-ingest pattern.
+func (a *Accumulator) Merge(other *Accumulator) error {
+	if other == nil {
+		return nil
+	}
+	if other.n != a.n {
+		return fmt.Errorf("markov: merge state-count mismatch %d vs %d", a.n, other.n)
+	}
+	if other.smoothing != a.smoothing {
+		return fmt.Errorf("markov: merge smoothing mismatch %g vs %g", a.smoothing, other.smoothing)
+	}
+	for i, v := range other.counts {
+		a.counts[i] += v
+	}
+	for i, v := range other.initial {
+		a.initial[i] += v
+	}
+	for i, v := range other.visits {
+		a.visits[i] += v
+	}
+	a.trans += other.trans
+	a.seqs += other.seqs
+	return nil
+}
+
+// accumulator wire format: magic, version, state count, then the raw
+// sufficient statistics. Counts are serialized as IEEE-754 bit patterns,
+// so marshaling is lossless and byte-identity of two marshaled
+// accumulators is exactly count-identity.
+const (
+	accMagic   = "DCMA"
+	accVersion = 1
+	// accMaxStates bounds the state count accepted when unmarshaling, so
+	// a corrupt header cannot demand a multi-gigabyte allocation. The
+	// largest chain in the toolkit (storage regions) is a few hundred
+	// states.
+	accMaxStates = 1 << 12
+)
+
+// MarshalBinary serializes the accumulator's sufficient statistics in a
+// deterministic little-endian layout: two accumulators marshal to the
+// same bytes if and only if they hold the same counts. The frozen-chain
+// derived state is not included (Chain() rebuilds it).
+func (a *Accumulator) MarshalBinary() ([]byte, error) {
+	n := a.n
+	size := len(accMagic) + 1 + 4 + 8 + // header, version, n, smoothing
+		8*n*n + 8*n + 8*n + 8 + 8 // counts, initial, visits, trans, seqs
+	buf := make([]byte, 0, size)
+	buf = append(buf, accMagic...)
+	buf = append(buf, accVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.smoothing))
+	for _, v := range a.counts {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range a.initial {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range a.visits {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(a.trans))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(a.seqs))
+	return buf, nil
+}
+
+// UnmarshalAccumulator reconstructs an accumulator from MarshalBinary
+// output. Every defect — wrong magic, truncated body, absurd state count
+// — is an error, never a panic.
+func UnmarshalAccumulator(data []byte) (*Accumulator, error) {
+	head := len(accMagic) + 1 + 4 + 8
+	if len(data) < head {
+		return nil, fmt.Errorf("markov: accumulator blob truncated at %d bytes", len(data))
+	}
+	if string(data[:len(accMagic)]) != accMagic {
+		return nil, fmt.Errorf("markov: bad accumulator magic %q", data[:len(accMagic)])
+	}
+	if v := data[len(accMagic)]; v != accVersion {
+		return nil, fmt.Errorf("markov: unsupported accumulator version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint32(data[len(accMagic)+1:]))
+	if n < 1 || n > accMaxStates {
+		return nil, fmt.Errorf("markov: accumulator state count %d outside [1, %d]", n, accMaxStates)
+	}
+	smoothing := math.Float64frombits(binary.LittleEndian.Uint64(data[len(accMagic)+5:]))
+	if !(smoothing >= 0) || math.IsInf(smoothing, 0) {
+		return nil, fmt.Errorf("markov: accumulator smoothing %g invalid", smoothing)
+	}
+	want := head + 8*n*n + 8*n + 8*n + 16
+	if len(data) != want {
+		return nil, fmt.Errorf("markov: accumulator blob is %d bytes, want %d for %d states", len(data), want, n)
+	}
+	a, err := NewAccumulator(n, smoothing)
+	if err != nil {
+		return nil, err
+	}
+	off := head
+	read := func() uint64 {
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return v
+	}
+	for i := range a.counts {
+		a.counts[i] = math.Float64frombits(read())
+	}
+	for i := range a.initial {
+		a.initial[i] = math.Float64frombits(read())
+	}
+	for i := range a.visits {
+		a.visits[i] = int64(read())
+	}
+	a.trans = int64(read())
+	a.seqs = int64(read())
+	for i, v := range a.counts {
+		if math.IsNaN(v) || v < 0 {
+			return nil, fmt.Errorf("markov: accumulator count[%d] = %g invalid", i, v)
+		}
+	}
+	for i, v := range a.initial {
+		if math.IsNaN(v) || v < 0 {
+			return nil, fmt.Errorf("markov: accumulator initial[%d] = %g invalid", i, v)
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,193 @@
+package markov
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomSeqs generates count random state sequences over n states.
+func randomSeqs(r *rand.Rand, count, n int) [][]int {
+	seqs := make([][]int, count)
+	for i := range seqs {
+		seq := make([]int, 1+r.Intn(12))
+		for j := range seq {
+			seq[j] = r.Intn(n)
+		}
+		seqs[i] = seq
+	}
+	return seqs
+}
+
+// TestAccumulatorMergeExactness pins the exactness property the cluster
+// merge is built on: K accumulators fed disjoint partitions of a sequence
+// set, merged in any order, hold byte-identical counts — and produce a
+// byte-identical Chain — to one accumulator fed every sequence. Each
+// shard accumulator is fed from its own goroutine (the intended
+// concurrent-shards pattern), which under -race also pins that
+// independent accumulators share no state.
+func TestAccumulatorMergeExactness(t *testing.T) {
+	const (
+		states    = 16
+		smoothing = 0.01
+		rounds    = 20
+	)
+	for round := 0; round < rounds; round++ {
+		r := rand.New(rand.NewSource(int64(round + 1)))
+		seqs := randomSeqs(r, 200+r.Intn(400), states)
+		shards := 1 + r.Intn(7)
+
+		// Reference: one accumulator fed the concatenated sequence list.
+		ref, err := NewAccumulator(states, smoothing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range seqs {
+			if err := ref.Observe(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Sharded: partition round-robin, feed each shard concurrently.
+		parts := make([]*Accumulator, shards)
+		for i := range parts {
+			if parts[i], err = NewAccumulator(states, smoothing); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		for i := range parts {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := i; j < len(seqs); j += shards {
+					if err := parts[i].Observe(seqs[j]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+
+		// Merge in a shuffled order: exactness must not depend on it.
+		merged, err := NewAccumulator(states, smoothing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := r.Perm(shards)
+		for _, i := range order {
+			if err := merged.Merge(parts[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		refBytes, err := ref.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mergedBytes, err := merged.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refBytes, mergedBytes) {
+			t.Fatalf("round %d: merged accumulator (%d shards, order %v) differs from single-fed reference", round, shards, order)
+		}
+		if merged.Transitions() != ref.Transitions() || merged.Sequences() != ref.Sequences() {
+			t.Fatalf("round %d: totals diverged: trans %d vs %d, seqs %d vs %d",
+				round, merged.Transitions(), ref.Transitions(), merged.Sequences(), ref.Sequences())
+		}
+		refChain, err := ref.Chain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mergedChain, err := merged.Chain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < states; i++ {
+			a, b := refChain.Trans.Row(i), mergedChain.Trans.Row(i)
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("round %d: chain row %d col %d: %v != %v", round, i, j, a[j], b[j])
+				}
+			}
+		}
+		for i := range refChain.Initial {
+			if refChain.Initial[i] != mergedChain.Initial[i] {
+				t.Fatalf("round %d: initial[%d]: %v != %v", round, i, refChain.Initial[i], mergedChain.Initial[i])
+			}
+		}
+	}
+}
+
+func TestAccumulatorMergeMismatch(t *testing.T) {
+	a, _ := NewAccumulator(4, 0.01)
+	b, _ := NewAccumulator(5, 0.01)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("state-count mismatch merged without error")
+	}
+	c, _ := NewAccumulator(4, 0.5)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("smoothing mismatch merged without error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+}
+
+func TestAccumulatorMarshalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a, err := NewAccumulator(9, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range randomSeqs(r, 100, 9) {
+		if err := a.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalAccumulator(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("marshal -> unmarshal -> marshal is not the identity")
+	}
+	if back.N() != a.N() || back.Transitions() != a.Transitions() || back.Sequences() != a.Sequences() {
+		t.Fatal("round-tripped accumulator lost totals")
+	}
+}
+
+func TestUnmarshalAccumulatorRejectsCorruption(t *testing.T) {
+	a, _ := NewAccumulator(3, 0)
+	_ = a.Observe([]int{0, 1, 2})
+	blob, _ := a.MarshalBinary()
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     blob[:8],
+		"magic":     append([]byte("XXXX"), blob[4:]...),
+		"version":   func() []byte { b := append([]byte(nil), blob...); b[4] = 99; return b }(),
+		"truncated": blob[:len(blob)-3],
+		"oversized": append(append([]byte(nil), blob...), 0),
+		"hugeN": func() []byte {
+			b := append([]byte(nil), blob...)
+			b[5], b[6], b[7], b[8] = 0xff, 0xff, 0xff, 0x7f
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalAccumulator(data); err == nil {
+			t.Errorf("%s: corrupt blob unmarshaled without error", name)
+		}
+	}
+}

@@ -13,8 +13,15 @@ import (
 // counts into a frozen Chain at any point, and Drift compares the counts
 // against a previously served chain to detect distribution shift.
 //
-// An Accumulator is not safe for concurrent use; callers serialize access
-// (the serving daemon guards it with the ingest lock).
+// Concurrency contract: an Accumulator is not safe for concurrent use —
+// Observe, Reset, Merge, Chain and MarshalBinary on one accumulator must
+// be serialized by the caller (the serving daemon guards its drift
+// accumulator with the ingest lock; the cluster worker guards its shard
+// with the shard lock). Independent accumulators carry no shared state,
+// so feeding K accumulators from K goroutines is safe and is the
+// intended sharded-ingest pattern: Merge then folds them into one exact
+// global count set (see Merge for the exactness contract, pinned by the
+// -race stress test in merge_test.go).
 type Accumulator struct {
 	n         int
 	smoothing float64

@@ -9,7 +9,6 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
-	"strings"
 	"time"
 
 	"dcmodel/internal/crossexam"
@@ -181,22 +180,13 @@ func (s *Server) enqueue(w http.ResponseWriter, r *http.Request, job func(ctx co
 	}
 }
 
-// traceDecoder is the streaming contract shared by the CSV SpanReader and
-// the trace-v2 BinarySpanReader: one request per Next, io.EOF at the end.
-type traceDecoder interface {
-	Next() (trace.Request, error)
-}
-
 // isBinaryTrace reports whether the request body is a trace-v2 stream
 // (Content-Type: application/x-dcmodel-trace-v2, media-type parameters
 // ignored). Anything else is treated as CSV, the default interchange
-// format.
+// format. The media-type check itself lives in internal/trace
+// (IsBinaryMediaType), shared with the cluster coordinator and worker.
 func isBinaryTrace(r *http.Request) bool {
-	ct := r.Header.Get("Content-Type")
-	if i := strings.IndexByte(ct, ';'); i >= 0 {
-		ct = ct[:i]
-	}
-	return strings.TrimSpace(ct) == trace.ContentTypeV2
+	return trace.IsBinaryMediaType(r.Header.Get("Content-Type"))
 }
 
 // ingestBatchRequests is how many decoded requests are applied to the
@@ -223,12 +213,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	span := obs.SpanFrom(r.Context())
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes)
-	var dec traceDecoder
-	if isBinaryTrace(r) {
-		dec = trace.NewBinarySpanReader(body)
-	} else {
-		dec = trace.NewSpanReader(body)
-	}
+	dec := trace.NewRequestReader(body, r.Header.Get("Content-Type"))
 	var ingested int
 	var decodeErr error
 	stop := s.stage(span, "ingest.decode")

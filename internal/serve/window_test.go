@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"testing"
+
+	"dcmodel/internal/trace"
+)
+
+// windowReq builds a request with a recognizable class and one span per
+// listed subsystem.
+func windowReq(class string, subs ...trace.Subsystem) trace.Request {
+	r := trace.Request{Class: class}
+	for _, s := range subs {
+		r.Spans = append(r.Spans, trace.Span{Subsystem: s, Duration: 0.001})
+	}
+	return r
+}
+
+// TestWindowEvictionBoundary pins the behavior at exactly cap: filling a
+// window to capacity evicts nothing, and the very next add evicts exactly
+// the oldest request.
+func TestWindowEvictionBoundary(t *testing.T) {
+	const cap = 4
+	w := newWindow(cap)
+
+	// Fill to exactly cap: every request must be retained.
+	for i := 0; i < cap; i++ {
+		w.add(windowReq("r", trace.CPU))
+	}
+	n, c, total, spans := w.stats()
+	if n != cap || c != cap || total != cap {
+		t.Fatalf("at cap: n=%d capacity=%d total=%d, want %d/%d/%d", n, c, total, cap, cap, cap)
+	}
+	if spans[trace.CPU] != cap {
+		t.Fatalf("at cap: cpu spans = %d, want %d", spans[trace.CPU], cap)
+	}
+	snap := w.snapshot()
+	if snap.Len() != cap {
+		t.Fatalf("at cap: snapshot holds %d requests, want %d", snap.Len(), cap)
+	}
+	for i, r := range snap.Requests {
+		if r.ID != int64(i) {
+			t.Fatalf("at cap: snapshot[%d].ID = %d, want %d (oldest first)", i, r.ID, i)
+		}
+	}
+
+	// One past cap: exactly the oldest request (ID 0) is evicted, its
+	// spans leave the counters, and occupancy stays pinned at cap.
+	w.add(windowReq("r", trace.Storage, trace.Storage))
+	n, _, total, spans = w.stats()
+	if n != cap {
+		t.Fatalf("past cap: n = %d, want %d", n, cap)
+	}
+	if total != cap+1 {
+		t.Fatalf("past cap: total = %d, want %d", total, cap+1)
+	}
+	if spans[trace.CPU] != cap-1 {
+		t.Fatalf("past cap: cpu spans = %d, want %d (one evicted)", spans[trace.CPU], cap-1)
+	}
+	if spans[trace.Storage] != 2 {
+		t.Fatalf("past cap: storage spans = %d, want 2", spans[trace.Storage])
+	}
+	snap = w.snapshot()
+	if snap.Len() != cap {
+		t.Fatalf("past cap: snapshot holds %d requests, want %d", snap.Len(), cap)
+	}
+	for i, r := range snap.Requests {
+		if r.ID != int64(i+1) {
+			t.Fatalf("past cap: snapshot[%d].ID = %d, want %d (ID 0 evicted)", i, r.ID, i+1)
+		}
+	}
+}
+
+// TestWindowIDsMonotonicAcrossEviction pins that renumbering never
+// reuses an ID even after the ring wraps many times.
+func TestWindowIDsMonotonicAcrossEviction(t *testing.T) {
+	w := newWindow(3)
+	var last int64 = -1
+	for i := 0; i < 10; i++ {
+		id := w.add(windowReq("r", trace.Network))
+		if id != last+1 {
+			t.Fatalf("add %d assigned ID %d, want %d", i, id, last+1)
+		}
+		last = id
+	}
+	snap := w.snapshot()
+	want := []int64{7, 8, 9}
+	for i, r := range snap.Requests {
+		if r.ID != want[i] {
+			t.Fatalf("after wrap: snapshot[%d].ID = %d, want %d", i, r.ID, want[i])
+		}
+	}
+}

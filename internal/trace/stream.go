@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // Streaming span decoder: the incremental counterpart of ReadCSV, built
@@ -24,6 +25,34 @@ const (
 	// bound.
 	maxSpansPerRequest = 1 << 20
 )
+
+// RequestReader is the streaming decode contract shared by the CSV
+// SpanReader and the trace-v2 BinarySpanReader: one complete request per
+// Next, io.EOF at the clean end of the stream, any other error sticky.
+// The serving daemon and the cluster coordinator/worker ingest paths all
+// consume this interface, so a new wire codec only has to implement Next.
+type RequestReader interface {
+	Next() (Request, error)
+}
+
+// NewRequestReader returns the streaming decoder matching an HTTP
+// Content-Type: the trace-v2 binary reader for IsBinaryMediaType types,
+// the CSV reader (the default interchange format) for everything else.
+func NewRequestReader(r io.Reader, contentType string) RequestReader {
+	if IsBinaryMediaType(contentType) {
+		return NewBinarySpanReader(r)
+	}
+	return NewSpanReader(r)
+}
+
+// IsBinaryMediaType reports whether a Content-Type header value names the
+// trace-v2 binary codec (media-type parameters ignored).
+func IsBinaryMediaType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == ContentTypeV2
+}
 
 // SpanReader incrementally decodes the flat span-per-row CSV trace format.
 // Rows sharing a req_id are folded into one Request (rows must be grouped
