@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race chaos obs spec cluster cover cover-spec bench bench-json bench-compare fuzz fuzz-smoke vulncheck examples artifacts serve loadtest clean help
+.PHONY: all build vet test test-race race chaos obs spec cluster whatif cover cover-spec bench bench-json bench-compare fuzz fuzz-smoke vulncheck examples artifacts serve loadtest clean help
 
 all: build vet test
 
@@ -25,6 +25,10 @@ help:
 	@echo "  cluster    distributed-cluster gate: the coordinator/worker suite"
 	@echo "             under -race (hash-ring routing, exact-merge byte-identity,"
 	@echo "             mid-run kill with zero dropped requests)"
+	@echo "  whatif     analytical-twin gate under -race: twin compilers +"
+	@echo "             solvers, the facade BuildTwin/WhatIf surface, the"
+	@echo "             /v1/whatif byte-stability + no-DES contract, and the"
+	@echo "             six-preset twin-vs-DES deviation bounds"
 	@echo "  cover      go test -cover ./... + the internal/spec coverage floor"
 	@echo "  cover-spec enforce the $(SPEC_COVER_FLOOR)% statement-coverage floor on internal/spec"
 	@echo "  bench      regenerate every table/figure + ablations (-bench=. -benchmem)"
@@ -95,6 +99,14 @@ spec:
 # zero dropped requests.
 cluster:
 	$(GO) test -race -count=1 ./internal/cluster/
+
+# Analytical-twin gate: the closed-form fast path's whole contract under
+# the race detector — the twin compilers and queueing solvers, the facade
+# surface, the daemon's /v1/whatif (byte-stable responses, no DES, no work
+# queue), and the pinned twin-vs-DES deviation bounds on all six presets.
+whatif:
+	$(GO) test -race -count=1 ./internal/twin/ ./internal/queueing/
+	$(GO) test -race -count=1 -run 'Twin|WhatIf' . ./internal/serve/ ./internal/crossexam/
 
 cover: cover-spec
 	$(GO) test -cover ./...

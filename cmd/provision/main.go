@@ -1,64 +1,117 @@
-// Command provision runs the SQS-style two-phase datacenter sizing
-// pipeline: characterize a workload trace online (bounded-memory empirical
-// models), then simulate server-farm configurations and report the
-// smallest farm meeting a p95 latency target.
+// Command provision sizes a server farm for a p95 latency target with the
+// analytical-twin fast path: it trains a workload model on the trace,
+// compiles the model's queueing twin, searches farm sizes in closed form
+// (microseconds per candidate, no sampling), and then validates the winning
+// configuration against one discrete-event simulation of the SQS farm —
+// one simulation total, instead of one per candidate.
 //
 // Usage:
 //
 //	gfstrace -requests 8000 -rate 200 | provision -target 0.05
-//	provision -in trace.csv -target 0.1 -max 64
+//	provision -spec webtier -target 0.1 -max 64
+//	provision -in trace.csv -model in-breadth -target 0.1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"os"
+	"strings"
 
 	"dcmodel/internal/sqs"
 
 	"dcmodel"
 	"dcmodel/internal/cliflag"
+	"dcmodel/internal/spec"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("provision: ")
 	var (
-		in      = flag.String("in", "-", "input trace (CSV; '-' for stdin)")
-		target  = flag.Float64("target", 0.05, "p95 response-time target (seconds)")
-		maxSrv  = flag.Int("max", 64, "largest farm size to consider")
-		tasks   = flag.Int("tasks", 20000, "tasks simulated per candidate")
-		samples = flag.Int("samples", 10000, "characterization sample budget")
-		seed    = flag.Int64("seed", 1, "random seed")
+		in        = flag.String("in", "-", "input trace (CSV, or binary trace-v2 for .dct paths; '-' for stdin)")
+		specRef   = flag.String("spec", "", "generate the workload from a spec (preset name or JSON/YAML file) instead of reading -in")
+		modelName = flag.String("model", "kooza", "model behind the twin: kooza, in-breadth or in-depth")
+		target    = flag.Float64("target", 0.05, "p95 response-time target (seconds)")
+		maxSrv    = flag.Int("max", 64, "largest farm size to consider")
+		tasks     = flag.Int("tasks", 20000, "tasks simulated in the validation run")
+		samples   = flag.Int("samples", 10000, "characterization sample budget of the validation run")
+		seed      = flag.Int64("seed", 1, "random seed (validation simulation and -spec generation)")
+		workers   = flag.Int("workers", 0, "concurrent -spec generation shards (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	cliflag.Check(
 		cliflag.Seed(*seed),
+		cliflag.Workers(*workers),
 		cliflag.Min("max", *maxSrv, 1),
 		cliflag.Min("tasks", *tasks, 1),
 		cliflag.Min("samples", *samples, 1),
 		cliflag.PositiveFloat("target", *target),
 	)
+	approach, err := dcmodel.ParseApproach(*modelName)
+	if err != nil {
+		cliflag.Fatal(err)
+	}
 
-	var (
-		tr  *dcmodel.Trace
-		err error
-	)
-	if *in == "-" {
-		tr, err = dcmodel.ReadTraceCSV(os.Stdin)
+	var tr *dcmodel.Trace
+	if *specRef != "" {
+		tr, err = traceFromSpec(*specRef, *seed, *workers)
 	} else {
-		var f *os.File
-		f, err = os.Open(*in)
-		if err == nil {
-			defer f.Close()
-			tr, err = dcmodel.ReadTraceCSV(f)
-		}
+		tr, err = readTrace(*in)
 	}
 	if err != nil {
-		log.Fatal(err)
+		cliflag.Fatal(err)
 	}
+
+	// Closed-form phase: train, compile the twin, search farm sizes.
+	m, err := dcmodel.Train(tr, approach)
+	if err != nil {
+		cliflag.Fatal(err)
+	}
+	tw, err := dcmodel.BuildTwin(m, dcmodel.DefaultPlatform())
+	if err != nil {
+		cliflag.Fatal(err)
+	}
+	fmt.Printf("%s twin: arrival rate %.2f/s, total demand %.3f ms/request\n",
+		tw.Approach, tw.Lambda, 1000*tw.TotalDemand())
+
+	slo := dcmodel.WhatIfSLO{Quantile: 0.95, TargetSeconds: *target, MaxServers: *maxSrv}
+	sized, err := tw.WhatIf(dcmodel.WhatIfQuery{SLO: &slo})
+	if err != nil {
+		cliflag.Fatal(err)
+	}
+	if !sized.SLOMet {
+		log.Fatalf("no configuration up to %d servers meets p95 <= %.3fs (closed-form search)", *maxSrv, *target)
+	}
+	chosen := sized.ServersForSLO
+
+	fmt.Printf("\nclosed-form twin search (p95 <= %.0f ms, up to %d servers):\n", 1000**target, *maxSrv)
+	fmt.Printf("%-8s | %-10s | %-10s | %-10s | %-10s\n", "servers", "util", "mean ms", "p95 ms", "p99 ms")
+	var twinP95 float64
+	for k := 1; k <= chosen; k++ {
+		ans, err := tw.WhatIf(dcmodel.WhatIfQuery{Servers: k})
+		if err != nil {
+			cliflag.Fatal(err)
+		}
+		if !ans.Stable {
+			fmt.Printf("%-8d | %9.1f%% | %10s | %10s | %10s\n",
+				k, 100*ans.BottleneckUtilization, "saturated", "-", "-")
+			continue
+		}
+		fmt.Printf("%-8d | %9.1f%% | %10.2f | %10.2f | %10.2f\n",
+			k, 100*ans.BottleneckUtilization, 1000*ans.MeanResponseSeconds,
+			1000*ans.P95Seconds, 1000*ans.P99Seconds)
+		if k == chosen {
+			twinP95 = ans.P95Seconds
+		}
+	}
+	fmt.Printf("\ntwin decision: %d servers (smallest meeting p95 <= %.0f ms, bottleneck %s)\n",
+		chosen, 1000**target, sized.Bottleneck)
+
+	// Validation phase: one discrete-event farm simulation of the winner.
 	r := rand.New(rand.NewSource(*seed))
 	c, err := sqs.NewCharacterizer(*samples, r)
 	if err != nil {
@@ -67,33 +120,57 @@ func main() {
 	if err := c.ObserveTrace(tr); err != nil {
 		log.Fatal(err)
 	}
-	m, err := c.Model()
+	sm, err := c.Model()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("characterized %d tasks: rate %.2f/s, mean service %.3f ms (budget %d samples)\n",
-		c.Observed(), m.Rate, 1000*m.MeanService, *samples)
+	res, err := sm.Evaluate(chosen, *tasks, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvalidation: one DES run of %d servers (%d tasks): util %.1f%%, mean %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+		chosen, *tasks, 100*res.Utilization, 1000*res.MeanResponse, 1000*res.P95, 1000*res.P99)
+	dev := math.Abs(twinP95-res.P95) / res.P95
+	fmt.Printf("twin p95 %.2f ms vs DES p95 %.2f ms (%.1f%% deviation)\n",
+		1000*twinP95, 1000*res.P95, 100*dev)
+	if res.P95 > *target {
+		log.Fatalf("validation failed: simulated p95 %.2f ms exceeds the %.0f ms target — the twin was optimistic here; consider -max with more headroom",
+			1000*res.P95, 1000**target)
+	}
+	fmt.Printf("provisioning decision validated: %d servers\n", chosen)
+}
 
-	fmt.Printf("\n%-8s | %-10s | %-10s | %-10s | %-10s\n", "servers", "util", "mean ms", "p95 ms", "p99 ms")
-	minServers := int(m.Rate*m.MeanService) + 1
-	chosen := -1
-	for k := minServers; k <= *maxSrv; k++ {
-		res, err := m.Evaluate(k, *tasks, r)
-		if err != nil {
-			continue
-		}
-		fmt.Printf("%-8d | %9.1f%% | %10.2f | %10.2f | %10.2f\n",
-			k, 100*res.Utilization, 1000*res.MeanResponse, 1000*res.P95, 1000*res.P99)
-		if chosen < 0 && res.P95 <= *target {
-			chosen = k
-		}
-		if chosen > 0 && res.Utilization < 0.3 {
-			break // comfortably provisioned; further rows add nothing
-		}
+// traceFromSpec generates the workload from a spec. The explicitly-set
+// -seed overrides the spec's own seed.
+func traceFromSpec(ref string, seed int64, workers int) (*dcmodel.Trace, error) {
+	s, err := spec.Resolve(ref)
+	if err != nil {
+		return nil, err
 	}
-	if chosen < 0 {
-		log.Fatalf("no configuration up to %d servers meets p95 <= %.3fs", *maxSrv, *target)
+	var opts spec.Options
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			opts.Seed = seed
+		}
+	})
+	c, err := s.Compile(opts)
+	if err != nil {
+		return nil, err
 	}
-	fmt.Printf("\nprovisioning decision: %d servers (smallest meeting p95 <= %.0f ms)\n",
-		chosen, 1000**target)
+	return c.Generate(workers)
+}
+
+func readTrace(path string) (*dcmodel.Trace, error) {
+	if path == "-" {
+		return dcmodel.ReadTraceCSV(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".dct") {
+		return dcmodel.ReadTraceBinary(f)
+	}
+	return dcmodel.ReadTraceCSV(f)
 }

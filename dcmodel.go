@@ -237,15 +237,6 @@ func Simulate(cfg GFSConfig, run GFSRun) (*Trace, error) {
 	return cluster.Run(rc, rand.New(rand.NewSource(run.Seed)))
 }
 
-// SimulateGFS is the pre-RunConfig spelling of Simulate.
-//
-// Deprecated: use Simulate and set run.Seed instead of passing seed
-// positionally.
-func SimulateGFS(cfg GFSConfig, run GFSRun, seed int64) (*Trace, error) {
-	run.Seed = seed
-	return Simulate(cfg, run)
-}
-
 // GFSClosedRun drives a closed-loop (interactive) GFS simulation: Users
 // concurrent users issue a request, wait for it, think, and reissue.
 type GFSClosedRun struct {
@@ -277,38 +268,6 @@ func SimulateClosed(cfg GFSConfig, run GFSClosedRun) (*Trace, error) {
 		return nil, err
 	}
 	return cluster.RunClosed(rc, rand.New(rand.NewSource(run.Seed)))
-}
-
-// SimulateGFSClosed is the pre-RunConfig spelling of SimulateClosed.
-//
-// Deprecated: use SimulateClosed and set run.Seed instead of passing seed
-// positionally.
-func SimulateGFSClosed(cfg GFSConfig, run GFSClosedRun, seed int64) (*Trace, error) {
-	run.Seed = seed
-	return SimulateClosed(cfg, run)
-}
-
-// TrainKooza fits the paper's combined model to a trace and returns the
-// concrete model type.
-//
-// Deprecated: use Train(tr, Kooza, ...) for the common Model interface;
-// keep TrainKooza only when KOOZA-specific surface is needed.
-func TrainKooza(tr *Trace, opts KoozaOptions) (*KoozaModel, error) {
-	return kooza.Train(tr, opts)
-}
-
-// TrainInBreadth fits the per-subsystem baseline to a trace.
-//
-// Deprecated: use Train(tr, InBreadth, ...) for the common Model interface.
-func TrainInBreadth(tr *Trace, opts InBreadthOptions) (*InBreadthModel, error) {
-	return inbreadth.Train(tr, opts)
-}
-
-// TrainInDepth fits the request-flow baseline to a trace.
-//
-// Deprecated: use Train(tr, InDepth) for the common Model interface.
-func TrainInDepth(tr *Trace) (*InDepthModel, error) {
-	return indepth.Train(tr)
 }
 
 // Replay executes a workload on the platform and returns the re-timed
@@ -345,7 +304,7 @@ func CrossExamine(tr *Trace, p Platform, opts CrossExamOptions) ([]Scores, error
 	}
 	approaches := make([]crossexam.Approach, 0, 3)
 	for _, a := range []Approach{InBreadth, InDepth, Kooza} {
-		approaches = append(approaches, crossexamApproach(tr, a))
+		approaches = append(approaches, crossexamApproach(tr, a, p))
 	}
 	return crossexam.Evaluate(tr, approaches, opts.Requests, p, crossexam.Options{
 		Seed:           opts.Seed,
@@ -357,8 +316,11 @@ func CrossExamine(tr *Trace, p Platform, opts CrossExamOptions) ([]Scores, error
 // crossexamApproach wraps one modeling approach — trained through the same
 // Train facade users call — as a cross-examination entrant. Knobs counts
 // the user-tunable training knobs of each approach (the paper's
-// "flexibility" axis); the in-depth model times its own arrivals.
-func crossexamApproach(tr *Trace, a Approach) crossexam.Approach {
+// "flexibility" axis); the in-depth model times its own arrivals. Setup
+// also lowers the trained model to its analytical twin on the same
+// platform, so the scorecard carries the twin-vs-simulation deviation
+// column next to the simulated fidelity proxies.
+func crossexamApproach(tr *Trace, a Approach, p Platform) crossexam.Approach {
 	knobs := map[Approach]int{InBreadth: 3, InDepth: 1, Kooza: 5}[a]
 	return crossexam.Approach{
 		Name:      a.String(),
@@ -372,18 +334,14 @@ func crossexamApproach(tr *Trace, a Approach) crossexam.Approach {
 			// Cross-examination synthesizes whole traces, so it rides the
 			// batch path (byte-identical to scalar at the same seed).
 			ca.Synthesize, ca.NumParams = m.SynthesizeBatch, m.NumParams()
+			tw, err := BuildTwin(m, p)
+			if err != nil {
+				return fmt.Errorf("dcmodel: %s twin: %w", a, err)
+			}
+			ca.Twin = tw
 			return nil
 		},
 	}
-}
-
-// CrossExamineOpts is the pre-options-struct spelling of CrossExamine.
-//
-// Deprecated: use CrossExamine with CrossExamOptions{Requests: n, Seed:
-// seed, ...}.
-func CrossExamineOpts(tr *Trace, n int, p Platform, seed int64, opts CrossExamOptions) ([]Scores, error) {
-	opts.Requests, opts.Seed = n, seed
-	return CrossExamine(tr, p, opts)
 }
 
 // SynthesizeSharded fans one model's synthesis across shards: shard s

@@ -2,6 +2,7 @@ package dcmodel
 
 import (
 	"dcmodel/internal/errs"
+	"dcmodel/internal/queueing"
 	"dcmodel/internal/trace"
 )
 
@@ -23,4 +24,16 @@ var (
 	// serving daemon before the first ingest has warmed a generation.
 	// Servers translate it into 503 Service Unavailable.
 	ErrModelNotTrained = errs.ErrModelNotTrained
+
+	// ErrTwinUnsupported marks a Model implementation the analytical-twin
+	// compiler does not know: BuildTwin handles the toolkit's three
+	// approaches; foreign implementations get this.
+	ErrTwinUnsupported = errs.ErrTwinUnsupported
+
+	// ErrUnstable marks a queueing system whose offered load meets or
+	// exceeds capacity (utilization >= 1), so no steady state exists.
+	// Note the what-if path reports saturation in-band instead
+	// (WhatIfAnswer.Stable == false); this sentinel surfaces from the
+	// lower-level queueing solvers.
+	ErrUnstable = queueing.ErrUnstable
 )

@@ -19,6 +19,7 @@ import (
 	"dcmodel/internal/replay"
 	"dcmodel/internal/stats"
 	"dcmodel/internal/trace"
+	"dcmodel/internal/twin"
 )
 
 // Approach wraps one modeling approach for evaluation.
@@ -41,6 +42,12 @@ type Approach struct {
 	// SelfTimed marks approaches whose synthetic spans already carry
 	// durations (in-depth); others are replayed on the platform.
 	SelfTimed bool
+	// Twin, when non-nil (typically filled by Setup alongside Synthesize),
+	// is the approach's analytical queueing twin. Evaluate scores its
+	// closed-form mean response at the trained operating point against the
+	// discrete-event result as TwinDeviation; approaches without a twin
+	// report -1 there.
+	Twin *twin.Twin
 }
 
 // Options configures Evaluate.
@@ -86,6 +93,12 @@ type Scores struct {
 	// Completeness is the geometric mean of RequestFeatures,
 	// TimeDependencies and LatencyFidelity.
 	Completeness float64 `json:"completeness"`
+	// TwinDeviation is the relative gap between the analytical twin's
+	// closed-form mean response and the discrete-event mean latency of the
+	// same synthetic workload: |analytical - simulated| / simulated
+	// (lower = the twin tracks the simulator more closely). -1 when the
+	// approach carries no twin or its operating point is saturated.
+	TwinDeviation float64 `json:"twin_deviation"`
 }
 
 // Evaluate scores every approach against the original trace. n synthetic
@@ -144,6 +157,7 @@ func Evaluate(orig *trace.Trace, approaches []Approach, n int, platform replay.P
 		}
 		s.LatencyFidelity = latencyScore(orig, timed)
 		s.Completeness = geoMean3(s.RequestFeatures, s.TimeDependencies, s.LatencyFidelity)
+		s.TwinDeviation = twinDeviation(a.Twin, timed)
 		out[i] = s
 		return nil
 	})
@@ -310,6 +324,27 @@ func latencyScore(orig, timed *trace.Trace) float64 {
 	return clamp01(1 - total/float64(counted))
 }
 
+// twinDeviation cross-examines the closed-form path against the
+// discrete-event one: the twin answers its baseline what-if (trained load,
+// trained layout — the zero Query) and the relative gap to the mean latency
+// the simulator actually produced is the score. -1 marks "no twin to
+// compare" (nil twin, saturated operating point, or a degenerate
+// discrete-event result) and renders as n/a.
+func twinDeviation(tw *twin.Twin, timed *trace.Trace) float64 {
+	if tw == nil {
+		return -1
+	}
+	ans, err := tw.WhatIf(twin.Query{})
+	if err != nil || !ans.Stable {
+		return -1
+	}
+	des := stats.Mean(timed.Latencies())
+	if des <= 0 {
+		return -1
+	}
+	return math.Abs(ans.MeanResponseSeconds-des) / des
+}
+
 func geoMean3(a, b, c float64) float64 {
 	if a <= 0 || b <= 0 || c <= 0 {
 		return 0
@@ -391,6 +426,15 @@ func DeriveQualitative(scores []Scores) []QualRow {
 	return rows
 }
 
+// fmtDeviation formats a twin deviation for the scorecard tables: the -1
+// "no twin" sentinel renders as n/a rather than a misleading number.
+func fmtDeviation(d float64) string {
+	if d < 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", d)
+}
+
 // Render formats the quantitative scorecard plus the qualitative matrix as
 // the Table 1 regeneration.
 func Render(scores []Scores) string {
@@ -409,12 +453,13 @@ func Render(scores []Scores) string {
 		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "\nQuantitative cross-examination (measured proxies):\n")
-	fmt.Fprintf(&b, "%-12s | %-8s | %-8s | %-5s | %-8s | %-12s | %-8s | %-8s | %-8s\n",
-		"Model", "Features", "TimeDeps", "Knobs", "FineGran", "Synth req/s", "Params", "LatFid", "Complete")
+	fmt.Fprintf(&b, "%-12s | %-8s | %-8s | %-5s | %-8s | %-12s | %-8s | %-8s | %-8s | %-8s\n",
+		"Model", "Features", "TimeDeps", "Knobs", "FineGran", "Synth req/s", "Params", "LatFid", "Complete", "TwinDev")
 	for _, s := range scores {
-		fmt.Fprintf(&b, "%-12s | %8.3f | %8.3f | %5d | %8.3f | %12.0f | %8d | %8.3f | %8.3f\n",
+		fmt.Fprintf(&b, "%-12s | %8.3f | %8.3f | %5d | %8.3f | %12.0f | %8d | %8.3f | %8.3f | %8s\n",
 			s.Name, s.RequestFeatures, s.TimeDependencies, s.Configurability,
-			s.FineGranularity, s.Scalability, s.EaseOfUse, s.LatencyFidelity, s.Completeness)
+			s.FineGranularity, s.Scalability, s.EaseOfUse, s.LatencyFidelity, s.Completeness,
+			fmtDeviation(s.TwinDeviation))
 	}
 	fmt.Fprintf(&b, "\nCheck-marks derived from the measured proxies:\n")
 	fmt.Fprintf(&b, "%-12s", "Model")

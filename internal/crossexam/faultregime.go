@@ -18,6 +18,7 @@ var comparisonCriteria = []struct {
 	{"FineGran", func(s Scores) float64 { return s.FineGranularity }},
 	{"LatFid", func(s Scores) float64 { return s.LatencyFidelity }},
 	{"Complete", func(s Scores) float64 { return s.Completeness }},
+	{"TwinDev", func(s Scores) float64 { return s.TwinDeviation }},
 }
 
 // RenderComparison formats the fault-regime cross-examination: the measured
@@ -46,6 +47,11 @@ func RenderComparison(healthy, degraded []Scores) string {
 		fmt.Fprintf(&b, "%-12s", h.Name)
 		for _, c := range comparisonCriteria {
 			hv, dv := c.get(h), c.get(d)
+			if hv < 0 || dv < 0 {
+				// The -1 "no twin" sentinel has no meaningful delta.
+				fmt.Fprintf(&b, " | %6s -> %6s (%6s)", "n/a", "n/a", "n/a")
+				continue
+			}
 			fmt.Fprintf(&b, " | %6.3f -> %6.3f (%+.3f)", hv, dv, dv-hv)
 		}
 		b.WriteByte('\n')

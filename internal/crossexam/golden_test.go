@@ -19,16 +19,19 @@ func goldenScores() []Scores {
 			Name: "in-breadth", RequestFeatures: 0.941, TimeDependencies: 0.002,
 			Configurability: 3, FineGranularity: 0.858, Scalability: 1.25e6,
 			EaseOfUse: 5120, LatencyFidelity: 0.612, Completeness: 0.104,
+			TwinDeviation: 0.183,
 		},
 		{
 			Name: "in-depth", RequestFeatures: 0.389, TimeDependencies: 1,
 			Configurability: 1, FineGranularity: 0.402, Scalability: 2.5e6,
 			EaseOfUse: 23, LatencyFidelity: 0.951, Completeness: 0.717,
+			TwinDeviation: -1,
 		},
 		{
 			Name: "KOOZA", RequestFeatures: 0.973, TimeDependencies: 1,
 			Configurability: 5, FineGranularity: 0.955, Scalability: 9.8e5,
 			EaseOfUse: 5200, LatencyFidelity: 0.957, Completeness: 0.976,
+			TwinDeviation: 0.047,
 		},
 	}
 }

@@ -21,6 +21,7 @@ func TestScoresJSONTagsStable(t *testing.T) {
 		"request_features",
 		"scalability_req_per_s",
 		"time_dependencies",
+		"twin_deviation",
 	}
 	typ := reflect.TypeOf(Scores{})
 	var got []string
@@ -42,6 +43,7 @@ func TestScoresJSONTagsStable(t *testing.T) {
 		Name: "KOOZA", RequestFeatures: 0.9, TimeDependencies: 0.8,
 		Configurability: 5, FineGranularity: 0.7, Scalability: 12345,
 		EaseOfUse: 42, LatencyFidelity: 0.6, Completeness: 0.75,
+		TwinDeviation: 0.05,
 	}
 	b, err := json.Marshal(in)
 	if err != nil {

@@ -17,3 +17,8 @@ var ErrBadConfig = errors.New("invalid configuration")
 // first ingest has warmed a model generation. Servers translate it into
 // 503 Service Unavailable.
 var ErrModelNotTrained = errors.New("model not trained")
+
+// ErrTwinUnsupported marks a model that cannot be lowered to an
+// analytical twin: the twin compiler knows the toolkit's three approaches;
+// a foreign Model implementation passed to dcmodel.BuildTwin gets this.
+var ErrTwinUnsupported = errors.New("model has no analytical twin")

@@ -13,11 +13,33 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"dcmodel/internal/errs"
 )
 
 // ErrUnstable is returned when a queueing configuration has utilization
-// >= 1 and therefore no steady state.
+// >= 1 and therefore no steady state. It is distinct from ErrBadConfig:
+// an unstable network is a meaningful analytical answer ("this load does
+// not fit this capacity"), not a malformed input.
 var ErrUnstable = errors.New("queueing: utilization >= 1, no steady state")
+
+// validNum reports whether v is a finite number — solver inputs must be
+// real so NaN/Inf can never leak into results (or JSON responses) as
+// silently poisoned arithmetic.
+func validNum(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// badConfig wraps a validation failure in the shared errs.ErrBadConfig
+// sentinel so callers (CLI tools, the daemon) branch with errors.Is.
+func badConfig(format string, args ...any) error {
+	return fmt.Errorf("queueing: "+format+": %w", append(args, errs.ErrBadConfig)...)
+}
 
 // MM1 is the M/M/1 queue: Poisson arrivals at rate Lambda, exponential
 // service at rate Mu, one server.
@@ -28,8 +50,8 @@ type MM1 struct {
 // NewMM1 validates and returns an M/M/1 queue. It fails when the queue is
 // unstable (Lambda >= Mu) or parameters are non-positive.
 func NewMM1(lambda, mu float64) (MM1, error) {
-	if lambda <= 0 || mu <= 0 {
-		return MM1{}, fmt.Errorf("queueing: rates must be positive, got lambda=%g mu=%g", lambda, mu)
+	if !validNum(lambda, mu) || lambda <= 0 || mu <= 0 {
+		return MM1{}, badConfig("rates must be positive finite numbers, got lambda=%g mu=%g", lambda, mu)
 	}
 	if lambda >= mu {
 		return MM1{}, ErrUnstable
@@ -81,8 +103,8 @@ type MMc struct {
 
 // NewMMc validates and returns an M/M/c queue.
 func NewMMc(lambda, mu float64, c int) (MMc, error) {
-	if lambda <= 0 || mu <= 0 || c < 1 {
-		return MMc{}, fmt.Errorf("queueing: invalid M/M/c parameters lambda=%g mu=%g c=%d", lambda, mu, c)
+	if !validNum(lambda, mu) || lambda <= 0 || mu <= 0 || c < 1 {
+		return MMc{}, badConfig("invalid M/M/c parameters lambda=%g mu=%g c=%d", lambda, mu, c)
 	}
 	if lambda >= mu*float64(c) {
 		return MMc{}, ErrUnstable
@@ -131,8 +153,8 @@ type MG1 struct {
 
 // NewMG1 validates and returns an M/G/1 queue.
 func NewMG1(lambda, meanService, varService float64) (MG1, error) {
-	if lambda <= 0 || meanService <= 0 || varService < 0 {
-		return MG1{}, fmt.Errorf("queueing: invalid M/G/1 parameters lambda=%g mean=%g var=%g", lambda, meanService, varService)
+	if !validNum(lambda, meanService, varService) || lambda <= 0 || meanService <= 0 || varService < 0 {
+		return MG1{}, badConfig("invalid M/G/1 parameters lambda=%g mean=%g var=%g", lambda, meanService, varService)
 	}
 	if lambda*meanService >= 1 {
 		return MG1{}, ErrUnstable
@@ -168,8 +190,8 @@ type GG1 struct {
 
 // NewGG1 validates and returns a G/G/1 queue.
 func NewGG1(lambda, scvA, meanS, scvS float64) (GG1, error) {
-	if lambda <= 0 || meanS <= 0 || scvA < 0 || scvS < 0 {
-		return GG1{}, fmt.Errorf("queueing: invalid G/G/1 parameters lambda=%g scvA=%g mean=%g scvS=%g", lambda, scvA, meanS, scvS)
+	if !validNum(lambda, scvA, meanS, scvS) || lambda <= 0 || meanS <= 0 || scvA < 0 || scvS < 0 {
+		return GG1{}, badConfig("invalid G/G/1 parameters lambda=%g scvA=%g mean=%g scvS=%g", lambda, scvA, meanS, scvS)
 	}
 	if lambda*meanS >= 1 {
 		return GG1{}, ErrUnstable

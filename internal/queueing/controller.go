@@ -1,8 +1,6 @@
 package queueing
 
-import (
-	"fmt"
-)
+// (validation helpers badConfig/validNum live in analytic.go)
 
 // PIController is a proportional-integral admission controller in the style
 // of Yaksha (Kamra et al.): it observes the measured response time each
@@ -20,11 +18,11 @@ type PIController struct {
 
 // NewPIController returns a controller with full admission initially.
 func NewPIController(kp, ki, target float64) (*PIController, error) {
-	if target <= 0 {
-		return nil, fmt.Errorf("queueing: controller target must be positive, got %g", target)
+	if !validNum(target) || target <= 0 {
+		return nil, badConfig("controller target must be positive, got %g", target)
 	}
-	if kp < 0 || ki < 0 {
-		return nil, fmt.Errorf("queueing: controller gains must be non-negative, got kp=%g ki=%g", kp, ki)
+	if !validNum(kp, ki) || kp < 0 || ki < 0 {
+		return nil, badConfig("controller gains must be non-negative, got kp=%g ki=%g", kp, ki)
 	}
 	return &PIController{Kp: kp, Ki: ki, Target: target, admission: 1}, nil
 }

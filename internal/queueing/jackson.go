@@ -54,24 +54,30 @@ type JacksonResult struct {
 func (n *JacksonNetwork) Solve() (JacksonResult, error) {
 	k := len(n.Nodes)
 	if k == 0 {
-		return JacksonResult{}, fmt.Errorf("queueing: jackson network has no nodes")
+		return JacksonResult{}, badConfig("jackson network has no nodes")
+	}
+	for i, node := range n.Nodes {
+		if !validNum(node.Mu, node.External) || node.Mu <= 0 || node.External < 0 {
+			return JacksonResult{}, badConfig("node %d (%s) needs a positive finite service rate and non-negative external arrivals, got mu=%g external=%g",
+				i, node.Name, node.Mu, node.External)
+		}
 	}
 	if len(n.Routing) != k {
-		return JacksonResult{}, fmt.Errorf("queueing: routing matrix has %d rows, want %d", len(n.Routing), k)
+		return JacksonResult{}, badConfig("routing matrix has %d rows, want %d", len(n.Routing), k)
 	}
 	for i, row := range n.Routing {
 		if len(row) != k {
-			return JacksonResult{}, fmt.Errorf("queueing: routing row %d has %d cols, want %d", i, len(row), k)
+			return JacksonResult{}, badConfig("routing row %d has %d cols, want %d", i, len(row), k)
 		}
 		var sum float64
 		for _, p := range row {
-			if p < 0 {
-				return JacksonResult{}, fmt.Errorf("queueing: negative routing probability at row %d", i)
+			if !validNum(p) || p < 0 {
+				return JacksonResult{}, badConfig("invalid routing probability %g at row %d", p, i)
 			}
 			sum += p
 		}
 		if sum > 1+1e-9 {
-			return JacksonResult{}, fmt.Errorf("queueing: routing row %d sums to %g > 1", i, sum)
+			return JacksonResult{}, badConfig("routing row %d sums to %g > 1", i, sum)
 		}
 	}
 	// Traffic equations: (I - R^T) lambda = gamma.
@@ -90,7 +96,7 @@ func (n *JacksonNetwork) Solve() (JacksonResult, error) {
 		}
 	}
 	if totalExternal <= 0 {
-		return JacksonResult{}, fmt.Errorf("queueing: open network needs positive external arrivals")
+		return JacksonResult{}, badConfig("open network needs positive external arrivals")
 	}
 	lambda, err := stats.SolveLinear(a, gamma)
 	if err != nil {
@@ -140,7 +146,7 @@ func (n *JacksonNetwork) Solve() (JacksonResult, error) {
 func TandemNetwork(names []string, mus []float64, servers []int, lambda float64) (*JacksonNetwork, error) {
 	k := len(names)
 	if k == 0 || len(mus) != k || len(servers) != k {
-		return nil, fmt.Errorf("queueing: tandem needs matching names/mus/servers, got %d/%d/%d", len(names), len(mus), len(servers))
+		return nil, badConfig("tandem needs matching names/mus/servers, got %d/%d/%d", len(names), len(mus), len(servers))
 	}
 	n := &JacksonNetwork{
 		Nodes:   make([]JacksonNode, k),

@@ -1,8 +1,6 @@
 package queueing
 
-import (
-	"fmt"
-)
+import "fmt"
 
 // A simplified layered-queueing-network (LQN) solver in the spirit of
 // Franks et al.: tasks arranged in layers, where an entry's total demand is
@@ -51,21 +49,24 @@ type LQNTaskResult struct {
 func (l *LQN) Solve() ([]LQNTaskResult, error) {
 	n := len(l.Tasks)
 	if n == 0 {
-		return nil, fmt.Errorf("queueing: lqn has no tasks")
+		return nil, badConfig("lqn has no tasks")
 	}
-	if l.Lambda <= 0 {
-		return nil, fmt.Errorf("queueing: lqn needs a positive arrival rate")
+	if !validNum(l.Lambda) || l.Lambda <= 0 {
+		return nil, badConfig("lqn needs a positive finite arrival rate, got %g", l.Lambda)
 	}
 	for i, t := range l.Tasks {
 		if t.Servers < 1 {
-			return nil, fmt.Errorf("queueing: lqn task %d (%s) needs >= 1 server", i, t.Name)
+			return nil, badConfig("lqn task %d (%s) needs >= 1 server", i, t.Name)
 		}
-		if t.Demand < 0 {
-			return nil, fmt.Errorf("queueing: lqn task %d (%s) has negative demand", i, t.Name)
+		if !validNum(t.Demand) || t.Demand < 0 {
+			return nil, badConfig("lqn task %d (%s) has invalid demand %g", i, t.Name, t.Demand)
 		}
-		for callee := range t.Calls {
+		for callee, cnt := range t.Calls {
 			if callee <= i || callee >= n {
-				return nil, fmt.Errorf("queueing: lqn task %d (%s) calls invalid task %d (layers must be top-down)", i, t.Name, callee)
+				return nil, badConfig("lqn task %d (%s) calls invalid task %d (layers must be top-down)", i, t.Name, callee)
+			}
+			if !validNum(cnt) || cnt < 0 {
+				return nil, badConfig("lqn task %d (%s) has invalid call count %g to task %d", i, t.Name, cnt, callee)
 			}
 		}
 	}

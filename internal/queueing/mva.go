@@ -1,8 +1,6 @@
 package queueing
 
-import (
-	"fmt"
-)
+// (validation helpers badConfig/validNum live in analytic.go)
 
 // Exact Mean Value Analysis for closed product-form queueing networks —
 // the "analysis of closed queueing networks" Luthi's VU-lists target and
@@ -41,15 +39,20 @@ type MVAResult struct {
 // returns one result per population size.
 func MVA(stations []MVAStation, n int) ([]MVAResult, error) {
 	if len(stations) == 0 {
-		return nil, fmt.Errorf("queueing: mva needs at least one station")
+		return nil, badConfig("mva needs at least one station")
 	}
 	if n < 1 {
-		return nil, fmt.Errorf("queueing: mva needs a positive population, got %d", n)
+		return nil, badConfig("mva needs a positive population, got %d", n)
 	}
+	var total float64
 	for i, s := range stations {
-		if s.Demand < 0 {
-			return nil, fmt.Errorf("queueing: mva station %d (%s) has negative demand", i, s.Name)
+		if !validNum(s.Demand) || s.Demand < 0 {
+			return nil, badConfig("mva station %d (%s) has invalid demand %g", i, s.Name, s.Demand)
 		}
+		total += s.Demand
+	}
+	if total <= 0 {
+		return nil, badConfig("mva needs a positive total demand")
 	}
 	k := len(stations)
 	queue := make([]float64, k) // Q_i(N-1), starts at 0 for N=0
@@ -96,7 +99,7 @@ func Bottleneck(stations []MVAStation) (int, error) {
 		}
 	}
 	if best < 0 {
-		return 0, fmt.Errorf("queueing: no queueing station in the network")
+		return 0, badConfig("no queueing station in the network")
 	}
 	return best, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 	"dcmodel/internal/obs"
 	"dcmodel/internal/replay"
 	"dcmodel/internal/trace"
+	"dcmodel/internal/twin"
 )
 
 // Handler returns the daemon's HTTP handler (also used directly by the
@@ -29,6 +31,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("/v1/synthesize", s.instrumented("synthesize", s.handleSynthesize))
 	mux.HandleFunc("/v1/characterize", s.instrumented("characterize", s.handleCharacterize))
 	mux.HandleFunc("/v1/replay", s.instrumented("replay", s.handleReplay))
+	mux.HandleFunc("/v1/whatif", s.instrumented("whatif", s.handleWhatIf))
 	mux.HandleFunc("/v1/faults", s.timed("faults", s.handleFaults))
 	mux.HandleFunc("/v1/traces", s.timed("traces", s.handleTraces))
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -524,6 +527,107 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 			}
 			w.Write(buf.Bytes())
 		}
+	})
+}
+
+// whatifRequest is the JSON body of POST /v1/whatif: which warm model's
+// analytical twin answers, plus the closed-form query itself. The query
+// uses the twin package's stable snake_case field tags.
+type whatifRequest struct {
+	Model string     `json:"model"`
+	Query twin.Query `json:"query"`
+}
+
+// whatifResponse is the JSON shape of /v1/whatif. Field order, tags and the
+// deterministic twin arithmetic together make the response byte-stable for
+// a given warm generation and query.
+type whatifResponse struct {
+	Model     string      `json:"model"`
+	TrainedOn int         `json:"trained_on"`
+	Query     twin.Query  `json:"query"`
+	Answer    twin.Answer `json:"answer"`
+}
+
+// compileTwin lowers one warm model generation to its analytical twin on
+// the daemon's configured platform hardware. Fault scenarios degrade only
+// the replay platform, so the twin always answers about healthy hardware —
+// what-if exploration stays meaningful while a degraded regime is armed.
+func (s *Server) compileTwin(ms *modelSet, model string) (*twin.Twin, error) {
+	srv := s.cfg.Platform.NewServer()
+	if srv == nil {
+		return nil, fmt.Errorf("platform NewServer returned nil: %w", errs.ErrBadConfig)
+	}
+	switch model {
+	case "kooza":
+		return twin.CompileKooza(ms.Kooza, srv, s.cfg.Platform.Servers)
+	case "inbreadth":
+		return twin.CompileInBreadth(ms.InBreadth, srv, s.cfg.Platform.Servers)
+	case "indepth":
+		return twin.CompileInDepth(ms.InDepth)
+	default:
+		return nil, fmt.Errorf("model must be kooza, inbreadth or indepth, got %q: %w", model, errs.ErrBadConfig)
+	}
+}
+
+// handleWhatIf answers a closed-form what-if query against a warm model's
+// analytical twin. Unlike synthesis, characterization and replay, it does
+// NOT ride the bounded work queue: a twin evaluation is pure float
+// arithmetic that completes in microseconds, so what-if exploration stays
+// interactive even when the queue is saturated with simulations — that
+// contrast is the point of the twin. Backpressure still applies to the
+// expensive endpoints; this one only needs the closed/warm checks.
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.closed.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req whatifRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode query: %v", err)
+		return
+	}
+	if req.Model == "" {
+		req.Model = "kooza"
+	}
+	ms := s.model.Load()
+	if ms == nil {
+		httpError(w, http.StatusServiceUnavailable, "%v: ingest a trace first", errs.ErrModelNotTrained)
+		return
+	}
+	span := obs.SpanFrom(r.Context())
+	stop := s.stage(span, "whatif.compile")
+	tw, err := s.compileTwin(ms, req.Model)
+	stop()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, errs.ErrBadConfig) {
+			code = http.StatusBadRequest
+		}
+		httpError(w, code, "compile twin: %v", err)
+		return
+	}
+	stop = s.stage(span, "whatif.solve")
+	ans, err := tw.WhatIf(req.Query)
+	stop()
+	if err != nil {
+		// Twin queries fail only on invalid parameters; saturation is
+		// reported in-band (answer.stable == false), never as an error.
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	span.Annotate("solver=%s stable=%t", ans.Solver, ans.Stable)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(whatifResponse{
+		Model:     req.Model,
+		TrainedOn: ms.TrainedOn,
+		Query:     req.Query,
+		Answer:    ans,
 	})
 }
 

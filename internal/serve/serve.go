@@ -15,6 +15,7 @@
 //	GET  /v1/synthesize   generate a synthetic workload from a warm model
 //	GET  /v1/characterize cross-examination scorecard of the warm models
 //	POST /v1/replay       replay a streamed trace on the simulated platform
+//	POST /v1/whatif       closed-form what-if query against a warm model's analytical twin
 //	*    /v1/faults       fault-scenario admin: GET reports, POST arms, DELETE disarms
 //	GET  /metrics         plain-text counters, gauges and latency histograms
 //	GET  /healthz         liveness + model warmth + breaker/fault state

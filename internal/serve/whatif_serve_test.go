@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dcmodel/internal/gfs"
+	"dcmodel/internal/obs"
+	"dcmodel/internal/trace"
+	"dcmodel/internal/workload"
+)
+
+// whatifTrace is a gentler GFS workload than gfsTrace (40 req/s instead of
+// 200): the simulated cluster reports every request on one server, so the
+// compiled twin is single-server and the trained operating point must sit
+// well inside the stable region to leave headroom for load-scaling queries.
+func whatifTrace(t *testing.T, n int) *trace.Trace {
+	t.Helper()
+	cluster, err := gfs.NewCluster(gfs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := cluster.Run(gfs.RunConfig{
+		Mix:      workload.Table2Mix(),
+		Arrivals: workload.Poisson{Rate: 40},
+		Requests: n,
+	}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// postWhatIf sends one what-if query and returns the raw response.
+func postWhatIf(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/whatif", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestWhatIfEndpoint covers the request contract of POST /v1/whatif: cold
+// and bad inputs are rejected with the right statuses, and a warm daemon
+// answers every model's twin with a solved steady state.
+func TestWhatIfEndpoint(t *testing.T) {
+	s := newTestServer(t, quietConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Cold daemon: 503, like the other query endpoints.
+	resp, _ := postWhatIf(t, ts, `{"query":{"load_factor":2}}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cold whatif status = %d, want 503", resp.StatusCode)
+	}
+
+	if _, _, err := s.Ingest(whatifTrace(t, 400)); err != nil {
+		t.Fatal(err)
+	}
+
+	// GET is not allowed; the query rides the POST body.
+	getResp, err := http.Get(ts.URL + "/v1/whatif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET whatif status = %d, want 405", getResp.StatusCode)
+	}
+
+	for _, bad := range []string{
+		`{`,                            // malformed JSON
+		`{"model":"mystery"}`,          // unknown model
+		`{"unknown_field":1}`,          // unknown field
+		`{"query":{"load_factor":-2}}`, // invalid query parameter
+	} {
+		resp, body := postWhatIf(t, ts, bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("whatif %s status = %d (%s), want 400", bad, resp.StatusCode, body)
+		}
+	}
+
+	for _, model := range []string{"kooza", "inbreadth", "indepth"} {
+		resp, body := postWhatIf(t, ts, `{"model":"`+model+`","query":{"load_factor":2}}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s whatif status = %d (%s), want 200", model, resp.StatusCode, body)
+		}
+		var out struct {
+			Model     string `json:"model"`
+			TrainedOn int    `json:"trained_on"`
+			Answer    struct {
+				Solver              string  `json:"solver"`
+				Stable              bool    `json:"stable"`
+				MeanResponseSeconds float64 `json:"mean_response_seconds"`
+				Bottleneck          string  `json:"bottleneck"`
+			} `json:"answer"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("%s whatif decode: %v\n%s", model, err, body)
+		}
+		if out.Model != model || out.TrainedOn != 400 {
+			t.Errorf("%s whatif echo = %+v", model, out)
+		}
+		if !out.Answer.Stable || out.Answer.MeanResponseSeconds <= 0 || out.Answer.Solver == "" {
+			t.Errorf("%s whatif answer degenerate: %+v", model, out.Answer)
+		}
+	}
+
+	// The default model is kooza and saturation is reported in-band.
+	resp, body := postWhatIf(t, ts, `{"query":{"load_factor":1e9}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("saturated whatif status = %d (%s), want 200 with stable=false", resp.StatusCode, body)
+	}
+	var sat struct {
+		Model  string `json:"model"`
+		Answer struct {
+			Stable bool `json:"stable"`
+		} `json:"answer"`
+	}
+	if err := json.Unmarshal(body, &sat); err != nil {
+		t.Fatal(err)
+	}
+	if sat.Model != "kooza" || sat.Answer.Stable {
+		t.Errorf("saturated whatif = %+v, want default kooza model, stable=false", sat)
+	}
+}
+
+// TestWhatIfByteStable pins the wire determinism contract: the same query
+// against the same warm generation returns byte-identical responses, every
+// time, for every model — the twin is pure float arithmetic with no RNG.
+func TestWhatIfByteStable(t *testing.T) {
+	s := newTestServer(t, quietConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if _, _, err := s.Ingest(whatifTrace(t, 400)); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`{"query":{}}`,
+		`{"query":{"load_factor":2}}`,
+		`{"model":"inbreadth","query":{"rate_per_sec":120}}`,
+		`{"model":"indepth","query":{"users":4,"think_seconds":0.01}}`,
+		`{"query":{"slo":{"quantile":0.95,"target_seconds":0.05}}}`,
+	}
+	for _, q := range queries {
+		var first []byte
+		for i := 0; i < 5; i++ {
+			resp, body := postWhatIf(t, ts, q)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("whatif %s status = %d (%s)", q, resp.StatusCode, body)
+			}
+			if i == 0 {
+				first = body
+				continue
+			}
+			if !bytes.Equal(body, first) {
+				t.Fatalf("whatif %s response drifted between calls:\n%s\nvs\n%s", q, first, body)
+			}
+		}
+	}
+}
+
+// TestWhatIfClosedForm asserts the fast-path claim with the daemon's own
+// stage metrics: answering what-if queries runs the twin compile and solve
+// stages but never a discrete-event replay, and it bypasses the bounded
+// work queue entirely (no queue.wait stage).
+func TestWhatIfClosedForm(t *testing.T) {
+	cfg := quietConfig()
+	o := obs.DefaultOptions()
+	cfg.Obs = &o
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if _, _, err := s.Ingest(whatifTrace(t, 400)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		resp, body := postWhatIf(t, ts, `{"query":{"load_factor":3}}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("whatif status = %d (%s)", resp.StatusCode, body)
+		}
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(mb)
+	for _, want := range []string{`stage="whatif.compile"`, `stage="whatif.solve"`} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %s after whatif queries", want)
+		}
+	}
+	for _, wantAbsent := range []string{`stage="replay"`, `stage="queue.wait"`} {
+		if strings.Contains(metrics, wantAbsent) {
+			t.Errorf("metrics report %s — whatif must not touch the simulator or the work queue", wantAbsent)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package twin compiles trained workload models into closed-form
+// queueing-network approximations — an "analytical twin" that sits beside
+// every simulation path in the repo. Where replay and the GFS simulator
+// answer performance questions by executing requests, a twin answers them
+// with queueing formulas: arrival rates come from the model's fitted
+// arrival process, per-station service demands come from pushing the
+// model's feature distributions through the platform's hardware cost
+// functions, and the solver (Jackson tandem, G/G/1 with QNA-style
+// variability propagation, or exact MVA for closed loops) is selected by
+// the workload's shape.
+//
+// The twin's contract is determinism: compilation and evaluation use pure
+// float arithmetic — distribution moments, Markov stationary vectors and
+// queueing formulas — and never draw a random number. The same model and
+// query always produce the identical answer, byte for byte, regardless of
+// GOMAXPROCS or call count. That is what makes the what-if path cheap
+// enough to serve interactively (the /v1/whatif endpoint bypasses the
+// daemon's simulation worker pool entirely) and reproducible enough to pin
+// with golden tests.
+package twin
+
+import (
+	"fmt"
+
+	"dcmodel/internal/errs"
+	"dcmodel/internal/trace"
+)
+
+// Station is one service station of the compiled queueing network: a
+// subsystem of one server, with the aggregate per-request service demand
+// (seconds a request occupies the station summed over all its visits) and
+// the squared coefficient of variation of that demand.
+type Station struct {
+	// Subsystem identifies the hardware station.
+	Subsystem trace.Subsystem
+	// Name is the subsystem's human label ("network", "cpu", ...).
+	Name string
+	// Demand is the mean per-request service demand in seconds.
+	Demand float64
+	// SCV is the squared coefficient of variation (Var/Mean^2) of the
+	// per-request demand; 0 for deterministic or zero-demand stations.
+	SCV float64
+}
+
+// Twin is a compiled analytical twin: the queueing-network intermediate
+// representation every trained model lowers to. It is immutable after
+// Compile; WhatIf evaluations share one Twin freely across goroutines.
+type Twin struct {
+	// Approach names the source model ("KOOZA", "in-breadth", "in-depth").
+	Approach string
+	// Lambda is the trained aggregate arrival rate in requests/second.
+	Lambda float64
+	// ArrivalSCV is the squared coefficient of variation of the trained
+	// interarrival process (1 for Poisson).
+	ArrivalSCV float64
+	// Stations holds the four subsystem stations in canonical trace order
+	// (network, cpu, memory, storage). Zero-demand stations are retained
+	// so indices are stable.
+	Stations []Station
+	// Servers is the server count the twin was compiled against.
+	Servers int
+	// Shares is the trained per-server traffic split, hottest server
+	// first, summing to 1. A single-server twin has Shares == [1].
+	Shares []float64
+}
+
+// badConfig wraps a compile/query validation failure with the shared
+// errs.ErrBadConfig sentinel so callers can errors.Is it.
+func badConfig(format string, args ...any) error {
+	return fmt.Errorf("twin: "+format+": %w", append(args, errs.ErrBadConfig)...)
+}
+
+// TotalDemand returns the sum of station demands — the no-contention
+// response-time floor.
+func (t *Twin) TotalDemand() float64 {
+	var sum float64
+	for _, s := range t.Stations {
+		sum += s.Demand
+	}
+	return sum
+}
+
+// MaxDemand returns the bottleneck station demand D_max; 1/D_max bounds
+// the sustainable per-server throughput.
+func (t *Twin) MaxDemand() float64 {
+	var max float64
+	for _, s := range t.Stations {
+		if s.Demand > max {
+			max = s.Demand
+		}
+	}
+	return max
+}
+
+// validate checks the compiled invariants (used by tests and WhatIf).
+func (t *Twin) validate() error {
+	if t == nil {
+		return badConfig("nil twin")
+	}
+	if !(t.Lambda > 0) {
+		return badConfig("twin needs a positive arrival rate, got %g", t.Lambda)
+	}
+	if t.TotalDemand() <= 0 {
+		return badConfig("twin has no positive station demand")
+	}
+	if t.Servers < 1 || len(t.Shares) == 0 {
+		return badConfig("twin needs >= 1 server with traffic shares")
+	}
+	return nil
+}

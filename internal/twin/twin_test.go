@@ -1,0 +1,319 @@
+package twin
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"dcmodel/internal/errs"
+	"dcmodel/internal/hw"
+	"dcmodel/internal/inbreadth"
+	"dcmodel/internal/indepth"
+	"dcmodel/internal/kooza"
+	"dcmodel/internal/trace"
+)
+
+// testTrace builds a deterministic hand-made workload: 200 requests, one
+// class, the canonical net-cpu-mem-storage-net path, 10 req/s.
+func testTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := &trace.Trace{}
+	for i := 0; i < 200; i++ {
+		arr := float64(i) * 0.1
+		lbn := int64((i % 7) * 1000)
+		req := trace.Request{
+			ID:      int64(i),
+			Class:   "get",
+			Server:  i % 2,
+			Arrival: arr,
+			Spans: []trace.Span{
+				{Subsystem: trace.Network, Start: arr, Duration: 1e-4, Bytes: int64(500 + 10*(i%5))},
+				{Subsystem: trace.CPU, Start: arr + 1e-4, Duration: 2e-4, Bytes: 4096, Util: 0.5},
+				{Subsystem: trace.Memory, Start: arr + 3e-4, Duration: 1e-6, Bytes: 64, Bank: i % 4},
+				{Subsystem: trace.Storage, Start: arr + 4e-4, Duration: 5e-3, Bytes: 8192, LBN: lbn},
+				{Subsystem: trace.Network, Start: arr + 6e-3, Duration: 1e-4, Bytes: int64(8192 + 100*(i%3))},
+			},
+		}
+		tr.Requests = append(tr.Requests, req)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("test trace invalid: %v", err)
+	}
+	return tr
+}
+
+func koozaTwin(t *testing.T) *Twin {
+	t.Helper()
+	m, err := kooza.Train(testTrace(t), kooza.Options{})
+	if err != nil {
+		t.Fatalf("kooza train: %v", err)
+	}
+	tw, err := CompileKooza(m, hw.DefaultServer(), 2)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return tw
+}
+
+func TestCompileKooza(t *testing.T) {
+	tw := koozaTwin(t)
+	if tw.Approach != "KOOZA" {
+		t.Fatalf("approach %q", tw.Approach)
+	}
+	if math.Abs(tw.Lambda-10) > 1 {
+		t.Fatalf("lambda %g, want ~10", tw.Lambda)
+	}
+	if len(tw.Stations) != 4 {
+		t.Fatalf("stations %d", len(tw.Stations))
+	}
+	for _, s := range tw.Stations {
+		if s.Demand <= 0 {
+			t.Errorf("station %s has demand %g, want > 0", s.Name, s.Demand)
+		}
+	}
+	// Storage dominates this workload (seek + rotation vs microsecond
+	// network/cpu work).
+	if tw.MaxDemand() != tw.Stations[trace.Storage].Demand {
+		t.Errorf("bottleneck is %v, want storage", tw.Stations)
+	}
+	if tw.Servers != 2 || len(tw.Shares) != 2 {
+		t.Errorf("servers %d shares %v, want 2-server layout", tw.Servers, tw.Shares)
+	}
+	if math.Abs(tw.Shares[0]+tw.Shares[1]-1) > 1e-12 {
+		t.Errorf("shares %v do not sum to 1", tw.Shares)
+	}
+}
+
+func TestCompileInBreadthAndInDepth(t *testing.T) {
+	tr := testTrace(t)
+	bm, err := inbreadth.Train(tr, inbreadth.Options{})
+	if err != nil {
+		t.Fatalf("inbreadth train: %v", err)
+	}
+	bt, err := CompileInBreadth(bm, hw.DefaultServer(), 1)
+	if err != nil {
+		t.Fatalf("inbreadth compile: %v", err)
+	}
+	if bt.TotalDemand() <= 0 || bt.Lambda <= 0 {
+		t.Fatalf("inbreadth twin degenerate: %+v", bt)
+	}
+	dm, err := indepth.Train(tr)
+	if err != nil {
+		t.Fatalf("indepth train: %v", err)
+	}
+	dt, err := CompileInDepth(dm)
+	if err != nil {
+		t.Fatalf("indepth compile: %v", err)
+	}
+	// In-depth is self-timed: its demand must reproduce the recorded
+	// per-request service total (~6.4 ms in testTrace).
+	want := 1e-4 + 2e-4 + 1e-6 + 5e-3 + 1e-4
+	if math.Abs(dt.TotalDemand()-want) > 1e-6 {
+		t.Fatalf("indepth demand %g, want %g", dt.TotalDemand(), want)
+	}
+}
+
+func TestWhatIfDeterministic(t *testing.T) {
+	tw := koozaTwin(t)
+	q := Query{LoadFactor: 2, SLO: &SLO{Quantile: 0.95, TargetSeconds: 0.05}}
+	a1, err := tw.WhatIf(q)
+	if err != nil {
+		t.Fatalf("whatif: %v", err)
+	}
+	j1, _ := json.Marshal(a1)
+	for i := 0; i < 10; i++ {
+		a2, err := tw.WhatIf(q)
+		if err != nil {
+			t.Fatalf("whatif repeat: %v", err)
+		}
+		j2, _ := json.Marshal(a2)
+		if string(j1) != string(j2) {
+			t.Fatalf("answers diverged:\n%s\n%s", j1, j2)
+		}
+	}
+}
+
+func TestWhatIfLoadMonotone(t *testing.T) {
+	tw := koozaTwin(t)
+	prev := 0.0
+	for _, lf := range []float64{0.5, 1, 1.5, 2} {
+		a, err := tw.WhatIf(Query{LoadFactor: lf})
+		if err != nil {
+			t.Fatalf("load %g: %v", lf, err)
+		}
+		if !a.Stable {
+			t.Fatalf("load %g unexpectedly unstable (util %g)", lf, a.BottleneckUtilization)
+		}
+		if a.MeanResponseSeconds <= prev {
+			t.Fatalf("mean response not increasing: %g then %g at load %g", prev, a.MeanResponseSeconds, lf)
+		}
+		if a.P95Seconds < a.P50Seconds || a.P99Seconds < a.P95Seconds {
+			t.Fatalf("quantiles out of order: %+v", a)
+		}
+		if a.MeanResponseSeconds < tw.TotalDemand() {
+			t.Fatalf("response %g below demand floor %g", a.MeanResponseSeconds, tw.TotalDemand())
+		}
+		prev = a.MeanResponseSeconds
+	}
+}
+
+func TestWhatIfSaturation(t *testing.T) {
+	tw := koozaTwin(t)
+	a, err := tw.WhatIf(Query{LoadFactor: 1000})
+	if err != nil {
+		t.Fatalf("whatif: %v", err)
+	}
+	if a.Stable {
+		t.Fatalf("1000x load should saturate, got %+v", a)
+	}
+	if a.BottleneckUtilization < 1 {
+		t.Fatalf("unstable answer reports utilization %g < 1", a.BottleneckUtilization)
+	}
+	if a.MeanResponseSeconds != 0 || a.ThroughputPerSec != 0 {
+		t.Fatalf("unstable answer must zero its steady-state fields: %+v", a)
+	}
+}
+
+func TestWhatIfServersDown(t *testing.T) {
+	tw := koozaTwin(t)
+	base, err := tw.WhatIf(Query{})
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	down, err := tw.WhatIf(Query{ServersDown: 1})
+	if err != nil {
+		t.Fatalf("down: %v", err)
+	}
+	if down.Servers != base.Servers-1 {
+		t.Fatalf("surviving servers %d, want %d", down.Servers, base.Servers-1)
+	}
+	if down.Stable && down.MeanResponseSeconds <= base.MeanResponseSeconds {
+		t.Fatalf("losing a server should not speed things up: %g -> %g",
+			base.MeanResponseSeconds, down.MeanResponseSeconds)
+	}
+	if _, err := tw.WhatIf(Query{ServersDown: tw.Servers}); !errors.Is(err, errs.ErrBadConfig) {
+		t.Fatalf("losing every server should be ErrBadConfig, got %v", err)
+	}
+}
+
+func TestWhatIfSLOSearch(t *testing.T) {
+	tw := koozaTwin(t)
+	slo := SLO{Quantile: 0.95, TargetSeconds: 2 * tw.TotalDemand()}
+	a, err := tw.WhatIf(Query{LoadFactor: 30, SLO: &slo})
+	if err != nil {
+		t.Fatalf("whatif: %v", err)
+	}
+	if !a.SLOMet || a.ServersForSLO < 1 {
+		t.Fatalf("slo search failed: %+v", a)
+	}
+	// The found size must actually meet the objective...
+	at, err := tw.WhatIf(Query{LoadFactor: 30, Servers: a.ServersForSLO})
+	if err != nil {
+		t.Fatalf("at found size: %v", err)
+	}
+	if !at.Stable || at.P95Seconds > slo.TargetSeconds {
+		t.Fatalf("found size %d does not meet slo: %+v", a.ServersForSLO, at)
+	}
+	// ...and be minimal (one fewer server misses it or saturates).
+	if a.ServersForSLO > 1 {
+		under, err := tw.WhatIf(Query{LoadFactor: 30, Servers: a.ServersForSLO - 1})
+		if err != nil {
+			t.Fatalf("under size: %v", err)
+		}
+		if under.Stable && under.P95Seconds <= slo.TargetSeconds {
+			t.Fatalf("size %d already meets slo, search returned %d", a.ServersForSLO-1, a.ServersForSLO)
+		}
+	}
+	// An impossible objective is reported, not erred.
+	impossible, err := tw.WhatIf(Query{SLO: &SLO{Quantile: 0.95, TargetSeconds: tw.TotalDemand() / 100, MaxServers: 8}})
+	if err != nil {
+		t.Fatalf("impossible slo: %v", err)
+	}
+	if impossible.SLOMet || impossible.ServersForSLO != 0 {
+		t.Fatalf("sub-demand slo cannot be met: %+v", impossible)
+	}
+}
+
+func TestWhatIfClosedLoop(t *testing.T) {
+	tw := koozaTwin(t)
+	a, err := tw.WhatIf(Query{Users: 8, ThinkSeconds: 0.1})
+	if err != nil {
+		t.Fatalf("closed: %v", err)
+	}
+	if a.Solver != "mva" || !a.Stable {
+		t.Fatalf("closed answer: %+v", a)
+	}
+	if a.ThroughputPerSec <= 0 {
+		t.Fatalf("closed throughput %g", a.ThroughputPerSec)
+	}
+	// Asymptotic bound: X <= servers / D_max.
+	bound := float64(a.Servers) / tw.MaxDemand()
+	if a.ThroughputPerSec > bound+1e-9 {
+		t.Fatalf("throughput %g exceeds bound %g", a.ThroughputPerSec, bound)
+	}
+	// More users cannot lower throughput (closed networks are monotone).
+	b, err := tw.WhatIf(Query{Users: 32, ThinkSeconds: 0.1})
+	if err != nil {
+		t.Fatalf("closed 32: %v", err)
+	}
+	if b.ThroughputPerSec < a.ThroughputPerSec {
+		t.Fatalf("throughput fell with more users: %g -> %g", a.ThroughputPerSec, b.ThroughputPerSec)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	tw := koozaTwin(t)
+	bad := []Query{
+		{LoadFactor: math.NaN()},
+		{LoadFactor: math.Inf(1)},
+		{LoadFactor: 2, RatePerSec: 50},
+		{Servers: -1},
+		{Users: 2, LoadFactor: 2},
+		{ThinkSeconds: 0.5},
+		{SLO: &SLO{Quantile: 1.5, TargetSeconds: 1}},
+		{SLO: &SLO{Quantile: 0.95, TargetSeconds: 0}},
+	}
+	for i, q := range bad {
+		if _, err := tw.WhatIf(q); !errors.Is(err, errs.ErrBadConfig) {
+			t.Errorf("query %d (%+v): want ErrBadConfig, got %v", i, q, err)
+		}
+	}
+}
+
+func TestSolverSelection(t *testing.T) {
+	// Near-Markovian shape picks the exact Jackson tandem.
+	exp := &Twin{
+		Approach: "t", Lambda: 10, ArrivalSCV: 1,
+		Stations: []Station{{Subsystem: trace.CPU, Name: "cpu", Demand: 0.01, SCV: 1}},
+		Servers:  1, Shares: []float64{1},
+	}
+	if s := exp.openSolver(); s != "jackson" {
+		t.Errorf("exponential shape picked %q", s)
+	}
+	// M/M/1 cross-check: R = 1/(mu - lambda).
+	a, err := exp.WhatIf(Query{})
+	if err != nil {
+		t.Fatalf("whatif: %v", err)
+	}
+	if want := 1 / (100.0 - 10.0); math.Abs(a.MeanResponseSeconds-want) > 1e-12 {
+		t.Errorf("mm1 response %g, want %g", a.MeanResponseSeconds, want)
+	}
+	// High-variability shape falls back to Kingman.
+	bursty := &Twin{
+		Approach: "t", Lambda: 10, ArrivalSCV: 4,
+		Stations: []Station{{Subsystem: trace.CPU, Name: "cpu", Demand: 0.01, SCV: 9}},
+		Servers:  1, Shares: []float64{1},
+	}
+	if s := bursty.openSolver(); s != "gg1" {
+		t.Errorf("bursty shape picked %q", s)
+	}
+	b, err := bursty.WhatIf(Query{})
+	if err != nil {
+		t.Fatalf("whatif bursty: %v", err)
+	}
+	if b.MeanResponseSeconds <= a.MeanResponseSeconds {
+		t.Errorf("burstier workload should wait longer: %g vs %g",
+			b.MeanResponseSeconds, a.MeanResponseSeconds)
+	}
+}

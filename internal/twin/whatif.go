@@ -1,0 +1,528 @@
+package twin
+
+import (
+	"fmt"
+	"math"
+
+	"dcmodel/internal/queueing"
+)
+
+// SLO is a latency service-level objective for provisioning queries:
+// "how many servers keep the p<Quantile> under TargetSeconds?".
+type SLO struct {
+	// Quantile is the latency percentile, in (0, 1), e.g. 0.95.
+	Quantile float64 `json:"quantile"`
+	// TargetSeconds is the latency bound at that percentile.
+	TargetSeconds float64 `json:"target_seconds"`
+	// MaxServers bounds the provisioning search (default 4096).
+	MaxServers int `json:"max_servers,omitempty"`
+}
+
+// Query is one what-if question against a compiled twin. The zero value
+// asks "what does the trained workload look like on the trained platform".
+// All fields compose: e.g. {LoadFactor: 2, ServersDown: 1} asks what
+// happens when load doubles while a server is lost.
+type Query struct {
+	// LoadFactor scales the trained arrival rate (2 = "load doubles").
+	// 0 means 1. Mutually exclusive with RatePerSec.
+	LoadFactor float64 `json:"load_factor,omitempty"`
+	// RatePerSec replaces the trained arrival rate outright.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Servers overrides the compiled server count. Capacity overrides
+	// assume a rebalanced cluster (uniform traffic split).
+	Servers int `json:"servers,omitempty"`
+	// ServersDown removes servers ("a rack fails"): the hottest
+	// ServersDown servers fail and their traffic redistributes evenly
+	// over the survivors.
+	ServersDown int `json:"servers_down,omitempty"`
+	// Users switches to a closed loop: this many clients circulate, each
+	// thinking ThinkSeconds between requests, and the arrival-rate fields
+	// must be left zero. Solved by exact MVA.
+	Users int `json:"users,omitempty"`
+	// ThinkSeconds is the closed-loop think time (requires Users > 0).
+	ThinkSeconds float64 `json:"think_seconds,omitempty"`
+	// SLO, when set, additionally searches for the smallest (balanced)
+	// server count meeting the objective at the queried load.
+	SLO *SLO `json:"slo,omitempty"`
+}
+
+// StationLoad is one station of the answer, reported from the hottest
+// server's perspective (the twin's tail and bottleneck view).
+type StationLoad struct {
+	Name             string  `json:"name"`
+	DemandSeconds    float64 `json:"demand_seconds"`
+	Utilization      float64 `json:"utilization"`
+	ResidenceSeconds float64 `json:"residence_seconds"`
+}
+
+// Answer is the closed-form result of one what-if query. Field names and
+// JSON tags are a stable wire contract (served verbatim by /v1/whatif).
+type Answer struct {
+	// Approach names the model the twin was compiled from.
+	Approach string `json:"approach"`
+	// Solver records the closed-form method used: "jackson", "gg1" or
+	// "mva".
+	Solver string `json:"solver"`
+	// LambdaPerSec is the evaluated aggregate arrival rate (closed-loop
+	// answers report the achieved throughput here too).
+	LambdaPerSec float64 `json:"lambda_per_sec"`
+	// Servers is the surviving server count the answer describes.
+	Servers int `json:"servers"`
+	// Stable is false when some station saturates; response fields are
+	// zero then (an unstable open queue has no steady state).
+	Stable bool `json:"stable"`
+	// Bottleneck names the highest-utilization station.
+	Bottleneck string `json:"bottleneck"`
+	// BottleneckUtilization is that station's utilization on the hottest
+	// server (may exceed 1 when unstable).
+	BottleneckUtilization float64 `json:"bottleneck_utilization"`
+	// MeanResponseSeconds is the traffic-weighted mean response time.
+	MeanResponseSeconds float64 `json:"mean_response_seconds"`
+	// P50/P95/P99Seconds approximate the latency percentiles on the
+	// hottest server (bottleneck-exponential tail approximation).
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	// ThroughputPerSec is the sustained completion rate.
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	// Stations details the hottest server's per-station load.
+	Stations []StationLoad `json:"stations"`
+	// ServersForSLO is the smallest balanced server count meeting the
+	// query's SLO (0 when no SLO was asked or none found within bounds).
+	ServersForSLO int `json:"servers_for_slo,omitempty"`
+	// SLOMet reports whether the search found a feasible count.
+	SLOMet bool `json:"slo_met,omitempty"`
+}
+
+// scvTol is the near-Markovian band: when the arrival and every service
+// SCV sit within [1-scvTol, 1+scvTol], the exact M/M/1 tandem (Jackson)
+// solution is used instead of the Kingman G/G/1 approximation.
+const scvTol = 0.3
+
+// defaultSLOMaxServers bounds the provisioning search when the query does
+// not set SLO.MaxServers.
+const defaultSLOMaxServers = 4096
+
+// WhatIf answers a query in closed form. It is deterministic — pure float
+// arithmetic, no sampling — and cheap (microseconds), so it is safe to
+// call on interactive paths. Structural problems (a query that contradicts
+// itself, a twin with no demand) return errors wrapping errs.ErrBadConfig;
+// saturation is NOT an error: it comes back as Answer.Stable == false.
+func (t *Twin) WhatIf(q Query) (Answer, error) {
+	if err := t.validate(); err != nil {
+		return Answer{}, err
+	}
+	if err := validateQuery(q); err != nil {
+		return Answer{}, err
+	}
+	servers := t.Servers
+	if q.Servers > 0 {
+		servers = q.Servers
+	}
+	if q.ServersDown >= servers {
+		return Answer{}, badConfig("servers_down %d leaves no surviving server of %d", q.ServersDown, servers)
+	}
+	shares := t.queryShares(servers, q.ServersDown, q.Servers)
+	ans := Answer{Approach: t.Approach, Servers: len(shares)}
+	if q.Users > 0 {
+		ans.Solver = "mva"
+		res, err := t.evalClosed(q.Users, q.ThinkSeconds, len(shares))
+		if err != nil {
+			return Answer{}, err
+		}
+		res.fill(&ans)
+	} else {
+		lambda := t.Lambda
+		if q.RatePerSec > 0 {
+			lambda = q.RatePerSec
+		} else if q.LoadFactor > 0 {
+			lambda *= q.LoadFactor
+		}
+		ans.Solver = t.openSolver()
+		res, err := t.evalOpen(lambda, shares, ans.Solver)
+		if err != nil {
+			return Answer{}, err
+		}
+		res.fill(&ans)
+	}
+	if q.SLO != nil {
+		n, err := t.sizeForSLO(q, *q.SLO)
+		if err != nil {
+			return Answer{}, err
+		}
+		ans.ServersForSLO = n
+		ans.SLOMet = n > 0
+	}
+	return ans, nil
+}
+
+func validateQuery(q Query) error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"load_factor", q.LoadFactor},
+		{"rate_per_sec", q.RatePerSec},
+		{"think_seconds", q.ThinkSeconds},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return badConfig("%s must be finite and non-negative, got %g", f.name, f.v)
+		}
+	}
+	if q.LoadFactor > 0 && q.RatePerSec > 0 {
+		return badConfig("load_factor and rate_per_sec are mutually exclusive")
+	}
+	if q.Servers < 0 || q.ServersDown < 0 || q.Users < 0 {
+		return badConfig("servers/servers_down/users must be non-negative")
+	}
+	if q.Users > 0 && (q.LoadFactor > 0 || q.RatePerSec > 0) {
+		return badConfig("a closed-loop query (users > 0) fixes its own rate; drop load_factor/rate_per_sec")
+	}
+	if q.ThinkSeconds > 0 && q.Users == 0 {
+		return badConfig("think_seconds requires users > 0")
+	}
+	if s := q.SLO; s != nil {
+		if !(s.Quantile > 0 && s.Quantile < 1) {
+			return badConfig("slo quantile must be in (0, 1), got %g", s.Quantile)
+		}
+		if math.IsNaN(s.TargetSeconds) || math.IsInf(s.TargetSeconds, 0) || s.TargetSeconds <= 0 {
+			return badConfig("slo target must be positive and finite, got %g", s.TargetSeconds)
+		}
+		if s.MaxServers < 0 {
+			return badConfig("slo max_servers must be non-negative")
+		}
+	}
+	return nil
+}
+
+// queryShares derives the per-server traffic split for a query: the
+// trained layout when untouched, hottest-first failure with even
+// redistribution for ServersDown, and a uniform split when the server
+// count is overridden (capacity questions assume rebalancing).
+func (t *Twin) queryShares(servers, down, override int) []float64 {
+	if override > 0 && override != t.Servers {
+		return uniformShares(servers - down)
+	}
+	shares := append([]float64(nil), t.Shares...)
+	for len(shares) < servers {
+		shares = append(shares, 0)
+	}
+	if down == 0 {
+		return shares
+	}
+	// Shares are sorted hottest-first; the first `down` fail.
+	var failed float64
+	for i := 0; i < down; i++ {
+		failed += shares[i]
+	}
+	survivors := shares[down:]
+	out := make([]float64, len(survivors))
+	spread := failed / float64(len(survivors))
+	for i, s := range survivors {
+		out[i] = s + spread
+	}
+	// Redistribution can reorder hotness; restore hottest-first.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] > out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func uniformShares(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1 / float64(n)
+	}
+	return out
+}
+
+// openSolver selects the open-network method by workload shape.
+func (t *Twin) openSolver() string {
+	if math.Abs(t.ArrivalSCV-1) > scvTol {
+		return "gg1"
+	}
+	for _, s := range t.Stations {
+		if s.Demand > 0 && math.Abs(s.SCV-1) > scvTol {
+			return "gg1"
+		}
+	}
+	return "jackson"
+}
+
+// evalResult is one evaluation of the network at a fixed configuration.
+type evalResult struct {
+	lambda     float64
+	stable     bool
+	bottleneck string
+	util       float64
+	mean       float64
+	p50        float64
+	p95        float64
+	p99        float64
+	throughput float64
+	stations   []StationLoad
+}
+
+func (r evalResult) fill(a *Answer) {
+	a.LambdaPerSec = r.lambda
+	a.Stable = r.stable
+	a.Bottleneck = r.bottleneck
+	a.BottleneckUtilization = r.util
+	a.MeanResponseSeconds = r.mean
+	a.P50Seconds = r.p50
+	a.P95Seconds = r.p95
+	a.P99Seconds = r.p99
+	a.ThroughputPerSec = r.throughput
+	a.Stations = r.stations
+}
+
+// evalOpen evaluates the open tandem network: each server is a chain of
+// its subsystem stations fed lambda*share; the system mean is the
+// traffic-weighted mean over servers and the tail view comes from the
+// hottest server.
+func (t *Twin) evalOpen(lambda float64, shares []float64, solver string) (evalResult, error) {
+	res := evalResult{lambda: lambda, throughput: lambda}
+	// Saturation check up front (shares are hottest-first, so server 0
+	// governs): report utilizations but no steady-state times when
+	// saturated.
+	hot := lambda * shares[0]
+	res.stations = make([]StationLoad, 0, len(t.Stations))
+	for _, s := range t.Stations {
+		res.stations = append(res.stations, StationLoad{
+			Name:          s.Name,
+			DemandSeconds: s.Demand,
+			Utilization:   hot * s.Demand,
+		})
+	}
+	bn := 0
+	for i, s := range res.stations {
+		if s.Utilization > res.stations[bn].Utilization {
+			bn = i
+		}
+	}
+	res.bottleneck = res.stations[bn].Name
+	res.util = res.stations[bn].Utilization
+	if res.util >= 1 {
+		res.stable = false
+		res.throughput = 0
+		return res, nil
+	}
+	res.stable = true
+	var meanSum float64
+	var hotResidence []float64
+	for si, share := range shares {
+		if share <= 0 {
+			continue
+		}
+		residence, err := t.serverResidence(lambda*share, solver)
+		if err != nil {
+			return evalResult{}, err
+		}
+		var total float64
+		for _, r := range residence {
+			total += r
+		}
+		meanSum += share * total
+		if si == 0 {
+			hotResidence = residence
+		}
+	}
+	res.mean = meanSum
+	for i := range res.stations {
+		res.stations[i].ResidenceSeconds = hotResidence[i]
+	}
+	demand := t.demands()
+	res.p50 = tailQuantile(hotResidence, demand, 0.50)
+	res.p95 = tailQuantile(hotResidence, demand, 0.95)
+	res.p99 = tailQuantile(hotResidence, demand, 0.99)
+	return res, nil
+}
+
+// demands returns the station demand vector (index-aligned with Stations).
+func (t *Twin) demands() []float64 {
+	out := make([]float64, len(t.Stations))
+	for i, s := range t.Stations {
+		out[i] = s.Demand
+	}
+	return out
+}
+
+// serverResidence computes one server's per-station residence times
+// (demand + queueing) at arrival rate lam, composing internal/queueing's
+// analytic solvers. "jackson" treats every station as M/M/1 (exact for a
+// Poisson-fed tandem of exponential stations); "gg1" uses Kingman's
+// approximation with QNA-style departure-SCV propagation between stations.
+func (t *Twin) serverResidence(lam float64, solver string) ([]float64, error) {
+	residence := make([]float64, len(t.Stations))
+	ca2 := t.ArrivalSCV
+	for i, s := range t.Stations {
+		if s.Demand <= 0 {
+			continue
+		}
+		switch solver {
+		case "jackson":
+			q, err := queueing.NewMM1(lam, 1/s.Demand)
+			if err != nil {
+				return nil, fmt.Errorf("twin: station %s: %w", s.Name, err)
+			}
+			residence[i] = q.MeanResponse()
+		default:
+			q, err := queueing.NewGG1(lam, ca2, s.Demand, s.SCV)
+			if err != nil {
+				return nil, fmt.Errorf("twin: station %s: %w", s.Name, err)
+			}
+			residence[i] = q.MeanResponse()
+			// Marshall/QNA departure variability feeds the next station.
+			rho := q.Utilization()
+			ca2 = (1-rho*rho)*ca2 + rho*rho*s.SCV
+		}
+	}
+	return residence, nil
+}
+
+// evalClosed solves the closed loop by exact MVA: users split as evenly
+// as possible over the servers, each server is a chain of its stations
+// plus the think-time delay station.
+func (t *Twin) evalClosed(users int, think float64, servers int) (evalResult, error) {
+	stations := make([]queueing.MVAStation, 0, len(t.Stations)+1)
+	for _, s := range t.Stations {
+		stations = append(stations, queueing.MVAStation{Name: s.Name, Demand: s.Demand})
+	}
+	if think > 0 {
+		stations = append(stations, queueing.MVAStation{Name: "think", Demand: think, Delay: true})
+	}
+	res := evalResult{stable: true}
+	// Populations per server: the first (users % servers) servers take one
+	// extra user; the hottest-server view is the first.
+	base, extra := users/servers, users%servers
+	var sumX, sumWeightedResp float64
+	var hot *queueing.MVAResult
+	for si := 0; si < servers; si++ {
+		pop := base
+		if si < extra {
+			pop++
+		}
+		if pop == 0 {
+			continue
+		}
+		rows, err := queueing.MVA(stations, pop)
+		if err != nil {
+			return evalResult{}, fmt.Errorf("twin: %w", err)
+		}
+		last := rows[len(rows)-1]
+		sumX += last.Throughput
+		resp := last.ResponseTime - think // user-perceived, think excluded
+		sumWeightedResp += float64(pop) / float64(users) * resp
+		if hot == nil {
+			h := last
+			hot = &h
+		}
+	}
+	res.lambda = sumX
+	res.throughput = sumX
+	res.mean = sumWeightedResp
+	hotResidence := make([]float64, len(t.Stations))
+	copy(hotResidence, hot.StationResp[:len(t.Stations)])
+	hotX := hot.Throughput
+	res.stations = make([]StationLoad, 0, len(t.Stations))
+	for i, s := range t.Stations {
+		res.stations = append(res.stations, StationLoad{
+			Name:             s.Name,
+			DemandSeconds:    s.Demand,
+			Utilization:      hotX * s.Demand,
+			ResidenceSeconds: hotResidence[i],
+		})
+	}
+	bn := 0
+	for i, s := range res.stations {
+		if s.Utilization > res.stations[bn].Utilization {
+			bn = i
+		}
+	}
+	res.bottleneck = res.stations[bn].Name
+	res.util = res.stations[bn].Utilization
+	demand := t.demands()
+	res.p50 = tailQuantile(hotResidence, demand, 0.50)
+	res.p95 = tailQuantile(hotResidence, demand, 0.95)
+	res.p99 = tailQuantile(hotResidence, demand, 0.99)
+	return res, nil
+}
+
+// tailQuantile approximates the p-quantile of the end-to-end response:
+// the mean plus an exponential tail on the largest station *wait* (the
+// dominant stochastic term of a tandem's tail), q(p) = R + W_b *
+// (-ln(1-p) - 1). At idle every wait is zero and the quantiles collapse
+// onto the deterministic demand floor, which is exact; under load the
+// bottleneck's wait spreads the tail like the M/M/1 sojourn does.
+func tailQuantile(residence, demand []float64, p float64) float64 {
+	var total, maxWait float64
+	for i, r := range residence {
+		total += r
+		if w := r - demand[i]; w > maxWait {
+			maxWait = w
+		}
+	}
+	return total + maxWait*(-math.Log(1-p)-1)
+}
+
+// sizeForSLO finds the smallest balanced server count whose latency
+// quantile meets the SLO at the queried load, scanning up from the
+// stability floor. Returns 0 when nothing within MaxServers suffices.
+func (t *Twin) sizeForSLO(q Query, slo SLO) (int, error) {
+	maxServers := slo.MaxServers
+	if maxServers <= 0 {
+		maxServers = defaultSLOMaxServers
+	}
+	if q.Users > 0 {
+		for k := 1; k <= maxServers; k++ {
+			res, err := t.evalClosed(q.Users, q.ThinkSeconds, k)
+			if err != nil {
+				return 0, err
+			}
+			if quantileAt(res, slo.Quantile) <= slo.TargetSeconds {
+				return k, nil
+			}
+		}
+		return 0, nil
+	}
+	lambda := t.Lambda
+	if q.RatePerSec > 0 {
+		lambda = q.RatePerSec
+	} else if q.LoadFactor > 0 {
+		lambda *= q.LoadFactor
+	}
+	solver := t.openSolver()
+	// Stability floor: each of k balanced servers sees lambda/k, which
+	// must keep the bottleneck below saturation.
+	start := int(math.Floor(lambda*t.MaxDemand())) + 1
+	if start < 1 {
+		start = 1
+	}
+	for k := start; k <= maxServers; k++ {
+		res, err := t.evalOpen(lambda, uniformShares(k), solver)
+		if err != nil {
+			return 0, err
+		}
+		if !res.stable {
+			continue
+		}
+		if quantileAt(res, slo.Quantile) <= slo.TargetSeconds {
+			return k, nil
+		}
+	}
+	return 0, nil
+}
+
+// quantileAt recomputes an arbitrary quantile off an evaluation's
+// per-station loads.
+func quantileAt(res evalResult, p float64) float64 {
+	residence := make([]float64, len(res.stations))
+	demand := make([]float64, len(res.stations))
+	for i, s := range res.stations {
+		residence[i] = s.ResidenceSeconds
+		demand[i] = s.DemandSeconds
+	}
+	return tailQuantile(residence, demand, p)
+}

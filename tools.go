@@ -66,17 +66,6 @@ func RecordRequests(tr *Trace, sampleEvery int, rec TraceRecorder) (started, sam
 	return dapper.RecordWorkload(tr, sampleEvery, rec)
 }
 
-// TraceRequests replays a workload through a 1-in-sampleEvery sampling
-// tracer and returns it; call Trees on the result for the sampled trees.
-//
-// Deprecated: use RecordRequests with a TraceRecorder (e.g. a
-// *TraceCollector) — the Recorder seam composes with rings, tees and
-// samplers where the tracer-shaped return value cannot. Kept
-// behavior-identical for existing callers.
-func TraceRequests(tr *Trace, sampleEvery int) (*Tracer, error) {
-	return dapper.TraceWorkload(tr, sampleEvery)
-}
-
 // Profiling (GWP) re-exports.
 type (
 	// Profile is a cluster-wide sampled profile.

@@ -1,0 +1,93 @@
+package dcmodel
+
+import (
+	"fmt"
+
+	"dcmodel/internal/errs"
+	"dcmodel/internal/gfs"
+	"dcmodel/internal/hw"
+	"dcmodel/internal/twin"
+)
+
+// Analytical-twin re-exports. A Twin is the closed-form counterpart of the
+// replay engine: the same trained model and platform, answered with
+// queueing formulas instead of discrete-event simulation. Twin evaluation
+// is deterministic (pure float arithmetic, no sampling) and runs in
+// microseconds, which is what makes what-if exploration interactive.
+type (
+	// Twin is a compiled analytical twin (queueing-network form of a
+	// trained model on a platform).
+	Twin = twin.Twin
+	// TwinStation is one subsystem service station of a twin.
+	TwinStation = twin.Station
+	// WhatIfQuery is one closed-form question against a twin: load
+	// scaling, server loss, closed-loop populations, SLO sizing.
+	WhatIfQuery = twin.Query
+	// WhatIfAnswer is the solved steady state for a query.
+	WhatIfAnswer = twin.Answer
+	// WhatIfSLO is the latency objective of a provisioning search.
+	WhatIfSLO = twin.SLO
+)
+
+// BuildTwin compiles a trained model into its analytical twin on the given
+// platform. The three toolkit approaches all lower:
+//
+//   - KOOZA: per-class phase paths weighted by class and control-flow-path
+//     shares, feature distributions pushed through the platform's hardware
+//     cost functions, the semi-Markov arrival refinement folded into the
+//     arrival moments, and the trained multi-server traffic split.
+//   - in-breadth: the marginal per-subsystem feature models with the mean
+//     span counts as visit ratios (single-server, like its synthesis).
+//   - in-depth: the self-timed per-phase service distributions directly
+//     (the platform's hardware models are not consulted).
+//
+// A Model implementation from outside the toolkit has no twin: BuildTwin
+// returns an error wrapping ErrTwinUnsupported.
+//
+// The compiled Twin is immutable and safe for concurrent WhatIf calls:
+//
+//	tw, _ := dcmodel.BuildTwin(model, dcmodel.DefaultPlatform())
+//	ans, _ := tw.WhatIf(dcmodel.WhatIfQuery{LoadFactor: 2})
+func BuildTwin(m Model, p Platform) (*Twin, error) {
+	if m == nil {
+		return nil, fmt.Errorf("dcmodel: cannot build a twin of a nil model: %w", ErrBadConfig)
+	}
+	srv, err := platformServer(p)
+	if err != nil {
+		return nil, err
+	}
+	switch t := m.(type) {
+	case koozaTrained:
+		return twin.CompileKooza(t.Model, srv, p.Servers)
+	case inBreadthTrained:
+		return twin.CompileInBreadth(t.Model, srv, p.Servers)
+	case inDepthTrained:
+		return twin.CompileInDepth(t.Model)
+	default:
+		return nil, fmt.Errorf("dcmodel: %s model: %w", m.Approach(), errs.ErrTwinUnsupported)
+	}
+}
+
+// WhatIf is the one-shot convenience over BuildTwin: compile the model's
+// twin on the platform and answer a single query. Callers issuing many
+// queries should BuildTwin once and reuse it.
+func WhatIf(m Model, p Platform, q WhatIfQuery) (WhatIfAnswer, error) {
+	tw, err := BuildTwin(m, p)
+	if err != nil {
+		return WhatIfAnswer{}, err
+	}
+	return tw.WhatIf(q)
+}
+
+// platformServer materializes one platform server for twin compilation,
+// defaulting to the GFS chunkserver hardware like DefaultPlatform does.
+func platformServer(p Platform) (*hw.Server, error) {
+	if p.NewServer == nil {
+		return gfs.DefaultServerHW(), nil
+	}
+	srv := p.NewServer()
+	if srv == nil {
+		return nil, fmt.Errorf("dcmodel: platform NewServer returned nil: %w", ErrBadConfig)
+	}
+	return srv, nil
+}

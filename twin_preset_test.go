@@ -1,0 +1,110 @@
+package dcmodel
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+
+	"dcmodel/internal/spec"
+)
+
+// twinDeviationBounds pins how far each approach's analytical twin may sit
+// from the discrete-event replay of its own synthetic workload, across all
+// six scenario presets. The bounds are regression fences around measured
+// behavior, not accuracy claims: KOOZA's twin tracks the simulator within
+// ~30% on every preset; the in-depth twin is self-timed and stays within
+// ~55%; the class-blind in-breadth twin can sit far off on skewed
+// multi-class scenarios (rag) and only gets an order-of-magnitude fence.
+var twinDeviationBounds = map[string]float64{
+	"KOOZA":      0.35,
+	"in-depth":   0.60,
+	"in-breadth": 8.0,
+}
+
+// TestTwinDeviationAcrossPresets runs the full cross-examination on every
+// embedded scenario preset and bounds the twin-vs-DES deviation column:
+// every approach must produce a twin (deviation >= 0, never the -1 "no
+// twin" sentinel) and stay inside its pinned tolerance.
+func TestTwinDeviationAcrossPresets(t *testing.T) {
+	for _, name := range []string{"analytics", "chat", "incast", "mapreduce", "rag", "webtier"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := spec.Resolve(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := s.Compile(spec.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := c.Generate(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scores, err := CrossExamine(tr, DefaultPlatform(), CrossExamOptions{
+				Requests: 1500, Seed: 1, SkipThroughput: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(scores) != 3 {
+				t.Fatalf("got %d scorecard rows, want 3", len(scores))
+			}
+			for _, sc := range scores {
+				bound, ok := twinDeviationBounds[sc.Name]
+				if !ok {
+					t.Fatalf("no deviation bound pinned for approach %q", sc.Name)
+				}
+				if sc.TwinDeviation < 0 {
+					t.Errorf("%s: no twin deviation recorded (got %g)", sc.Name, sc.TwinDeviation)
+					continue
+				}
+				if sc.TwinDeviation > bound {
+					t.Errorf("%s: twin deviation %.4f exceeds pinned bound %.2f", sc.Name, sc.TwinDeviation, bound)
+				}
+			}
+			rendered := RenderScores(scores)
+			if !strings.Contains(rendered, "TwinDev") {
+				t.Errorf("rendered scorecard is missing the TwinDev column:\n%s", rendered)
+			}
+		})
+	}
+}
+
+// TestWhatIfGOMAXPROCSInvariant pins the determinism contract from the
+// other side: a what-if answer is pure single-threaded float arithmetic, so
+// its JSON encoding must be byte-identical whatever GOMAXPROCS is.
+func TestWhatIfGOMAXPROCSInvariant(t *testing.T) {
+	tr := simulate(t, 1200, 20, 64)
+	m, err := Train(tr, Kooza)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := BuildTwin(m, DefaultPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := WhatIfQuery{LoadFactor: 1.5, SLO: &WhatIfSLO{Quantile: 0.95, TargetSeconds: 0.2}}
+	answer := func() []byte {
+		ans, err := tw.WhatIf(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(ans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	one := answer()
+	runtime.GOMAXPROCS(prev)
+	if prev == 1 {
+		runtime.GOMAXPROCS(4)
+	}
+	many := answer()
+	if string(one) != string(many) {
+		t.Fatalf("what-if answer depends on GOMAXPROCS:\n%s\nvs\n%s", one, many)
+	}
+}
