@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race chaos obs spec cluster whatif cover cover-spec bench bench-json bench-compare fuzz fuzz-smoke vulncheck examples artifacts serve loadtest clean help
+.PHONY: all build vet test test-race race chaos obs spec cluster whatif provision cover cover-spec bench bench-json bench-json-pr10 bench-compare fuzz fuzz-smoke vulncheck examples artifacts serve loadtest clean help
 
 all: build vet test
 
@@ -29,11 +29,19 @@ help:
 	@echo "             solvers, the facade BuildTwin/WhatIf surface, the"
 	@echo "             /v1/whatif byte-stability + no-DES contract, and the"
 	@echo "             six-preset twin-vs-DES deviation bounds"
+	@echo "  provision  closed-loop optimizer gate under -race: the"
+	@echo "             internal/optimize suite (byte-identical plans for any"
+	@echo "             worker count, strategy determinism), the facade's"
+	@echo "             mapreduce reproduction, and the daemon's /v1/provision"
+	@echo "             + drift-triggered auto-reprovision lifecycle"
 	@echo "  cover      go test -cover ./... + the internal/spec coverage floor"
 	@echo "  cover-spec enforce the $(SPEC_COVER_FLOOR)% statement-coverage floor on internal/spec"
 	@echo "  bench      regenerate every table/figure + ablations (-bench=. -benchmem)"
 	@echo "  bench-json rerun the hot-path benchmarks and refresh BENCH_PR7.json"
 	@echo "             (trace-v2 codec + batched synthesis vs the frozen PR 2 baseline)"
+	@echo "  bench-json-pr10  rerun the provisioning-search benchmarks and refresh"
+	@echo "             BENCH_PR10.json (configs/sec + twin-vs-DES ratio, baseline"
+	@echo "             chained from BENCH_PR7.json)"
 	@echo "  bench-compare  quick benchstat-style table vs the frozen baseline (no file written)"
 	@echo "  fuzz       run the codec, sharded-simulator and spec fuzz targets (30s each)"
 	@echo "  fuzz-smoke quick CI fuzz pass over the same targets (10s each)"
@@ -108,6 +116,15 @@ whatif:
 	$(GO) test -race -count=1 ./internal/twin/ ./internal/queueing/
 	$(GO) test -race -count=1 -run 'Twin|WhatIf' . ./internal/serve/ ./internal/crossexam/
 
+# Closed-loop provisioning gate: the optimizer's determinism contract
+# (plans byte-identical for any worker count and population order), the
+# facade's mapreduce 21-server reproduction, and the daemon's /v1/provision
+# endpoint + drift-triggered auto-reprovision with zero dropped requests —
+# all under the race detector.
+provision:
+	$(GO) test -race -count=1 ./internal/optimize/
+	$(GO) test -race -count=1 -run 'Provision|QueryEnvelope|AutoReprovision' . ./internal/serve/
+
 cover: cover-spec
 	$(GO) test -cover ./...
 
@@ -156,6 +173,16 @@ bench-json:
 	$(GO) run ./cmd/bench2json -in bench_raw.txt -out BENCH_PR7.json -baseline-json BENCH_PR2.json \
 		-print $(BENCH_RENAMES) \
 		-note "Baseline imported from BENCH_PR2.json (frozen pre-optimization numbers); current regenerated by 'make bench-json' after the trace-v2 codec + batched-synthesis pass (PR 7)."
+	rm -f bench_raw.txt
+
+# Regenerates BENCH_PR10.json: the provisioning-search benchmarks
+# (configs/sec through the twin-first evaluator, twin-vs-DES run ratio),
+# with the baseline section chained from BENCH_PR7.json so every record
+# traces back to the original pre-optimization numbers.
+bench-json-pr10:
+	$(GO) test -bench=. -benchmem -run=xxx -benchtime=2s ./internal/optimize/ > bench_raw.txt
+	$(GO) run ./cmd/bench2json -in bench_raw.txt -out BENCH_PR10.json -baseline-json BENCH_PR7.json -print \
+		-note "Baseline chained from BENCH_PR7.json; current adds the closed-loop provisioning search benchmarks (PR 10): configs/sec is the twin-first evaluation rate, twin_per_des the twin-evals-per-DES-run ratio."
 	rm -f bench_raw.txt
 
 # Quick comparison against the frozen baseline without touching the

@@ -45,12 +45,15 @@ import (
 	"strings"
 )
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement. Custom holds any b.ReportMetric
+// units beyond the standard trio (e.g. configs/sec, twin_per_des), keyed
+// by unit.
 type Result struct {
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Custom      map[string]float64 `json:"custom,omitempty"`
 }
 
 // File is the schema of the checked-in benchmark record.
@@ -68,7 +71,7 @@ type File struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
 // metric matches the trailing per-op metrics (B/op, allocs/op, and any
-// custom ReportMetric units, which are ignored).
+// custom ReportMetric units, recorded under "custom").
 var metric = regexp.MustCompile(`([\d.]+) (\S+)`)
 
 func parse(r io.Reader) (map[string]Result, error) {
@@ -98,6 +101,14 @@ func parse(r io.Reader) (map[string]Result, error) {
 				res.BytesPerOp = v
 			case "allocs/op":
 				res.AllocsPerOp = v
+			case "MB/s":
+				// Derivable from ns/op and bytes processed; dropped to keep
+				// records comparable across machines.
+			default:
+				if res.Custom == nil {
+					res.Custom = map[string]float64{}
+				}
+				res.Custom[mm[2]] = v
 			}
 		}
 		if prev, ok := out[m[1]]; !ok || res.NsPerOp < prev.NsPerOp {

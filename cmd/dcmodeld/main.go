@@ -12,6 +12,7 @@
 //	curl 'http://localhost:8080/v1/synthesize?n=4000&seed=2' > synth.csv
 //	curl http://localhost:8080/v1/characterize | jq .scores
 //	curl -X POST -d '{"mtbf":2,"mttr":0.5}' http://localhost:8080/v1/faults
+//	curl -X POST -d '{"request":{"objective":{"target_seconds":0.05}}}' http://localhost:8080/v1/provision
 //	curl http://localhost:8080/metrics
 //
 // Live observability is off by default. -trace-every 1000 samples one
@@ -41,6 +42,7 @@ import (
 	"dcmodel/internal/cliflag"
 	"dcmodel/internal/fault"
 	"dcmodel/internal/obs"
+	"dcmodel/internal/optimize"
 	"dcmodel/internal/serve"
 	"dcmodel/internal/spec"
 )
@@ -63,6 +65,7 @@ func main() {
 		regions    = flag.Int("regions", def.StorageRegions, "storage Markov states (shared by trainer and drift quantization)")
 		diskBlocks = flag.Int64("disk-blocks", def.DiskBlocks, "fixed LBN address-space size for region quantization")
 		faultsJSON = flag.String("faults", "", "fault scenario to arm at boot, as /v1/faults JSON (e.g. '{\"mtbf\":2,\"mttr\":0.5}')")
+		autoProv   = flag.String("auto-provision", "", "arm drift-triggered auto-reprovisioning with this optimizer request, as the /v1/provision request JSON (e.g. '{\"objective\":{\"target_seconds\":0.05}}'); plans are published on GET /v1/provision")
 		warmSpec   = flag.String("warm-spec", "", "workload spec (preset name or JSON/YAML file) generated and ingested at boot, so models are warm before the first client request")
 		traceEvery = flag.Int("trace-every", 0, "sample 1 in N requests into live span traces served at /v1/traces (0 = tracing off)")
 		traceCap   = flag.Int("trace-cap", 128, "sampled traces kept in the ring buffer (oldest evicted)")
@@ -108,6 +111,19 @@ func main() {
 			cliflag.Fatal(fmt.Errorf("dcmodeld: -faults: %w", err))
 		}
 		cfg.Platform.Faults = &fc
+	}
+	if *autoProv != "" {
+		var req optimize.Request
+		if err := json.Unmarshal([]byte(*autoProv), &req); err != nil {
+			cliflag.Fatal(fmt.Errorf("dcmodeld: -auto-provision: %w", err))
+		}
+		if req.Spec != "" || req.Model != "" {
+			cliflag.Check("-auto-provision: spec/model are offline-only fields; the daemon provisions for its ingested window")
+		}
+		if req.Objective.TargetSeconds <= 0 {
+			cliflag.Check("-auto-provision: objective.target_seconds is required")
+		}
+		cfg.AutoProvision = &req
 	}
 	if *traceEvery > 0 || *pprof {
 		cfg.Obs = &obs.Options{

@@ -1,31 +1,33 @@
-// Command provision sizes a server farm for a p95 latency target with the
-// analytical-twin fast path: it trains a workload model on the trace,
-// compiles the model's queueing twin, searches farm sizes in closed form
-// (microseconds per candidate, no sampling), and then validates the winning
-// configuration against one discrete-event simulation of the SQS farm —
-// one simulation total, instead of one per candidate.
+// Command provision sizes a server farm for a latency target with the
+// closed-loop provisioning optimizer: it trains a workload model on the
+// trace, compiles the model's queueing twin on every candidate platform,
+// searches the configuration space — farm size, platform, DVFS operating
+// point, replication — twin-first (microseconds per candidate, no
+// sampling), and then validates the Pareto frontier against discrete-event
+// simulations of the SQS farm: a handful of simulations total, instead of
+// one per candidate.
 //
 // Usage:
 //
 //	gfstrace -requests 8000 -rate 200 | provision -target 0.05
 //	provision -spec webtier -target 0.1 -max 64
-//	provision -in trace.csv -model in-breadth -target 0.1
+//	provision -spec mapreduce -target 0.02 -strategy evolve -json
+//	provision -in trace.csv -model in-breadth -target 0.1 -platforms big-core,small-core -dvfs P0,P1,P2
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
-	"math/rand"
 	"os"
 	"strings"
 
-	"dcmodel/internal/sqs"
-
 	"dcmodel"
 	"dcmodel/internal/cliflag"
-	"dcmodel/internal/spec"
 )
 
 func main() {
@@ -35,129 +37,168 @@ func main() {
 		in        = flag.String("in", "-", "input trace (CSV, or binary trace-v2 for .dct paths; '-' for stdin)")
 		specRef   = flag.String("spec", "", "generate the workload from a spec (preset name or JSON/YAML file) instead of reading -in")
 		modelName = flag.String("model", "kooza", "model behind the twin: kooza, in-breadth or in-depth")
-		target    = flag.Float64("target", 0.05, "p95 response-time target (seconds)")
+		target    = flag.Float64("target", 0.05, "response-time target at -quantile (seconds)")
+		quantile  = flag.Float64("quantile", 0.95, "SLO latency quantile: 0.5, 0.95 or 0.99")
+		minSrv    = flag.Int("min", 1, "smallest farm size to consider")
 		maxSrv    = flag.Int("max", 64, "largest farm size to consider")
-		tasks     = flag.Int("tasks", 20000, "tasks simulated in the validation run")
-		samples   = flag.Int("samples", 10000, "characterization sample budget of the validation run")
-		seed      = flag.Int64("seed", 1, "random seed (validation simulation and -spec generation)")
-		workers   = flag.Int("workers", 0, "concurrent -spec generation shards (0 = GOMAXPROCS)")
+		platforms = flag.String("platforms", "", "comma-separated candidate platforms (default big-core; catalog: big-core,small-core)")
+		dvfs      = flag.String("dvfs", "", "comma-separated candidate DVFS states (default P0; catalog: P0,P1,P2)")
+		maxRepl   = flag.Int("max-replicas", 1, "largest replication factor to consider")
+		srvCost   = flag.Float64("server-cost", 1, "fixed per-server hourly cost")
+		wattCost  = flag.Float64("watt-cost", 0.01, "hourly cost of one predicted watt")
+		strategy  = flag.String("strategy", "coordinate", "search strategy: coordinate or evolve")
+		tasks     = flag.Int("tasks", 20000, "tasks simulated per DES validation run")
+		samples   = flag.Int("samples", 10000, "characterization sample budget of the validation runs")
+		valMax    = flag.Int("validate-max", 3, "most frontier configurations to DES-validate, cheapest first")
+		seed      = flag.Int64("seed", 1, "random seed (search sub-streams, validation runs and -spec generation)")
+		workers   = flag.Int("workers", 0, "evaluation and -spec generation concurrency (0 = GOMAXPROCS); never changes the plan")
+		jsonOut   = flag.Bool("json", false, "emit the plan as JSON (the same bytes POST /v1/provision serves)")
 	)
 	flag.Parse()
 	cliflag.Check(
 		cliflag.Seed(*seed),
 		cliflag.Workers(*workers),
+		cliflag.Min("min", *minSrv, 1),
 		cliflag.Min("max", *maxSrv, 1),
+		cliflag.Min("max-replicas", *maxRepl, 1),
 		cliflag.Min("tasks", *tasks, 1),
 		cliflag.Min("samples", *samples, 1),
+		cliflag.Min("validate-max", *valMax, 1),
 		cliflag.PositiveFloat("target", *target),
 	)
-	approach, err := dcmodel.ParseApproach(*modelName)
-	if err != nil {
-		cliflag.Fatal(err)
-	}
 
-	var tr *dcmodel.Trace
-	if *specRef != "" {
-		tr, err = traceFromSpec(*specRef, *seed, *workers)
-	} else {
-		tr, err = readTrace(*in)
+	req := dcmodel.ProvisionRequest{
+		Spec:  *specRef,
+		Model: *modelName,
+		Objective: dcmodel.ProvisionObjective{
+			Quantile:      *quantile,
+			TargetSeconds: *target,
+			ServerCost:    *srvCost,
+			WattCost:      *wattCost,
+		},
+		Space: dcmodel.ProvisionSpace{
+			MinServers:  *minSrv,
+			MaxServers:  *maxSrv,
+			MaxReplicas: *maxRepl,
+		},
+		Strategy:        *strategy,
+		Workers:         *workers,
+		ValidateTasks:   *tasks,
+		ValidateSamples: *samples,
+		MaxValidate:     *valMax,
 	}
-	if err != nil {
-		cliflag.Fatal(err)
+	if *platforms != "" {
+		req.Space.Platforms = strings.Split(*platforms, ",")
 	}
-
-	// Closed-form phase: train, compile the twin, search farm sizes.
-	m, err := dcmodel.Train(tr, approach)
-	if err != nil {
-		cliflag.Fatal(err)
+	if *dvfs != "" {
+		req.Space.DVFSStates = strings.Split(*dvfs, ",")
 	}
-	tw, err := dcmodel.BuildTwin(m, dcmodel.DefaultPlatform())
-	if err != nil {
-		cliflag.Fatal(err)
-	}
-	fmt.Printf("%s twin: arrival rate %.2f/s, total demand %.3f ms/request\n",
-		tw.Approach, tw.Lambda, 1000*tw.TotalDemand())
-
-	slo := dcmodel.WhatIfSLO{Quantile: 0.95, TargetSeconds: *target, MaxServers: *maxSrv}
-	sized, err := tw.WhatIf(dcmodel.WhatIfQuery{SLO: &slo})
-	if err != nil {
-		cliflag.Fatal(err)
-	}
-	if !sized.SLOMet {
-		log.Fatalf("no configuration up to %d servers meets p95 <= %.3fs (closed-form search)", *maxSrv, *target)
-	}
-	chosen := sized.ServersForSLO
-
-	fmt.Printf("\nclosed-form twin search (p95 <= %.0f ms, up to %d servers):\n", 1000**target, *maxSrv)
-	fmt.Printf("%-8s | %-10s | %-10s | %-10s | %-10s\n", "servers", "util", "mean ms", "p95 ms", "p99 ms")
-	var twinP95 float64
-	for k := 1; k <= chosen; k++ {
-		ans, err := tw.WhatIf(dcmodel.WhatIfQuery{Servers: k})
+	// An explicitly-set -seed overrides a spec's own seed; the default does
+	// not (Provision applies the same explicit-seed semantics).
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			req.Seed = *seed
+		}
+	})
+	if *specRef == "" {
+		tr, err := readTrace(*in)
 		if err != nil {
 			cliflag.Fatal(err)
 		}
-		if !ans.Stable {
-			fmt.Printf("%-8d | %9.1f%% | %10s | %10s | %10s\n",
-				k, 100*ans.BottleneckUtilization, "saturated", "-", "-")
+		req.Trace = tr
+	}
+
+	plan, err := dcmodel.Provision(context.Background(), req)
+	infeasible := errors.Is(err, dcmodel.ErrNoFeasibleConfig)
+	if err != nil && !infeasible {
+		cliflag.Fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(plan); err != nil {
+			log.Fatal(err)
+		}
+		if infeasible {
+			os.Exit(1)
+		}
+		return
+	}
+	report(plan)
+	if infeasible {
+		log.Fatalf("no feasible configuration: %v", err)
+	}
+}
+
+// report prints the human-readable plan: the twin sweep table, the chosen
+// configuration, and the DES validation verdicts.
+func report(plan dcmodel.Plan) {
+	qn := quantileName(plan.Objective.Quantile)
+	fmt.Printf("%s provisioning search: %s <= %.0f ms, %d-%d servers, platforms %s, dvfs %s, replicas %d-%d\n",
+		plan.Strategy, qn, 1000*plan.Objective.TargetSeconds,
+		plan.Space.MinServers, plan.Space.MaxServers,
+		strings.Join(plan.Space.Platforms, ","), strings.Join(plan.Space.DVFSStates, ","),
+		plan.Space.MinReplicas, plan.Space.MaxReplicas)
+	fmt.Printf("twin evaluations: %d configurations in closed form, %d DES validation runs\n",
+		plan.TwinEvals, plan.DESRuns)
+
+	chosen := plan.Chosen
+	fmt.Printf("\nclosed-form twin sweep at %s @ %s, replicas %d:\n", chosen.Platform, chosen.DVFS, chosen.Replicas)
+	fmt.Printf("%-8s | %-10s | %-10s | %-10s | %-10s\n", "servers", "util", "mean ms", qn+" ms", "cost/h")
+	for _, e := range plan.Sweep {
+		if !e.Stable {
+			fmt.Printf("%-8d | %9.1f%% | %10s | %10s | %10.2f\n",
+				e.Config.Servers, 100*e.BottleneckUtilization, "saturated", "-", e.CostPerHour)
 			continue
 		}
 		fmt.Printf("%-8d | %9.1f%% | %10.2f | %10.2f | %10.2f\n",
-			k, 100*ans.BottleneckUtilization, 1000*ans.MeanResponseSeconds,
-			1000*ans.P95Seconds, 1000*ans.P99Seconds)
-		if k == chosen {
-			twinP95 = ans.P95Seconds
+			e.Config.Servers, 100*e.BottleneckUtilization,
+			1000*e.MeanSeconds, 1000*e.QuantileSeconds, e.CostPerHour)
+	}
+
+	if !plan.Feasible {
+		fmt.Printf("\nclosest miss: %d x %s @ %s, replicas %d (%s %.2f ms, bottleneck %s)\n",
+			chosen.Servers, chosen.Platform, chosen.DVFS, chosen.Replicas,
+			qn, 1000*plan.Predicted.QuantileSeconds, plan.Predicted.Bottleneck)
+		return
+	}
+	fmt.Printf("\ntwin decision: %d x %s @ %s, replicas %d (%s %.2f ms <= %.0f ms, bottleneck %s, %.2f cost/h)\n",
+		chosen.Servers, chosen.Platform, chosen.DVFS, chosen.Replicas,
+		qn, 1000*plan.Predicted.QuantileSeconds, 1000*plan.Objective.TargetSeconds,
+		plan.Predicted.Bottleneck, plan.Predicted.CostPerHour)
+	if len(plan.Frontier) > 1 {
+		fmt.Printf("pareto frontier: %d configurations (cheapest first)\n", len(plan.Frontier))
+	}
+
+	for _, v := range plan.Validations {
+		if v.Error != "" {
+			fmt.Printf("\nvalidation: DES run of %d servers failed: %s\n", v.Servers, v.Error)
+			continue
+		}
+		fmt.Printf("\nvalidation: DES run of %d servers (%d tasks): util %.1f%%, mean %.2f ms, %s %.2f ms\n",
+			v.Servers, v.Tasks, 100*v.Utilization, 1000*v.MeanSeconds, qn, 1000*v.QuantileSeconds)
+		if v.Servers == chosen.Servers && v.Passed {
+			dev := math.Abs(plan.Predicted.QuantileSeconds-v.QuantileSeconds) / v.QuantileSeconds
+			fmt.Printf("twin %s %.2f ms vs DES %s %.2f ms (%.1f%% deviation)\n",
+				qn, 1000*plan.Predicted.QuantileSeconds, qn, 1000*v.QuantileSeconds, 100*dev)
 		}
 	}
-	fmt.Printf("\ntwin decision: %d servers (smallest meeting p95 <= %.0f ms, bottleneck %s)\n",
-		chosen, 1000**target, sized.Bottleneck)
-
-	// Validation phase: one discrete-event farm simulation of the winner.
-	r := rand.New(rand.NewSource(*seed))
-	c, err := sqs.NewCharacterizer(*samples, r)
-	if err != nil {
-		log.Fatal(err)
+	if plan.Validated != nil {
+		fmt.Printf("provisioning decision validated: %d servers\n", chosen.Servers)
+	} else if plan.DESRuns == 0 {
+		fmt.Printf("no DES validation performed (twin-only plan)\n")
 	}
-	if err := c.ObserveTrace(tr); err != nil {
-		log.Fatal(err)
-	}
-	sm, err := c.Model()
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := sm.Evaluate(chosen, *tasks, r)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nvalidation: one DES run of %d servers (%d tasks): util %.1f%%, mean %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
-		chosen, *tasks, 100*res.Utilization, 1000*res.MeanResponse, 1000*res.P95, 1000*res.P99)
-	dev := math.Abs(twinP95-res.P95) / res.P95
-	fmt.Printf("twin p95 %.2f ms vs DES p95 %.2f ms (%.1f%% deviation)\n",
-		1000*twinP95, 1000*res.P95, 100*dev)
-	if res.P95 > *target {
-		log.Fatalf("validation failed: simulated p95 %.2f ms exceeds the %.0f ms target — the twin was optimistic here; consider -max with more headroom",
-			1000*res.P95, 1000**target)
-	}
-	fmt.Printf("provisioning decision validated: %d servers\n", chosen)
 }
 
-// traceFromSpec generates the workload from a spec. The explicitly-set
-// -seed overrides the spec's own seed.
-func traceFromSpec(ref string, seed int64, workers int) (*dcmodel.Trace, error) {
-	s, err := spec.Resolve(ref)
-	if err != nil {
-		return nil, err
+func quantileName(q float64) string {
+	switch q {
+	case 0.5:
+		return "p50"
+	case 0.99:
+		return "p99"
+	default:
+		return "p95"
 	}
-	var opts spec.Options
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "seed" {
-			opts.Seed = seed
-		}
-	})
-	c, err := s.Compile(opts)
-	if err != nil {
-		return nil, err
-	}
-	return c.Generate(workers)
 }
 
 func readTrace(path string) (*dcmodel.Trace, error) {

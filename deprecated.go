@@ -13,6 +13,8 @@ package dcmodel
 //	TrainInDepth(tr)            Train(tr, InDepth)
 //	CrossExamineOpts(...)       CrossExamine(tr, p, CrossExamOptions{...})
 //	TraceRequests(tr, n)        RecordRequests(tr, n, rec) with a TraceRecorder
+//	WhatIf(m, p, q)             BuildTwin(m, p) then tw.WhatIf(q); for
+//	                            sizing searches, Provision(ctx, req)
 //
 // The Train shims return the concrete model types (*KoozaModel, ...);
 // Train returns the common Model interface. Callers that need
@@ -81,6 +83,21 @@ func TrainInDepth(tr *Trace) (*InDepthModel, error) {
 func CrossExamineOpts(tr *Trace, n int, p Platform, seed int64, opts CrossExamOptions) ([]Scores, error) {
 	opts.Requests, opts.Seed = n, seed
 	return CrossExamine(tr, p, opts)
+}
+
+// WhatIf is the one-shot convenience over BuildTwin: compile the model's
+// twin on the platform and answer a single query.
+//
+// Deprecated: use BuildTwin once and reuse the twin for repeated queries;
+// for provisioning searches use Provision, which drives the same twin
+// through the optimizer with DES validation. Kept behavior-identical for
+// existing callers.
+func WhatIf(m Model, p Platform, q WhatIfQuery) (WhatIfAnswer, error) {
+	tw, err := BuildTwin(m, p)
+	if err != nil {
+		return WhatIfAnswer{}, err
+	}
+	return tw.WhatIf(q)
 }
 
 // TraceRequests replays a workload through a 1-in-sampleEvery sampling

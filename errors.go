@@ -19,6 +19,12 @@ var (
 	// — that needs a non-empty trace.
 	ErrEmptyTrace = trace.ErrEmptyTrace
 
+	// ErrNoFeasibleConfig marks a provisioning search (Provision, the
+	// optimize strategies, /v1/provision) that exhausted its configuration
+	// space without meeting the objective. The Plan returned alongside it
+	// still carries the audit trail and best-effort evaluations.
+	ErrNoFeasibleConfig = errs.ErrNoFeasibleConfig
+
 	// ErrModelNotTrained marks an operation that needs a trained model
 	// when none is available: saving an untrained model, or querying the
 	// serving daemon before the first ingest has warmed a generation.

@@ -22,3 +22,14 @@ var ErrModelNotTrained = errors.New("model not trained")
 // analytical twin: the twin compiler knows the toolkit's three approaches;
 // a foreign Model implementation passed to dcmodel.BuildTwin gets this.
 var ErrTwinUnsupported = errors.New("model has no analytical twin")
+
+// ErrNoFeasibleConfig marks a provisioning search that exhausted its
+// configuration space without a configuration meeting the objective —
+// either the twin found nothing stable under the SLO within the bounds,
+// or DES validation rejected every Pareto-frontier candidate. It is a
+// result, not a defect: the returned Plan still carries the audit trail.
+// Unwrapping rule: wrap with %w-formatted context (like the other
+// sentinels) so errors.Is(err, ErrNoFeasibleConfig) holds across layers;
+// never wrap it together with ErrBadConfig — a search that could not
+// start is a configuration error, a search that finished empty is this.
+var ErrNoFeasibleConfig = errors.New("no feasible configuration")

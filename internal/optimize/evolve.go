@@ -1,0 +1,163 @@
+package optimize
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dcmodel/internal/prand"
+)
+
+// (μ+λ) evolution strategy parameters: mu survivors breed lambda children
+// per generation; the loop runs to maxGenerations or until evolvePatience
+// generations pass without improving the incumbent.
+const (
+	evolveMu       = 8
+	evolveLambda   = 24
+	maxGenerations = 16
+	evolvePatience = 4
+)
+
+// evolutionary is the stochastic strategy: a (μ+λ) evolution loop whose
+// randomness comes entirely from SplitMix64 sub-streams keyed by
+// (generation, child index). Mutation is serial and cheap; only the twin
+// evaluations fan out — so the search path is a fixed function of (seed,
+// space, twin) and the resulting Plan is byte-identical for any worker
+// count. A caller-supplied seed population is canonicalized (sorted,
+// deduplicated) before use, making the result independent of its order.
+type evolutionary struct{}
+
+func (evolutionary) Name() string { return StrategyEvolve }
+
+func (evolutionary) Search(ctx context.Context, ev *Evaluator, seed int64, workers int, pop []Config) ([]Step, error) {
+	space := ev.Space()
+	parents := canonicalize(pop, space)
+	if len(parents) == 0 {
+		parents = seedPopulation(space)
+	}
+	parentEvals, err := ev.EvalBatch(parents, workers)
+	if err != nil {
+		return nil, err
+	}
+	sortEvals(parentEvals)
+	parentEvals = truncate(parentEvals, evolveMu)
+	best := parentEvals[0]
+	steps := []Step{{Step: 0, Note: "seed population", Evaluated: len(parents), Best: best}}
+	noImprove := 0
+	for g := 1; g <= maxGenerations && noImprove < evolvePatience; g++ {
+		if err := ctx.Err(); err != nil {
+			return steps, err
+		}
+		children := make([]Config, 0, evolveLambda)
+		for i := 0; i < evolveLambda; i++ {
+			parent := parentEvals[i%len(parentEvals)].Config
+			r := prand.New(seed, evolveStream(g, i))
+			children = append(children, mutate(parent, r, space))
+		}
+		sortConfigs(children)
+		children = dedupeConfigs(children)
+		childEvals, err := ev.EvalBatch(children, workers)
+		if err != nil {
+			return nil, err
+		}
+		parentEvals = truncate(sortedUnion(parentEvals, childEvals), evolveMu)
+		if better(parentEvals[0], best) {
+			best = parentEvals[0]
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+		steps = append(steps, Step{
+			Step: g, Note: fmt.Sprintf("generation %d", g),
+			Evaluated: len(children), Best: best,
+		})
+	}
+	return steps, nil
+}
+
+// evolveStream keys the SplitMix64 sub-stream of child i of generation g —
+// a fixed function of (g, i), never of worker count or scheduling.
+func evolveStream(g, i int) uint64 {
+	return uint64(g)*(evolveLambda+1) + uint64(i)
+}
+
+// seedPopulation spreads mu configurations across the space: server counts
+// evenly from min to max, platforms, DVFS states and replica counts
+// round-robin.
+func seedPopulation(space Space) []Config {
+	out := make([]Config, 0, evolveMu)
+	span := space.MaxServers - space.MinServers
+	for i := 0; i < evolveMu; i++ {
+		servers := space.MinServers
+		if evolveMu > 1 {
+			servers += span * i / (evolveMu - 1)
+		}
+		out = append(out, Config{
+			Servers:  servers,
+			Platform: space.Platforms[i%len(space.Platforms)],
+			DVFS:     space.DVFSStates[i%len(space.DVFSStates)],
+			Replicas: space.MinReplicas + i%(space.MaxReplicas-space.MinReplicas+1),
+		})
+	}
+	sortConfigs(out)
+	return dedupeConfigs(out)
+}
+
+// mutate perturbs one coordinate of the parent and clamps the child back
+// onto the space.
+func mutate(c Config, r *rand.Rand, space Space) Config {
+	switch r.Intn(4) {
+	case 0:
+		span := space.MaxServers - space.MinServers
+		jump := 1
+		if span >= 8 {
+			jump += r.Intn(span / 8)
+		}
+		if r.Intn(2) == 0 {
+			jump = -jump
+		}
+		c.Servers += jump
+	case 1:
+		c.Platform = space.Platforms[r.Intn(len(space.Platforms))]
+	case 2:
+		c.DVFS = space.DVFSStates[r.Intn(len(space.DVFSStates))]
+	default:
+		if r.Intn(2) == 0 {
+			c.Replicas--
+		} else {
+			c.Replicas++
+		}
+	}
+	return clampConfig(c, space)
+}
+
+// sortEvals orders evaluations best-first by the total search order.
+func sortEvals(evs []Evaluation) {
+	sort.Slice(evs, func(i, j int) bool { return better(evs[i], evs[j]) })
+}
+
+// sortedUnion merges two evaluation sets, re-sorts best-first and drops
+// duplicate configurations.
+func sortedUnion(a, b []Evaluation) []Evaluation {
+	all := make([]Evaluation, 0, len(a)+len(b))
+	all = append(all, a...)
+	all = append(all, b...)
+	sortEvals(all)
+	out := all[:0]
+	seen := make(map[Config]bool, len(all))
+	for _, e := range all {
+		if !seen[e.Config] {
+			seen[e.Config] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func truncate(evs []Evaluation, n int) []Evaluation {
+	if len(evs) > n {
+		return evs[:n]
+	}
+	return evs
+}

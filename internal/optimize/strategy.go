@@ -1,0 +1,230 @@
+package optimize
+
+import (
+	"context"
+)
+
+// Step is one entry of a Plan's audit trail: what the strategy did, how
+// many twin evaluations it asked for, and the best evaluation known after
+// the step.
+type Step struct {
+	Step int `json:"step"`
+	// Note labels the step ("coordinate servers", "generation 3",
+	// "polish servers", "validate").
+	Note string `json:"note"`
+	// Evaluated is the number of twin evaluations the step requested
+	// (memo hits included — the count depends only on the search path).
+	Evaluated int `json:"evaluated"`
+	// Best is the best evaluation found so far.
+	Best Evaluation `json:"best"`
+}
+
+// Strategy is one interchangeable search algorithm. Implementations must
+// honor the package determinism contract: for a fixed (evaluator, space,
+// seed) the returned steps — and the set of configurations evaluated —
+// must not depend on opts.Workers or on the order of any caller-supplied
+// population. ctx is checked between batches; a cancelled search returns
+// ctx.Err().
+type Strategy interface {
+	// Name is the strategy's stable wire name.
+	Name() string
+	// Search explores the space and returns the audit trail. The best
+	// configuration is read from the evaluator's memo afterwards, so a
+	// strategy only has to explore, not to report.
+	Search(ctx context.Context, ev *Evaluator, seed int64, workers int, pop []Config) ([]Step, error)
+}
+
+// StrategyByName resolves a wire name ("coordinate", "evolve"; "" defaults
+// to coordinate).
+func StrategyByName(name string) (Strategy, error) {
+	switch name {
+	case "", StrategyCoordinate:
+		return coordinateDescent{}, nil
+	case StrategyEvolve:
+		return evolutionary{}, nil
+	default:
+		return nil, badConfig("unknown strategy %q (want %s or %s)", name, StrategyCoordinate, StrategyEvolve)
+	}
+}
+
+// Strategy wire names.
+const (
+	StrategyCoordinate = "coordinate"
+	StrategyEvolve     = "evolve"
+)
+
+// maxDescentPasses bounds the coordinate-descent outer loop; each pass
+// strictly improves the incumbent, so the bound only guards pathological
+// objectives.
+const maxDescentPasses = 32
+
+// coordinateDescent is the deterministic strategy: starting from the most
+// generous configuration (MaxServers on the first platform), it sweeps one
+// coordinate at a time — batch-evaluating every value of that coordinate
+// with the others held fixed — and moves to the best, repeating until a
+// full pass moves nothing. It uses no randomness at all; the seed is
+// ignored.
+type coordinateDescent struct{}
+
+func (coordinateDescent) Name() string { return StrategyCoordinate }
+
+func (coordinateDescent) Search(ctx context.Context, ev *Evaluator, seed int64, workers int, pop []Config) ([]Step, error) {
+	space := ev.Space()
+	cur := Config{
+		Servers:  space.MaxServers,
+		Platform: space.Platforms[0],
+		DVFS:     space.DVFSStates[0],
+		Replicas: space.MinReplicas,
+	}
+	if len(pop) > 0 {
+		// A seeded population starts the descent from its best member
+		// (canonicalized, so the start is order-independent).
+		seeds := canonicalize(pop, space)
+		if len(seeds) > 0 {
+			evs, err := ev.EvalBatch(seeds, workers)
+			if err != nil {
+				return nil, err
+			}
+			cur = bestOf(evs).Config
+		}
+	}
+	best, err := ev.Eval(cur)
+	if err != nil {
+		return nil, err
+	}
+	var steps []Step
+	coords := []string{"servers", "platform", "dvfs", "replicas"}
+	for pass := 0; pass < maxDescentPasses; pass++ {
+		moved := false
+		for _, coord := range coords {
+			if err := ctx.Err(); err != nil {
+				return steps, err
+			}
+			cands := coordinateCandidates(space, cur, coord)
+			if len(cands) < 2 {
+				continue
+			}
+			evs, err := ev.EvalBatch(cands, workers)
+			if err != nil {
+				return nil, err
+			}
+			top := bestOf(evs)
+			if top.Config != cur {
+				cur, moved = top.Config, true
+			}
+			if better(top, best) {
+				best = top
+			}
+			steps = append(steps, Step{
+				Step: len(steps), Note: "coordinate " + coord,
+				Evaluated: len(cands), Best: best,
+			})
+		}
+		if !moved {
+			break
+		}
+	}
+	return steps, nil
+}
+
+// coordinateCandidates enumerates cur with every value of one coordinate.
+func coordinateCandidates(space Space, cur Config, coord string) []Config {
+	var out []Config
+	switch coord {
+	case "servers":
+		for k := space.MinServers; k <= space.MaxServers; k++ {
+			c := cur
+			c.Servers = k
+			out = append(out, c)
+		}
+	case "platform":
+		for _, p := range space.Platforms {
+			c := cur
+			c.Platform = p
+			out = append(out, c)
+		}
+	case "dvfs":
+		for _, d := range space.DVFSStates {
+			c := cur
+			c.DVFS = d
+			out = append(out, c)
+		}
+	case "replicas":
+		for r := space.MinReplicas; r <= space.MaxReplicas; r++ {
+			c := cur
+			c.Replicas = r
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// bestOf selects by the total evaluation order (deterministic for any
+// slice ordering, since better is total).
+func bestOf(evs []Evaluation) Evaluation {
+	best := evs[0]
+	for _, e := range evs[1:] {
+		if better(e, best) {
+			best = e
+		}
+	}
+	return best
+}
+
+// canonicalize clamps a caller-supplied population into the space, sorts
+// it into canonical config order and drops duplicates — the step that
+// makes every downstream decision independent of the order the caller
+// listed the population in.
+func canonicalize(pop []Config, space Space) []Config {
+	out := make([]Config, 0, len(pop))
+	for _, c := range pop {
+		if c = clampConfig(c, space); space.contains(c) {
+			out = append(out, c)
+		}
+	}
+	sortConfigs(out)
+	return dedupeConfigs(out)
+}
+
+// clampConfig pulls a configuration onto the nearest point of the space:
+// numeric coordinates clamp to their bounds; unknown platform or DVFS
+// names fall to the first listed.
+func clampConfig(c Config, space Space) Config {
+	if c.Servers < space.MinServers {
+		c.Servers = space.MinServers
+	}
+	if c.Servers > space.MaxServers {
+		c.Servers = space.MaxServers
+	}
+	if c.Replicas < space.MinReplicas {
+		c.Replicas = space.MinReplicas
+	}
+	if c.Replicas > space.MaxReplicas {
+		c.Replicas = space.MaxReplicas
+	}
+	if indexOf(space.Platforms, c.Platform) < 0 {
+		c.Platform = space.Platforms[0]
+	}
+	if indexOf(space.DVFSStates, c.DVFS) < 0 {
+		c.DVFS = space.DVFSStates[0]
+	}
+	return c
+}
+
+func sortConfigs(cs []Config) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].less(cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func dedupeConfigs(cs []Config) []Config {
+	out := cs[:0]
+	for i, c := range cs {
+		if i == 0 || c != cs[i-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package power
+
+import "testing"
+
+// TestDVFSStateCatalog pins the static P-state catalog the provisioning
+// optimizer searches over.
+func TestDVFSStateCatalog(t *testing.T) {
+	states := DVFSStates()
+	if len(states) != 3 {
+		t.Fatalf("catalog has %d states, want 3", len(states))
+	}
+	if states[0].Name != "P0" || states[0].FreqScale != 1 || states[0].PowerScale != 1 {
+		t.Fatalf("P0 must be the exact nominal point, got %+v", states[0])
+	}
+	prevFreq, prevPower := 2.0, 2.0
+	for _, s := range states {
+		if err := s.Validate(); err != nil {
+			t.Errorf("catalog state %s invalid: %v", s.Name, err)
+		}
+		if s.FreqScale >= prevFreq || s.PowerScale >= prevPower {
+			t.Errorf("catalog not fastest-first at %s", s.Name)
+		}
+		// Near-cubic scaling: the power saving should outpace the slowdown.
+		if s.PowerScale > s.FreqScale {
+			t.Errorf("%s: power scale %g exceeds freq scale %g", s.Name, s.PowerScale, s.FreqScale)
+		}
+		prevFreq, prevPower = s.FreqScale, s.PowerScale
+	}
+}
+
+func TestDVFSStateByName(t *testing.T) {
+	if s, ok := DVFSStateByName("P2"); !ok || s.FreqScale != 0.6 {
+		t.Fatalf("P2 lookup = %+v, %v", s, ok)
+	}
+	if _, ok := DVFSStateByName("P9"); ok {
+		t.Fatal("P9 should not resolve")
+	}
+}
+
+func TestDVFSStateValidate(t *testing.T) {
+	bad := []DVFSState{
+		{Name: "", FreqScale: 1, PowerScale: 1},
+		{Name: "X", FreqScale: 0, PowerScale: 1},
+		{Name: "X", FreqScale: 1.2, PowerScale: 1},
+		{Name: "X", FreqScale: 1, PowerScale: 0},
+		{Name: "X", FreqScale: 1, PowerScale: 1.5},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("case %d: %+v should not validate", i, s)
+		}
+	}
+}

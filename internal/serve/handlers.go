@@ -32,6 +32,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("/v1/characterize", s.instrumented("characterize", s.handleCharacterize))
 	mux.HandleFunc("/v1/replay", s.instrumented("replay", s.handleReplay))
 	mux.HandleFunc("/v1/whatif", s.instrumented("whatif", s.handleWhatIf))
+	mux.HandleFunc("/v1/provision", s.instrumented("provision", s.handleProvision))
 	mux.HandleFunc("/v1/faults", s.timed("faults", s.handleFaults))
 	mux.HandleFunc("/v1/traces", s.timed("traces", s.handleTraces))
 	mux.HandleFunc("/metrics", s.handleMetrics)

@@ -32,6 +32,10 @@ type metrics struct {
 	retrainErrors *obs.Counter
 	breakerTrips  *obs.Counter
 
+	provisions      *obs.Counter // provisioning searches completed (manual + auto)
+	autoProvisions  *obs.Counter // drift-triggered auto-reprovision runs published
+	provisionErrors *obs.Counter // auto-reprovision runs that failed
+
 	driftStat      *obs.Gauge
 	driftP         *obs.Gauge
 	modelTrainedOn *obs.Gauge
@@ -67,6 +71,12 @@ func newMetrics() *metrics {
 			"Retrain attempts that failed (previous model kept)."),
 		breakerTrips: reg.Counter("dcmodeld_retrain_breaker_trips_total",
 			"Times the retrain circuit breaker opened after consecutive failures."),
+		provisions: reg.Counter("dcmodeld_provision_total",
+			"Provisioning searches completed (POST /v1/provision and auto-reprovision)."),
+		autoProvisions: reg.Counter("dcmodeld_provision_auto_total",
+			"Drift-triggered auto-reprovision runs that published a plan."),
+		provisionErrors: reg.Counter("dcmodeld_provision_errors_total",
+			"Auto-reprovision runs that failed (last published plan kept)."),
 		driftStat: reg.Gauge("dcmodeld_drift_stat",
 			"Chi-square statistic of the last drift check."),
 		driftP: reg.Gauge("dcmodeld_drift_p",

@@ -42,6 +42,7 @@ import (
 	"dcmodel/internal/kooza"
 	"dcmodel/internal/markov"
 	"dcmodel/internal/obs"
+	"dcmodel/internal/optimize"
 	"dcmodel/internal/par"
 	"dcmodel/internal/replay"
 	"dcmodel/internal/trace"
@@ -105,6 +106,13 @@ type Config struct {
 	// /debug/pprof/ profiling endpoints. nil keeps the daemon's /metrics
 	// output byte-identical to a daemon built before the layer existed.
 	Obs *obs.Options
+	// AutoProvision, when non-nil, arms the closed-loop reprovisioning
+	// hook: every drift-triggered retrain re-runs the provisioning search
+	// with this request against the fresh model generation, in the
+	// background, and publishes the plan on GET /v1/provision. The
+	// request's offline-only fields (Spec, Model, Trace) are ignored —
+	// the daemon always provisions for its ingested window.
+	AutoProvision *optimize.Request
 }
 
 // DefaultConfig returns the production defaults.
@@ -219,6 +227,13 @@ type Server struct {
 	// faults is the armed fault scenario for degraded replay (nil =
 	// healthy). Swapped atomically by the /v1/faults admin endpoint.
 	faults atomic.Pointer[fault.Config]
+
+	// Closed-loop reprovisioning state: the last auto-published plan
+	// (GET /v1/provision), the single-flight guard, and the WaitGroup
+	// Close drains so no search outlives the daemon.
+	autoPlan       atomic.Pointer[provisionResponse]
+	reprovisioning atomic.Bool
+	provWG         sync.WaitGroup
 
 	// Observability (nil unless cfg.Obs arms the layer): the live tracer
 	// head-sampling pipeline requests, the ring buffer behind
@@ -344,6 +359,7 @@ func (s *Server) Close() {
 	}
 	close(s.stopPoll)
 	s.pollWG.Wait()
+	s.provWG.Wait()
 	s.pool.Close()
 }
 

@@ -67,7 +67,13 @@ func (s *Server) maybeRetrainLocked(span *obs.LiveSpan) (bool, string, error) {
 			if res.P < s.cfg.DriftP {
 				s.metrics.driftRetrains.Add(1)
 				span.Annotate("drift: stat=%g p=%g", res.Statistic, res.P)
-				return s.retrainLocked(ReasonDrift, span)
+				ok, reason, err := s.retrainLocked(ReasonDrift, span)
+				if ok {
+					// Closed loop: the workload changed enough to swap the
+					// model, so the provisioning answer may have too.
+					s.maybeAutoProvision()
+				}
+				return ok, reason, err
 			}
 		}
 	}

@@ -144,14 +144,22 @@ func CompileKooza(m *kooza.Model, srv *hw.Server, servers int) (*Twin, error) {
 		for _, q := range paths {
 			mx.add(cw*q.Weight/pathW, koozaPathMoments(c, q, srv, seek))
 		}
-		// Per-server traffic split (multi-server instancing).
+		// Per-server traffic split (multi-server instancing). Keys are
+		// sorted before any float accumulates: map iteration order must
+		// never reach the sums, or the compiled twin differs in the last
+		// ULP from run to run.
+		servers := make([]int, 0, len(c.ServerWeights))
+		for s := range c.ServerWeights {
+			servers = append(servers, s)
+		}
+		sort.Ints(servers)
 		var sw float64
-		for _, w := range c.ServerWeights {
-			sw += w
+		for _, s := range servers {
+			sw += c.ServerWeights[s]
 		}
 		if sw > 0 {
-			for s, w := range c.ServerWeights {
-				serverWeight[s] += cw * w / sw
+			for _, s := range servers {
+				serverWeight[s] += cw * c.ServerWeights[s] / sw
 			}
 		} else {
 			serverWeight[0] += cw
@@ -466,15 +474,17 @@ func sharesOf(weights map[int]float64) []float64 {
 		return []float64{1}
 	}
 	ids := make([]int, 0, len(weights))
-	var sum float64
-	for id, w := range weights {
+	for id := range weights {
 		ids = append(ids, id)
-		sum += w
+	}
+	sort.Ints(ids)
+	var sum float64
+	for _, id := range ids {
+		sum += weights[id]
 	}
 	if sum <= 0 {
 		return []float64{1}
 	}
-	sort.Ints(ids)
 	out := make([]float64, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, weights[id]/sum)

@@ -1,0 +1,114 @@
+package twin
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"dcmodel/internal/errs"
+	"dcmodel/internal/trace"
+)
+
+func replicaTwin() *Twin {
+	return &Twin{
+		Approach:   "test",
+		Lambda:     50,
+		ArrivalSCV: 1,
+		Stations: []Station{
+			{Subsystem: trace.Network, Name: trace.Network.String(), Demand: 0.003, SCV: 1},
+			{Subsystem: trace.CPU, Name: trace.CPU.String(), Demand: 0.005, SCV: 1},
+			{Subsystem: trace.Memory, Name: trace.Memory.String(), Demand: 0.002, SCV: 1},
+			{Subsystem: trace.Storage, Name: trace.Storage.String(), Demand: 0.008, SCV: 1},
+		},
+		Servers: 1,
+		Shares:  []float64{1},
+	}
+}
+
+// TestReplicasScaleStorageAndNetwork: R-way replication multiplies the
+// storage and network demands by R and leaves CPU and memory untouched, so
+// the replicated answer is strictly slower.
+func TestReplicasScaleStorageAndNetwork(t *testing.T) {
+	tw := replicaTwin()
+	base, err := tw.WhatIf(Query{Servers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := tw.WhatIf(Query{Servers: 8, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repl.Stable {
+		t.Fatal("2-way replication at 8 servers should still be stable")
+	}
+	if repl.MeanResponseSeconds <= base.MeanResponseSeconds {
+		t.Fatalf("replicated mean %.6f should exceed unreplicated %.6f",
+			repl.MeanResponseSeconds, base.MeanResponseSeconds)
+	}
+	demand := func(a Answer, name string) float64 {
+		for _, s := range a.Stations {
+			if s.Name == name {
+				return s.Utilization
+			}
+		}
+		t.Fatalf("station %q missing", name)
+		return 0
+	}
+	for _, name := range []string{trace.Storage.String(), trace.Network.String()} {
+		if got, want := demand(repl, name), 2*demand(base, name); !closeTo(got, want, 1e-12) {
+			t.Errorf("%s utilization = %g, want %g (doubled)", name, got, want)
+		}
+	}
+	for _, name := range []string{trace.CPU.String(), trace.Memory.String()} {
+		if got, want := demand(repl, name), demand(base, name); !closeTo(got, want, 1e-12) {
+			t.Errorf("%s utilization = %g, want %g (untouched)", name, got, want)
+		}
+	}
+}
+
+// TestReplicasIdentity: 0 and 1 both mean unreplicated, byte-identical to
+// a query that never mentions replicas.
+func TestReplicasIdentity(t *testing.T) {
+	tw := replicaTwin()
+	base, err := tw.WhatIf(Query{Servers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{0, 1} {
+		got, err := tw.WhatIf(Query{Servers: 4, Replicas: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, _ := json.Marshal(got)
+		bb, _ := json.Marshal(base)
+		if string(gb) != string(bb) {
+			t.Errorf("Replicas=%d answer differs from the unreplicated one", r)
+		}
+	}
+}
+
+// TestBadConfigAtTwinBoundary: the PR 10 bugfix sweep — negative replica
+// counts and ServersDown >= Servers are rejected as ErrBadConfig before any
+// solver runs, instead of producing NaN utilizations.
+func TestBadConfigAtTwinBoundary(t *testing.T) {
+	tw := replicaTwin()
+	cases := []Query{
+		{Servers: 4, Replicas: -1},
+		{Servers: 4, ServersDown: 4},
+		{Servers: 4, ServersDown: 9},
+	}
+	for i, q := range cases {
+		_, err := tw.WhatIf(q)
+		if !errors.Is(err, errs.ErrBadConfig) {
+			t.Errorf("case %d (%+v): err = %v, want ErrBadConfig", i, q, err)
+		}
+	}
+}
+
+func closeTo(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dcmodel/internal/queueing"
+	"dcmodel/internal/trace"
 )
 
 // SLO is a latency service-level objective for provisioning queries:
@@ -35,6 +36,12 @@ type Query struct {
 	// ServersDown servers fail and their traffic redistributes evenly
 	// over the survivors.
 	ServersDown int `json:"servers_down,omitempty"`
+	// Replicas is the replication factor: each request's storage and
+	// network work is done Replicas times (R-way write amplification), so
+	// those station demands scale by Replicas. 0 and 1 both mean
+	// unreplicated; negative values are rejected as ErrBadConfig at the
+	// twin boundary, before any solver runs.
+	Replicas int `json:"replicas,omitempty"`
 	// Users switches to a closed loop: this many clients circulate, each
 	// thinking ThinkSeconds between requests, and the arrival-rate fields
 	// must be left zero. Solved by exact MVA.
@@ -122,6 +129,7 @@ func (t *Twin) WhatIf(q Query) (Answer, error) {
 	if q.ServersDown >= servers {
 		return Answer{}, badConfig("servers_down %d leaves no surviving server of %d", q.ServersDown, servers)
 	}
+	t = t.replicated(q.Replicas)
 	shares := t.queryShares(servers, q.ServersDown, q.Servers)
 	ans := Answer{Approach: t.Approach, Servers: len(shares)}
 	if q.Users > 0 {
@@ -174,6 +182,12 @@ func validateQuery(q Query) error {
 	}
 	if q.Servers < 0 || q.ServersDown < 0 || q.Users < 0 {
 		return badConfig("servers/servers_down/users must be non-negative")
+	}
+	if q.Replicas < 0 {
+		return badConfig("replicas must be non-negative, got %d", q.Replicas)
+	}
+	if q.Servers > 0 && q.ServersDown >= q.Servers {
+		return badConfig("servers_down %d leaves no surviving server of %d", q.ServersDown, q.Servers)
 	}
 	if q.Users > 0 && (q.LoadFactor > 0 || q.RatePerSec > 0) {
 		return badConfig("a closed-loop query (users > 0) fixes its own rate; drop load_factor/rate_per_sec")
@@ -228,6 +242,25 @@ func (t *Twin) queryShares(servers, down, override int) []float64 {
 		}
 	}
 	return out
+}
+
+// replicated returns the twin with storage and network demands scaled by
+// the replication factor r (each request's off-server work happens on r
+// replicas). r <= 1 returns the receiver unchanged. Scaling a demand by a
+// constant leaves its SCV invariant, so only Demand moves. The copy is
+// shallow except for Stations, which is the only field rewritten.
+func (t *Twin) replicated(r int) *Twin {
+	if r <= 1 {
+		return t
+	}
+	out := *t
+	out.Stations = append([]Station(nil), t.Stations...)
+	for i, s := range out.Stations {
+		if s.Subsystem == trace.Storage || s.Subsystem == trace.Network {
+			out.Stations[i].Demand = s.Demand * float64(r)
+		}
+	}
+	return &out
 }
 
 func uniformShares(n int) []float64 {

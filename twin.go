@@ -68,17 +68,6 @@ func BuildTwin(m Model, p Platform) (*Twin, error) {
 	}
 }
 
-// WhatIf is the one-shot convenience over BuildTwin: compile the model's
-// twin on the platform and answer a single query. Callers issuing many
-// queries should BuildTwin once and reuse it.
-func WhatIf(m Model, p Platform, q WhatIfQuery) (WhatIfAnswer, error) {
-	tw, err := BuildTwin(m, p)
-	if err != nil {
-		return WhatIfAnswer{}, err
-	}
-	return tw.WhatIf(q)
-}
-
 // platformServer materializes one platform server for twin compilation,
 // defaulting to the GFS chunkserver hardware like DefaultPlatform does.
 func platformServer(p Platform) (*hw.Server, error) {
